@@ -1,0 +1,290 @@
+// Benchmarks regenerating each table and figure of the paper's evaluation
+// (§V) at benchmark-friendly scale. The experiment harness behind
+// cmd/spear-experiments produces the full report; these benches measure the
+// cost of each experiment's pipeline and keep it exercised under
+// `go test -bench`. See DESIGN.md §5 for the experiment index and
+// EXPERIMENTS.md for recorded paper-vs-measured results.
+package spear_test
+
+import (
+	"strconv"
+	"sync"
+	"testing"
+
+	"spear"
+)
+
+// benchModel lazily trains one tiny policy model shared by all benches.
+var (
+	benchModelOnce sync.Once
+	benchModelNet  *spear.Network
+	benchModelErr  error
+)
+
+func benchFeatures() spear.Features { return spear.Features{Window: 5, Horizon: 10, Dims: 2} }
+
+func benchModel(b *testing.B) *spear.Network {
+	b.Helper()
+	benchModelOnce.Do(func() {
+		benchModelNet, _, _, benchModelErr = spear.TrainModel(spear.ModelConfig{
+			Feat:         benchFeatures(),
+			TrainJobs:    3,
+			TasksPerJob:  10,
+			PretrainCfg:  spear.PretrainConfig{Epochs: 4},
+			ReinforceCfg: spear.ReinforceConfig{Epochs: 2, Rollouts: 3},
+			Seed:         1,
+		}, nil)
+	})
+	if benchModelErr != nil {
+		b.Fatal(benchModelErr)
+	}
+	return benchModelNet
+}
+
+func benchSpear(b *testing.B, budget, minBudget int) spear.Scheduler {
+	b.Helper()
+	s, err := spear.NewSpear(benchModel(b), benchFeatures(), spear.SpearConfig{
+		InitialBudget: budget, MinBudget: minBudget, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+func benchJobs(b *testing.B, n, tasks int, seed int64) ([]*spear.Job, spear.Vector) {
+	b.Helper()
+	cfg := spear.DefaultRandomJobConfig()
+	cfg.NumTasks = tasks
+	jobs, err := spear.RandomJobs(seed, cfg, n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return jobs, cfg.Capacity()
+}
+
+func mustSchedule(b *testing.B, s spear.Scheduler, job *spear.Job, capacity spear.Vector) int64 {
+	b.Helper()
+	out, err := s.Schedule(job, capacity)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return out.Makespan
+}
+
+// BenchmarkFig3MotivatingExample reproduces Fig. 3: search escapes the
+// 3T work-conserving trap on the 8-task motivating DAG.
+func BenchmarkFig3MotivatingExample(b *testing.B) {
+	job, err := spear.MotivatingExample(100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	capacity := spear.MotivatingCapacity()
+	search := spear.NewMCTS(spear.MCTSConfig{InitialBudget: 1500, MinBudget: 150, Seed: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if m := mustSchedule(b, search, job, capacity); m >= 301 {
+			b.Fatalf("search trapped at %d", m)
+		}
+	}
+}
+
+// BenchmarkFig6aMakespan reproduces Fig. 6(a): Spear and the four baselines
+// on random DAGs.
+func BenchmarkFig6aMakespan(b *testing.B) {
+	jobs, capacity := benchJobs(b, 2, 30, 600)
+	schedulers := []spear.Scheduler{
+		benchSpear(b, 40, 10),
+		spear.NewGraphene(),
+		spear.NewTetris(),
+		spear.NewCP(),
+		spear.NewSJF(),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, s := range schedulers {
+			for _, job := range jobs {
+				mustSchedule(b, s, job, capacity)
+			}
+		}
+	}
+}
+
+// BenchmarkFig6bRuntime reproduces Fig. 6(b): per-scheduler wall-clock cost
+// (the benchmark time per sub-bench *is* the figure's quantity).
+func BenchmarkFig6bRuntime(b *testing.B) {
+	jobs, capacity := benchJobs(b, 1, 30, 601)
+	for _, entry := range []struct {
+		name string
+		s    spear.Scheduler
+	}{
+		{"Spear", benchSpear(b, 40, 10)},
+		{"Graphene", spear.NewGraphene()},
+		{"Tetris", spear.NewTetris()},
+	} {
+		b.Run(entry.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				mustSchedule(b, entry.s, jobs[0], capacity)
+			}
+		})
+	}
+}
+
+// BenchmarkFig7aMCTSBudget reproduces Fig. 7(a): pure-MCTS cost/quality as
+// the budget grows.
+func BenchmarkFig7aMCTSBudget(b *testing.B) {
+	jobs, capacity := benchJobs(b, 1, 30, 700)
+	for _, budget := range []int{25, 100, 400} {
+		b.Run(benchName("budget", budget), func(b *testing.B) {
+			s := spear.NewMCTS(spear.MCTSConfig{InitialBudget: budget, MinBudget: 5, Seed: 1})
+			for i := 0; i < b.N; i++ {
+				mustSchedule(b, s, jobs[0], capacity)
+			}
+		})
+	}
+}
+
+// BenchmarkFig7bMCTSvsTetris reproduces Fig. 7(b): the win-rate computation
+// of MCTS against Tetris.
+func BenchmarkFig7bMCTSvsTetris(b *testing.B) {
+	jobs, capacity := benchJobs(b, 3, 25, 701)
+	tetris := spear.NewTetris()
+	search := spear.NewMCTS(spear.MCTSConfig{InitialBudget: 100, MinBudget: 10, Seed: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wins := 0
+		for _, job := range jobs {
+			if mustSchedule(b, search, job, capacity) < mustSchedule(b, tetris, job, capacity) {
+				wins++
+			}
+		}
+	}
+}
+
+// BenchmarkTable1MCTSRuntime reproduces Table I: MCTS runtime across graph
+// sizes and budgets (each sub-benchmark is one table cell).
+func BenchmarkTable1MCTSRuntime(b *testing.B) {
+	for _, size := range []int{10, 25, 50} {
+		jobs, capacity := benchJobs(b, 1, size, 800+int64(size))
+		for _, budget := range []int{25, 100} {
+			b.Run(benchName("tasks", size)+"/"+benchName("budget", budget), func(b *testing.B) {
+				s := spear.NewMCTS(spear.MCTSConfig{InitialBudget: budget, MinBudget: budget / 5, Seed: 1})
+				for i := 0; i < b.N; i++ {
+					mustSchedule(b, s, jobs[0], capacity)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig8aSpearBudget reproduces Fig. 8(a): Spear at 10% of the pure
+// MCTS budget.
+func BenchmarkFig8aSpearBudget(b *testing.B) {
+	jobs, capacity := benchJobs(b, 1, 30, 900)
+	for _, entry := range []struct {
+		name string
+		s    spear.Scheduler
+	}{
+		{"MCTS-200", spear.NewMCTS(spear.MCTSConfig{InitialBudget: 200, MinBudget: 20, Seed: 1})},
+		{"Spear-20", benchSpear(b, 20, 5)},
+	} {
+		b.Run(entry.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				mustSchedule(b, entry.s, jobs[0], capacity)
+			}
+		})
+	}
+}
+
+// BenchmarkFig8bLearningCurve reproduces Fig. 8(b): the cost of one
+// training epoch (pretrain + REINFORCE pipeline at tiny scale).
+func BenchmarkFig8bLearningCurve(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, curve, _, err := spear.TrainModel(spear.ModelConfig{
+			Feat:         benchFeatures(),
+			TrainJobs:    2,
+			TasksPerJob:  8,
+			PretrainCfg:  spear.PretrainConfig{Epochs: 2},
+			ReinforceCfg: spear.ReinforceConfig{Epochs: 2, Rollouts: 2},
+			Seed:         int64(i),
+		}, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(curve) != 2 {
+			b.Fatalf("curve len %d", len(curve))
+		}
+	}
+}
+
+// BenchmarkFig9aTraceStats reproduces Fig. 9(a)/9(b): generating the
+// synthetic 99-job trace and computing its distributions.
+func BenchmarkFig9aTraceStats(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		trace, err := spear.GenerateTrace(2019, spear.DefaultTraceConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		s := trace.Stats()
+		if s.Jobs != 99 {
+			b.Fatalf("jobs %d", s.Jobs)
+		}
+	}
+}
+
+// BenchmarkFig9cTraceReduction reproduces Fig. 9(c): Spear vs Graphene on
+// trace jobs.
+func BenchmarkFig9cTraceReduction(b *testing.B) {
+	trace, err := spear.GenerateTrace(2019, spear.DefaultTraceConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	graphs, err := trace.Graphs()
+	if err != nil {
+		b.Fatal(err)
+	}
+	capacity := spear.Vector(trace.Capacity)
+	spearSched := benchSpear(b, 30, 10)
+	graphene := spear.NewGraphene()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		job := graphs[i%4]
+		g := mustSchedule(b, graphene, job, capacity)
+		s := mustSchedule(b, spearSched, job, capacity)
+		_ = float64(g-s) / float64(g)
+	}
+}
+
+// BenchmarkTopologies measures the heuristics across the structured DAG
+// families of the scheduling literature (extension beyond the paper's
+// random layered workloads).
+func BenchmarkTopologies(b *testing.B) {
+	cfg := spear.TopologyConfig{}
+	type family struct {
+		name string
+		job  *spear.Job
+	}
+	var families []family
+	if fj, err := spear.ForkJoinJob(1, cfg, 3, 5); err == nil {
+		families = append(families, family{"ForkJoin", fj})
+	}
+	if ot, err := spear.OutTreeJob(1, cfg, 3, 3); err == nil {
+		families = append(families, family{"OutTree", ot})
+	}
+	if ge, err := spear.GaussianEliminationJob(1, cfg, 8); err == nil {
+		families = append(families, family{"GaussElim", ge})
+	}
+	capacity := cfg.Capacity()
+	for _, f := range families {
+		b.Run(f.name, func(b *testing.B) {
+			s := spear.NewTetris()
+			for i := 0; i < b.N; i++ {
+				mustSchedule(b, s, f.job, capacity)
+			}
+		})
+	}
+}
+
+func benchName(key string, v int) string {
+	return key + "=" + strconv.Itoa(v)
+}

@@ -1,0 +1,110 @@
+// Command spear-experiments regenerates the tables and figures of the
+// paper's evaluation section (§V). Each experiment prints the same
+// rows/series the paper reports; see DESIGN.md for the experiment index.
+//
+// Usage:
+//
+//	spear-experiments -list
+//	spear-experiments -run fig6a
+//	spear-experiments -run all -full -model model.gob
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"spear"
+	"spear/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "spear-experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		runName   = flag.String("run", "all", "experiment to run (or 'all')")
+		list      = flag.Bool("list", false, "list experiments and exit")
+		full      = flag.Bool("full", false, "use paper-scale parameters (slow)")
+		seed      = flag.Int64("seed", 1, "random seed")
+		modelPath = flag.String("model", "", "trained model (trains one on demand when empty)")
+		verbose   = flag.Bool("v", false, "log per-job progress")
+		csvDir    = flag.String("csv-dir", "", "also write each experiment's raw data as CSV into this directory")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, r := range experiments.Registry() {
+			fmt.Printf("%-8s %s\n", r.Name, r.Description)
+		}
+		return nil
+	}
+
+	suite := experiments.NewSuite(*seed)
+	suite.Full = *full
+	if *verbose {
+		suite.Log = os.Stderr
+	}
+	if *modelPath != "" {
+		f, err := os.Open(*modelPath)
+		if err != nil {
+			return err
+		}
+		net, err := spear.LoadModel(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		feat := spear.DefaultFeatures()
+		if net.InputSize() != feat.InputSize() {
+			return fmt.Errorf("model %s does not match the default featurization", *modelPath)
+		}
+		suite.Net = net
+	}
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			return err
+		}
+	}
+	runOne := func(r experiments.Runner) error {
+		if err := r.Run(suite, os.Stdout); err != nil {
+			return fmt.Errorf("%s: %w", r.Name, err)
+		}
+		if *csvDir == "" || r.CSV == nil {
+			return nil
+		}
+		path := filepath.Join(*csvDir, r.Name+".csv")
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := r.CSV(suite, f); err != nil {
+			f.Close()
+			return fmt.Errorf("%s csv: %w", r.Name, err)
+		}
+		return f.Close()
+	}
+
+	if *runName != "all" {
+		for _, r := range experiments.Registry() {
+			if r.Name == *runName {
+				return runOne(r)
+			}
+		}
+		return fmt.Errorf("unknown experiment %q", *runName)
+	}
+	for _, r := range experiments.Registry() {
+		fmt.Printf("==== %s ====\n", r.Name)
+		if err := runOne(r); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	return nil
+}

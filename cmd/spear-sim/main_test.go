@@ -1,0 +1,114 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"spear"
+)
+
+func TestParseCapacity(t *testing.T) {
+	v, err := parseCapacity("", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v[0] != 1000 || v[1] != 1000 {
+		t.Errorf("default capacity = %v", v)
+	}
+
+	v, err = parseCapacity("10, 20", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v[0] != 10 || v[1] != 20 {
+		t.Errorf("parsed = %v", v)
+	}
+
+	if _, err := parseCapacity("10", 2); err == nil {
+		t.Error("dim mismatch accepted")
+	}
+	if _, err := parseCapacity("x,y", 2); err == nil {
+		t.Error("non-numeric accepted")
+	}
+}
+
+func TestBuildSchedulerNames(t *testing.T) {
+	for _, name := range []string{"mcts", "graphene", "tetris", "cp", "sjf", "random", "heft", "lpt", "bload", "level", "tetris-srpt", "anneal", "optimal"} {
+		s, err := buildScheduler(name, 10, 2, 1, "")
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if s == nil || s.Name() == "" {
+			t.Errorf("%s: bad scheduler", name)
+		}
+	}
+	if _, err := buildScheduler("bogus", 10, 2, 1, ""); err == nil {
+		t.Error("bogus algorithm accepted")
+	}
+}
+
+func TestBuildJobsFromJSONFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "job.json")
+	body := `{"name":"j","dims":1,"tasks":[{"name":"a","runtime":2,"demand":[5]},{"name":"b","runtime":3,"demand":[5]}],"edges":[[0,1]]}`
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	jobs, capacity, err := buildJobs(false, path, "10", 0, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 1 || jobs[0].NumTasks() != 2 {
+		t.Fatalf("jobs = %v", jobs)
+	}
+	if capacity[0] != 10 {
+		t.Errorf("capacity = %v", capacity)
+	}
+
+	if _, _, err := buildJobs(false, filepath.Join(dir, "missing.json"), "", 0, 0, 1); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestBuildJobsMotivatingAndRandom(t *testing.T) {
+	jobs, capacity, err := buildJobs(true, "", "", 0, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 1 || jobs[0].NumTasks() != 8 || capacity[0] != 1000 {
+		t.Errorf("motivating: %d jobs, capacity %v", len(jobs), capacity)
+	}
+
+	jobs, _, err = buildJobs(false, "", "", 3, 12, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 3 || jobs[0].NumTasks() != 12 {
+		t.Errorf("random: %d jobs x %d tasks", len(jobs), jobs[0].NumTasks())
+	}
+}
+
+func TestWriteSVGFile(t *testing.T) {
+	jobs, capacity, err := buildJobs(false, "", "", 1, 6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := spear.NewTetris().Schedule(jobs[0], capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "s.svg")
+	if err := writeSVGFile(path, out, jobs[0]); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "<svg") {
+		t.Errorf("not an SVG: %.60s", data)
+	}
+}

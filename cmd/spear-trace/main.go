@@ -1,0 +1,77 @@
+// Command spear-trace generates and inspects the synthetic production
+// MapReduce trace that substitutes for the paper's proprietary 99-job Hive
+// trace (§V-C); the generator is calibrated to every statistic the paper
+// reports.
+//
+// Usage:
+//
+//	spear-trace -out trace.json
+//	spear-trace -in trace.json -stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"spear"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "spear-trace:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		out   = flag.String("out", "", "write a freshly generated trace to this path")
+		in    = flag.String("in", "", "read an existing trace instead of generating one")
+		seed  = flag.Int64("seed", 2019, "generation seed")
+		stats = flag.Bool("stats", true, "print the trace's summary statistics")
+	)
+	flag.Parse()
+
+	var trace *spear.Trace
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		trace, err = spear.LoadTrace(f)
+		if err != nil {
+			return err
+		}
+	} else {
+		var err error
+		trace, err = spear.GenerateTrace(*seed, spear.DefaultTraceConfig())
+		if err != nil {
+			return err
+		}
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := trace.Save(f); err != nil {
+			return err
+		}
+		fmt.Printf("trace with %d jobs written to %s\n", len(trace.Jobs), *out)
+	}
+
+	if *stats {
+		s := trace.Stats()
+		fmt.Printf("jobs: %d\n", s.Jobs)
+		fmt.Printf("map tasks per job:    median %d, max %d (paper: 14, 29)\n", s.MedianMaps, s.MaxMaps)
+		fmt.Printf("reduce tasks per job: median %d, max %d (paper: 17, 38)\n", s.MedianReduces, s.MaxReduces)
+		fmt.Printf("map task runtime:     median %d (paper: 73)\n", s.MedianMapRT)
+		fmt.Printf("reduce task runtime:  median %d (paper: 32)\n", s.MedianReduceRT)
+		fmt.Printf("max mean reduce runtime per job: %.0f (paper: up to 141)\n", s.MaxMeanRedRT)
+	}
+	return nil
+}

@@ -1,0 +1,114 @@
+// Command spear-train runs the paper's training pipeline — supervised
+// warm-start imitating the critical-path heuristic, then REINFORCE with an
+// averaged-rollout baseline — and saves the policy network for use by
+// spear-sim and spear-experiments.
+//
+// Usage:
+//
+//	spear-train -out model.gob -train-jobs 144 -epochs 300 -rollouts 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"spear"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "spear-train:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		out            = flag.String("out", "model.gob", "path to write the trained model")
+		trainJobs      = flag.Int("train-jobs", 16, "number of generated training jobs (paper: 144)")
+		tasksPerJob    = flag.Int("tasks", 25, "tasks per training job (paper: 25)")
+		pretrainEpochs = flag.Int("pretrain-epochs", 12, "supervised warm-start epochs")
+		epochs         = flag.Int("epochs", 60, "REINFORCE epochs (paper: 7000)")
+		rollouts       = flag.Int("rollouts", 20, "rollouts per example for the baseline (paper: 20)")
+		seed           = flag.Int64("seed", 1, "random seed")
+		window         = flag.Int("window", 15, "ready-task window (paper: 15)")
+		horizon        = flag.Int("horizon", 20, "occupancy horizon in slots (paper: 20)")
+		quiet          = flag.Bool("q", false, "suppress per-epoch progress")
+		curvePath      = flag.String("curve", "", "write the learning curve as CSV to this path")
+		ckptEvery      = flag.Int("checkpoint-every", 0, "save the model to -out every N epochs (0 = only at the end)")
+	)
+	flag.Parse()
+
+	feat := spear.Features{Window: *window, Horizon: *horizon, Dims: 2}
+	reinforce := spear.ReinforceConfig{Epochs: *epochs, Rollouts: *rollouts}
+	if *ckptEvery > 0 {
+		reinforce.CheckpointEvery = *ckptEvery
+		reinforce.Checkpoint = func(epoch int, net *spear.Network) error {
+			if err := writeModel(*out, net); err != nil {
+				return err
+			}
+			if !*quiet {
+				fmt.Printf("checkpoint after epoch %d -> %s\n", epoch, *out)
+			}
+			return nil
+		}
+	}
+	cfg := spear.ModelConfig{
+		Feat:         feat,
+		TrainJobs:    *trainJobs,
+		TasksPerJob:  *tasksPerJob,
+		PretrainCfg:  spear.PretrainConfig{Epochs: *pretrainEpochs},
+		ReinforceCfg: reinforce,
+		Seed:         *seed,
+	}
+	progress := func(st spear.EpochStats) {
+		if !*quiet {
+			fmt.Printf("epoch %4d: mean makespan %8.1f (min %d, max %d)\n",
+				st.Epoch, st.MeanMakespan, st.MinMakespan, st.MaxMakespan)
+		}
+	}
+
+	net, curve, _, err := spear.TrainModel(cfg, progress)
+	if err != nil {
+		return err
+	}
+	if len(curve) > 0 {
+		first, last := curve[0], curve[len(curve)-1]
+		fmt.Printf("learning curve: %.1f -> %.1f over %d epochs\n", first.MeanMakespan, last.MeanMakespan, len(curve))
+	}
+	if *curvePath != "" {
+		f, err := os.Create(*curvePath)
+		if err != nil {
+			return err
+		}
+		if err := spear.WriteCurveCSV(f, curve); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("learning curve written to %s\n", *curvePath)
+	}
+
+	if err := writeModel(*out, net); err != nil {
+		return err
+	}
+	fmt.Printf("model written to %s (window=%d horizon=%d)\n", *out, *window, *horizon)
+	return nil
+}
+
+// writeModel atomically-enough saves the network: write then close, so a
+// failed write surfaces as an error instead of a silently truncated model.
+func writeModel(path string, net *spear.Network) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := spear.SaveModel(f, net); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,79 @@
+package spear_test
+
+import (
+	"bytes"
+	"fmt"
+
+	"spear"
+)
+
+// Building a job and scheduling it with a heuristic is fully deterministic,
+// so it makes a good runnable example; swap NewCP for NewSpear (with a
+// trained model) to use the paper's scheduler.
+func Example() {
+	b := spear.NewJobBuilder(2)
+	fetch := b.AddTask("fetch", 4, spear.Resources(300, 100))
+	parse := b.AddTask("parse", 6, spear.Resources(500, 700))
+	index := b.AddTask("index", 3, spear.Resources(600, 200))
+	b.AddDep(fetch, parse)
+	b.AddDep(fetch, index)
+	job, err := b.Build()
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+
+	capacity := spear.Resources(1000, 1000)
+	schedule, err := spear.NewCP().Schedule(job, capacity)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("makespan:", schedule.Makespan)
+	fmt.Println("valid:", spear.Validate(job, capacity, schedule) == nil)
+	// Output:
+	// makespan: 13
+	// valid: true
+}
+
+// The critical path and the work bound give a quick lower bound on any
+// schedule's makespan.
+func ExampleMakespanLowerBound() {
+	b := spear.NewJobBuilder(1)
+	a := b.AddTask("a", 5, spear.Resources(10))
+	c := b.AddTask("c", 5, spear.Resources(10))
+	b.AddDep(a, c)
+	job, _ := b.Build()
+
+	lb, _ := spear.MakespanLowerBound(job, spear.Resources(10))
+	fmt.Println(lb)
+	// Output: 10
+}
+
+// Jobs round-trip through a portable JSON format.
+func ExampleSaveJob() {
+	b := spear.NewJobBuilder(1)
+	x := b.AddTask("x", 2, spear.Resources(1))
+	y := b.AddTask("y", 3, spear.Resources(1))
+	b.AddDep(x, y)
+	job, _ := b.Build()
+
+	var buf bytes.Buffer
+	_ = spear.SaveJob(&buf, job, "mini")
+	back, name, _ := spear.LoadJob(&buf)
+	fmt.Println(name, back.NumTasks(), spear.CriticalPath(back))
+	// Output: mini 2 5
+}
+
+// The exact solver proves optimality on small jobs.
+func ExampleNewOptimal() {
+	b := spear.NewJobBuilder(1)
+	for i := 0; i < 3; i++ {
+		b.AddTask("t", 4, spear.Resources(1))
+	}
+	job, _ := b.Build()
+
+	schedule, err := spear.NewOptimal(0).Schedule(job, spear.Resources(2))
+	fmt.Println(schedule.Makespan, err)
+	// Output: 8 <nil>
+}

@@ -1,0 +1,74 @@
+// Motivating example (paper Fig. 3): an 8-task job where every
+// work-conserving heuristic — Tetris, SJF, CP and Graphene with all of its
+// threshold/direction variants — finishes in ~3T, while search-based
+// scheduling finds the ~2T schedule by declining to start a ready task.
+//
+// Run with:
+//
+//	go run ./examples/motivating
+package main
+
+import (
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"spear"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "motivating:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	const T = 100
+	job, err := spear.MotivatingExample(T)
+	if err != nil {
+		return err
+	}
+	capacity := spear.MotivatingCapacity()
+
+	fmt.Printf("the motivating job (%d tasks, long-task runtime T = %d):\n", job.NumTasks(), T)
+	for id := spear.TaskID(0); int(id) < job.NumTasks(); id++ {
+		task := job.Task(id)
+		fmt.Printf("  %-6s runtime %3d  demand %v\n", task.Name, task.Runtime, task.Demand)
+	}
+	fmt.Println()
+
+	// The heuristics co-schedule big1 and big6 at t=0 (the work-conserving
+	// move) and pay for it: big5 and big7 can never overlap afterwards.
+	schedulers := []spear.Scheduler{
+		spear.NewMCTS(spear.MCTSConfig{InitialBudget: 3000, MinBudget: 300, Seed: 1}),
+		spear.NewGraphene(),
+		spear.NewTetris(),
+		spear.NewCP(),
+		spear.NewSJF(),
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "algorithm\tmakespan\tin units of T")
+	for _, s := range schedulers {
+		out, err := s.Schedule(job, capacity)
+		if err != nil {
+			return fmt.Errorf("%s: %w", s.Name(), err)
+		}
+		if err := spear.Validate(job, capacity, out); err != nil {
+			return fmt.Errorf("%s: %w", s.Name(), err)
+		}
+		label := s.Name()
+		if label == "MCTS" {
+			label = "MCTS (search)"
+		}
+		fmt.Fprintf(w, "%s\t%d\t%.2fT\n", label, out.Makespan, float64(out.Makespan)/float64(T))
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+
+	fmt.Println("\nthe search-based schedule declines to start big6 at t=0 so that")
+	fmt.Println("big1+big5 and big6+big7 can overlap — the paper's 2T-vs-3T gap.")
+	return nil
+}

@@ -1,0 +1,162 @@
+// Package anneal implements a simulated-annealing scheduler that searches
+// the space of task *priority orders*, executing each candidate order with
+// the work-conserving online executor. It is a classic local-search
+// comparator for the paper's tree search — and a deliberately instructive
+// one: because every order is executed work-conservingly, annealing can
+// never express Spear's "decline a ready task now" decisions, so it stays
+// trapped at ~3T on the motivating example no matter how long it runs
+// (demonstrated in the tests). The search space reduction of §III-B —
+// acting on the cluster timeline rather than on orders — is what MCTS
+// buys.
+package anneal
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"spear/internal/baselines"
+	"spear/internal/dag"
+	"spear/internal/resource"
+	"spear/internal/sched"
+	"spear/internal/simenv"
+)
+
+// Config parameterizes the annealer.
+type Config struct {
+	// Iterations is the number of candidate orders evaluated. Default 500.
+	Iterations int
+	// InitialTemp scales the acceptance probability of worse candidates,
+	// as a fraction of the initial makespan. Default 0.05.
+	InitialTemp float64
+	// Cooling is the geometric cooling factor per iteration. Default such
+	// that the temperature decays to ~1% over the run.
+	Cooling float64
+	// Seed feeds the annealer's random source.
+	Seed int64
+}
+
+func (c Config) normalized() Config {
+	if c.Iterations <= 0 {
+		c.Iterations = 500
+	}
+	if c.InitialTemp <= 0 {
+		c.InitialTemp = 0.05
+	}
+	if c.Cooling <= 0 {
+		// Reach 1% of the initial temperature by the last iteration.
+		c.Cooling = math.Pow(0.01, 1/float64(c.Iterations))
+	}
+	return c
+}
+
+// Scheduler is the simulated-annealing order search. It implements
+// sched.Scheduler.
+type Scheduler struct {
+	cfg Config
+}
+
+var _ sched.Scheduler = (*Scheduler)(nil)
+
+// New returns an annealing scheduler.
+func New(cfg Config) *Scheduler { return &Scheduler{cfg: cfg.normalized()} }
+
+// Name implements sched.Scheduler.
+func (s *Scheduler) Name() string { return "Annealing" }
+
+// Schedule implements sched.Scheduler.
+func (s *Scheduler) Schedule(g *dag.Graph, capacity resource.Vector) (*sched.Schedule, error) {
+	began := time.Now()
+	rng := rand.New(rand.NewSource(s.cfg.Seed))
+	n := g.NumTasks()
+
+	// Start from the CP order — a strong, cheap incumbent.
+	order := make([]dag.TaskID, n)
+	for i := range order {
+		order[i] = dag.TaskID(i)
+	}
+	blevel := func(id dag.TaskID) int64 { return g.BLevel(id) }
+	sortByDesc(order, blevel)
+
+	current, err := evaluate(g, capacity, order)
+	if err != nil {
+		return nil, err
+	}
+	best := current
+	bestOrder := append([]dag.TaskID(nil), order...)
+
+	temp := s.cfg.InitialTemp * float64(current)
+	if temp < 1 {
+		temp = 1
+	}
+	for iter := 0; iter < s.cfg.Iterations; iter++ {
+		i, j := rng.Intn(n), rng.Intn(n)
+		if i == j {
+			continue
+		}
+		order[i], order[j] = order[j], order[i]
+		cand, err := evaluate(g, capacity, order)
+		if err != nil {
+			return nil, err
+		}
+		delta := float64(cand - current)
+		if delta <= 0 || rng.Float64() < math.Exp(-delta/temp) {
+			current = cand
+			if cand < best {
+				best = cand
+				copy(bestOrder, order)
+			}
+		} else {
+			order[i], order[j] = order[j], order[i] // revert
+		}
+		temp *= s.cfg.Cooling
+	}
+
+	out, err := run(g, capacity, bestOrder)
+	if err != nil {
+		return nil, err
+	}
+	out.Algorithm = s.Name()
+	out.Elapsed = time.Since(began)
+	return out, nil
+}
+
+// evaluate executes the order and returns the makespan.
+func evaluate(g *dag.Graph, capacity resource.Vector, order []dag.TaskID) (int64, error) {
+	out, err := run(g, capacity, order)
+	if err != nil {
+		return 0, err
+	}
+	return out.Makespan, nil
+}
+
+func run(g *dag.Graph, capacity resource.Vector, order []dag.TaskID) (*sched.Schedule, error) {
+	policy, err := baselines.NewOrderPolicy("Annealing", order, g.NumTasks())
+	if err != nil {
+		return nil, err
+	}
+	e, err := simenv.New(g, capacity, simenv.Config{Mode: simenv.NextCompletion})
+	if err != nil {
+		return nil, err
+	}
+	out, err := simenv.Run(e, policy, nil)
+	if err != nil {
+		return nil, fmt.Errorf("anneal: %w", err)
+	}
+	return out, nil
+}
+
+// sortByDesc orders ids by descending key (ties: smaller ID).
+func sortByDesc(ids []dag.TaskID, key func(dag.TaskID) int64) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0; j-- {
+			ki, kj := key(ids[j]), key(ids[j-1])
+			if ki > kj || (ki == kj && ids[j] < ids[j-1]) {
+				ids[j], ids[j-1] = ids[j-1], ids[j]
+			} else {
+				break
+			}
+		}
+	}
+}

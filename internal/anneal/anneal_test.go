@@ -1,0 +1,133 @@
+package anneal
+
+import (
+	"math/rand"
+	"testing"
+
+	"spear/internal/baselines"
+	"spear/internal/dag"
+	"spear/internal/resource"
+	"spear/internal/sched"
+	"spear/internal/workload"
+)
+
+func TestProducesValidSchedules(t *testing.T) {
+	cfg := workload.DefaultRandomDAGConfig()
+	cfg.NumTasks = 30
+	for seed := int64(0); seed < 3; seed++ {
+		g, err := workload.RandomDAG(rand.New(rand.NewSource(seed)), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := New(Config{Iterations: 100, Seed: seed})
+		out, err := s.Schedule(g, cfg.Capacity())
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := sched.Validate(g, cfg.Capacity(), out); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	cfg := workload.DefaultRandomDAGConfig()
+	cfg.NumTasks = 20
+	g, err := workload.RandomDAG(rand.New(rand.NewSource(9)), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() int64 {
+		out, err := New(Config{Iterations: 80, Seed: 5}).Schedule(g, cfg.Capacity())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out.Makespan
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("nondeterministic: %d vs %d", a, b)
+	}
+}
+
+func TestNotWorseThanCPStart(t *testing.T) {
+	// The annealer starts from the CP order and keeps the best candidate,
+	// so it can never end up worse than plain CP execution.
+	cfg := workload.DefaultRandomDAGConfig()
+	cfg.NumTasks = 40
+	for seed := int64(0); seed < 3; seed++ {
+		g, err := workload.RandomDAG(rand.New(rand.NewSource(seed+50)), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		annealed, err := New(Config{Iterations: 200, Seed: seed}).Schedule(g, cfg.Capacity())
+		if err != nil {
+			t.Fatal(err)
+		}
+		cp, err := baselines.NewCPScheduler().Schedule(g, cfg.Capacity())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if annealed.Makespan > cp.Makespan {
+			t.Errorf("seed %d: annealing %d worse than CP %d", seed, annealed.Makespan, cp.Makespan)
+		}
+	}
+}
+
+func TestOrderSearchCannotEscapeMotivatingTrap(t *testing.T) {
+	// The key negative result: every work-conserving execution of *any*
+	// priority order lands at 301 on the motivating example, because the
+	// trap is about declining a ready task, not about ordering. Annealing
+	// over orders therefore cannot reach the 202 optimum that MCTS/Spear
+	// find — exactly the paper's argument for searching over timeline
+	// actions instead of orders.
+	g, err := workload.MotivatingExample(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	capacity := workload.MotivatingCapacity()
+	out, err := New(Config{Iterations: 800, Seed: 1}).Schedule(g, capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.Validate(g, capacity, out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Makespan != 301 {
+		t.Errorf("annealing makespan = %d; expected the work-conserving 301", out.Makespan)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.normalized()
+	if c.Iterations != 500 || c.InitialTemp != 0.05 || c.Cooling <= 0 || c.Cooling >= 1 {
+		t.Errorf("defaults = %+v", c)
+	}
+}
+
+func TestSortByDesc(t *testing.T) {
+	ids := []dag.TaskID{0, 1, 2, 3}
+	key := map[dag.TaskID]int64{0: 5, 1: 9, 2: 5, 3: 1}
+	sortByDesc(ids, func(id dag.TaskID) int64 { return key[id] })
+	want := []dag.TaskID{1, 0, 2, 3}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("sorted = %v, want %v", ids, want)
+		}
+	}
+}
+
+func TestSingleTask(t *testing.T) {
+	b := dag.NewBuilder(1)
+	b.AddTask("only", 7, resource.Of(1))
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := New(Config{Iterations: 10, Seed: 1}).Schedule(g, resource.Of(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Makespan != 7 {
+		t.Errorf("makespan = %d, want 7", out.Makespan)
+	}
+}

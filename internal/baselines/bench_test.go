@@ -1,0 +1,29 @@
+package baselines
+
+import (
+	"math/rand"
+	"testing"
+
+	"spear/internal/resource"
+	"spear/internal/sched"
+)
+
+func BenchmarkBaselines100Tasks(b *testing.B) {
+	g := randomLayeredGraph(rand.New(rand.NewSource(5)), 100)
+	capacity := resource.Of(1000, 1000)
+	for _, s := range []sched.Scheduler{
+		NewTetrisScheduler(),
+		NewSJFScheduler(),
+		NewCPScheduler(),
+		NewGrapheneScheduler(),
+	} {
+		b.Run(s.Name(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Schedule(g, capacity); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,41 @@
+package baselines
+
+import (
+	"math/rand"
+
+	"spear/internal/simenv"
+)
+
+// CP is the largest-critical-path-first heuristic: at every decision point
+// it starts the fitting ready task with the largest b-level (longest runtime
+// path to an exit), breaking ties by child count as is conventional in the
+// DAG scheduling literature (paper §III-D). It is dependency-aware but
+// packing-blind.
+type CP struct{}
+
+var _ simenv.Policy = CP{}
+
+// Name implements simenv.Policy.
+func (CP) Name() string { return "CP" }
+
+// Choose implements simenv.Policy.
+func (CP) Choose(e *simenv.Env, legal []simenv.Action, _ *rand.Rand) (simenv.Action, error) {
+	visible := e.VisibleReady()
+	g := e.Graph()
+	return pickBest(legal, func(a, b simenv.Action) bool {
+		ba, bb := g.BLevel(visible[a]), g.BLevel(visible[b])
+		if ba != bb {
+			return ba > bb
+		}
+		ca, cb := g.NumChildren(visible[a]), g.NumChildren(visible[b])
+		if ca != cb {
+			return ca > cb
+		}
+		return visible[a] < visible[b]
+	}), nil
+}
+
+// NewCPScheduler returns CP wrapped as a full scheduler.
+func NewCPScheduler() *PolicyScheduler {
+	return NewPolicyScheduler(CP{}, simenv.Config{Mode: simenv.NextCompletion}, 0)
+}

@@ -1,0 +1,87 @@
+// Package baselines implements the scheduling algorithms Spear is compared
+// against in the paper's evaluation: Tetris (multi-resource packing), SJF
+// (shortest job first), CP (largest critical path first), a uniformly random
+// policy, and Graphene (troublesome-tasks-first with forward/backward
+// virtual placement).
+//
+// Tetris, SJF, CP and Random are online decision policies over the shared
+// scheduling environment; Graphene first derives a priority order offline
+// and then executes it online. Every baseline therefore produces schedules
+// through the exact same execution substrate as MCTS and Spear, which keeps
+// makespans directly comparable.
+package baselines
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"spear/internal/dag"
+	"spear/internal/resource"
+	"spear/internal/sched"
+	"spear/internal/simenv"
+)
+
+// PolicyScheduler adapts a simenv.Policy into a sched.Scheduler by running
+// a fresh episode per job.
+type PolicyScheduler struct {
+	policy simenv.Policy
+	cfg    simenv.Config
+	seed   int64
+}
+
+var _ sched.Scheduler = (*PolicyScheduler)(nil)
+
+// NewPolicyScheduler wraps the policy as a full scheduler. The seed feeds
+// the policy's random source; deterministic policies ignore it.
+func NewPolicyScheduler(p simenv.Policy, cfg simenv.Config, seed int64) *PolicyScheduler {
+	return &PolicyScheduler{policy: p, cfg: cfg, seed: seed}
+}
+
+// Name implements sched.Scheduler.
+func (s *PolicyScheduler) Name() string { return s.policy.Name() }
+
+// Schedule implements sched.Scheduler.
+func (s *PolicyScheduler) Schedule(g *dag.Graph, capacity resource.Vector) (*sched.Schedule, error) {
+	e, err := simenv.New(g, capacity, s.cfg)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", s.policy.Name(), err)
+	}
+	began := time.Now()
+	out, err := simenv.Run(e, s.policy, rand.New(rand.NewSource(s.seed)))
+	if err != nil {
+		return nil, err
+	}
+	out.Elapsed = time.Since(began)
+	return out, nil
+}
+
+// scheduleActions filters legal down to task-scheduling actions (everything
+// but Process), preserving order.
+func scheduleActions(legal []simenv.Action) []simenv.Action {
+	out := make([]simenv.Action, 0, len(legal))
+	for _, a := range legal {
+		if a != simenv.Process {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// pickBest returns the schedule action maximizing better, or Process when no
+// task fits. better(a, b) reports whether a is strictly preferable to b;
+// ties fall to the earlier action (lower visible index), keeping policies
+// deterministic.
+func pickBest(legal []simenv.Action, better func(a, b simenv.Action) bool) simenv.Action {
+	candidates := scheduleActions(legal)
+	if len(candidates) == 0 {
+		return simenv.Process
+	}
+	best := candidates[0]
+	for _, a := range candidates[1:] {
+		if better(a, best) {
+			best = a
+		}
+	}
+	return best
+}

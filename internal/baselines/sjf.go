@@ -1,0 +1,35 @@
+package baselines
+
+import (
+	"math/rand"
+
+	"spear/internal/simenv"
+)
+
+// SJF is shortest-job-first: at every decision point it starts the fitting
+// ready task with the smallest runtime. It ignores both dependencies beyond
+// readiness and multi-resource packing.
+type SJF struct{}
+
+var _ simenv.Policy = SJF{}
+
+// Name implements simenv.Policy.
+func (SJF) Name() string { return "SJF" }
+
+// Choose implements simenv.Policy.
+func (SJF) Choose(e *simenv.Env, legal []simenv.Action, _ *rand.Rand) (simenv.Action, error) {
+	visible := e.VisibleReady()
+	return pickBest(legal, func(a, b simenv.Action) bool {
+		ra := e.Graph().Task(visible[a]).Runtime
+		rb := e.Graph().Task(visible[b]).Runtime
+		if ra != rb {
+			return ra < rb
+		}
+		return visible[a] < visible[b]
+	}), nil
+}
+
+// NewSJFScheduler returns SJF wrapped as a full scheduler.
+func NewSJFScheduler() *PolicyScheduler {
+	return NewPolicyScheduler(SJF{}, simenv.Config{Mode: simenv.NextCompletion}, 0)
+}

@@ -1,0 +1,270 @@
+// Package cluster implements the resource-time space of the paper (§III-B):
+// the cluster is a fixed-capacity, multi-dimensional resource pool whose
+// occupancy is tracked per discrete time slot. Schedulers place tasks into
+// the space; the occupancy at every slot must stay within capacity.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+
+	"spear/internal/resource"
+)
+
+// Errors reported by Space operations.
+var (
+	ErrBadCapacity = errors.New("cluster: capacity must be positive in every dimension")
+	ErrBadDuration = errors.New("cluster: duration must be positive")
+	ErrBadStart    = errors.New("cluster: start time is before the space's origin")
+	ErrDoesNotFit  = errors.New("cluster: placement exceeds capacity")
+	ErrNeverFits   = errors.New("cluster: demand exceeds total capacity")
+	ErrUnderflow   = errors.New("cluster: removal would make occupancy negative")
+)
+
+// Space is a resource-time occupancy grid. Slot i covers the absolute time
+// interval [origin+i, origin+i+1). The grid grows on demand as placements
+// extend into the future.
+type Space struct {
+	capacity resource.Vector
+	origin   int64
+	used     []resource.Vector // used[i] = occupancy at time origin+i
+	maxBusy  int64             // absolute time after which the space is empty
+}
+
+// NewSpace returns an empty Space with the given capacity.
+func NewSpace(capacity resource.Vector) (*Space, error) {
+	if !capacity.Positive() {
+		return nil, fmt.Errorf("%w: %v", ErrBadCapacity, capacity)
+	}
+	return &Space{capacity: capacity.Clone()}, nil
+}
+
+// Capacity returns a copy of the space's per-dimension capacity.
+func (s *Space) Capacity() resource.Vector { return s.capacity.Clone() }
+
+// Dims reports the number of resource dimensions.
+func (s *Space) Dims() int { return s.capacity.Dims() }
+
+// Origin returns the earliest absolute time still tracked by the space.
+func (s *Space) Origin() int64 { return s.origin }
+
+// MaxBusy returns the first absolute time at and after which the space has
+// no occupancy. For an empty space it equals the origin.
+func (s *Space) MaxBusy() int64 {
+	if s.maxBusy < s.origin {
+		return s.origin
+	}
+	return s.maxBusy
+}
+
+// Clone returns a deep copy of the space.
+func (s *Space) Clone() *Space {
+	c := &Space{
+		capacity: s.capacity.Clone(),
+		origin:   s.origin,
+		maxBusy:  s.maxBusy,
+		used:     make([]resource.Vector, len(s.used)),
+	}
+	for i, u := range s.used {
+		c.used[i] = u.Clone()
+	}
+	return c
+}
+
+// slot returns the index of absolute time t, growing the grid if needed.
+func (s *Space) slot(t int64) int {
+	i := t - s.origin
+	for int64(len(s.used)) <= i {
+		s.used = append(s.used, resource.New(s.capacity.Dims()))
+	}
+	return int(i)
+}
+
+// UsedAt returns a copy of the occupancy at absolute time t. Times before
+// the origin or beyond the tracked horizon report zero occupancy.
+func (s *Space) UsedAt(t int64) resource.Vector {
+	i := t - s.origin
+	if i < 0 || i >= int64(len(s.used)) {
+		return resource.New(s.capacity.Dims())
+	}
+	return s.used[i].Clone()
+}
+
+// AvailableAt returns capacity minus occupancy at absolute time t.
+func (s *Space) AvailableAt(t int64) resource.Vector {
+	avail := s.capacity.Clone()
+	i := t - s.origin
+	if i >= 0 && i < int64(len(s.used)) {
+		// Occupancy never exceeds capacity, so this cannot underflow.
+		_ = avail.SubInPlace(s.used[i])
+	}
+	return avail
+}
+
+// FitsAt reports whether a task with the given demand and duration can be
+// placed starting at absolute time start without exceeding capacity in any
+// slot. Demands that don't match the space's dimensions never fit.
+func (s *Space) FitsAt(start int64, demand resource.Vector, duration int64) bool {
+	if demand.Dims() != s.capacity.Dims() || duration <= 0 || start < s.origin {
+		return false
+	}
+	if !demand.FitsWithin(s.capacity) {
+		return false
+	}
+	for t := start; t < start+duration; t++ {
+		i := t - s.origin
+		if i >= int64(len(s.used)) {
+			break // untouched future slots are empty
+		}
+		for d := 0; d < len(demand); d++ {
+			if s.used[i][d]+demand[d] > s.capacity[d] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Place reserves demand for [start, start+duration). It fails with
+// ErrDoesNotFit (leaving the space unchanged) if any slot would exceed
+// capacity.
+func (s *Space) Place(start int64, demand resource.Vector, duration int64) error {
+	if duration <= 0 {
+		return fmt.Errorf("%w: %d", ErrBadDuration, duration)
+	}
+	if start < s.origin {
+		return fmt.Errorf("%w: start %d < origin %d", ErrBadStart, start, s.origin)
+	}
+	if demand.Dims() != s.capacity.Dims() {
+		return resource.ErrDimensionMismatch
+	}
+	if !s.FitsAt(start, demand, duration) {
+		return fmt.Errorf("%w: start=%d demand=%v duration=%d", ErrDoesNotFit, start, demand, duration)
+	}
+	for t := start; t < start+duration; t++ {
+		i := s.slot(t)
+		for d := range demand {
+			s.used[i][d] += demand[d]
+		}
+	}
+	if end := start + duration; end > s.maxBusy {
+		s.maxBusy = end
+	}
+	return nil
+}
+
+// Remove releases a previous placement. It fails with ErrUnderflow (leaving
+// the space unchanged) if the described placement is not currently present.
+func (s *Space) Remove(start int64, demand resource.Vector, duration int64) error {
+	if duration <= 0 {
+		return fmt.Errorf("%w: %d", ErrBadDuration, duration)
+	}
+	if start < s.origin {
+		return fmt.Errorf("%w: start %d < origin %d", ErrBadStart, start, s.origin)
+	}
+	if demand.Dims() != s.capacity.Dims() {
+		return resource.ErrDimensionMismatch
+	}
+	for t := start; t < start+duration; t++ {
+		i := t - s.origin
+		if i >= int64(len(s.used)) {
+			return fmt.Errorf("%w: slot %d untracked", ErrUnderflow, t)
+		}
+		for d := range demand {
+			if s.used[i][d] < demand[d] {
+				return fmt.Errorf("%w: slot %d dim %d", ErrUnderflow, t, d)
+			}
+		}
+	}
+	for t := start; t < start+duration; t++ {
+		i := t - s.origin
+		for d := range demand {
+			s.used[i][d] -= demand[d]
+		}
+	}
+	return nil
+}
+
+// EarliestStart returns the earliest time >= from at which a task with the
+// given demand and duration fits. It returns ErrNeverFits when the demand
+// exceeds the capacity of an empty cluster.
+func (s *Space) EarliestStart(from int64, demand resource.Vector, duration int64) (int64, error) {
+	if demand.Dims() != s.capacity.Dims() {
+		return 0, resource.ErrDimensionMismatch
+	}
+	if duration <= 0 {
+		return 0, fmt.Errorf("%w: %d", ErrBadDuration, duration)
+	}
+	if !demand.FitsWithin(s.capacity) {
+		return 0, fmt.Errorf("%w: demand %v capacity %v", ErrNeverFits, demand, s.capacity)
+	}
+	if from < s.origin {
+		from = s.origin
+	}
+	start := from
+	for {
+		if start >= s.MaxBusy() {
+			return start, nil // everything beyond maxBusy is empty
+		}
+		ok := true
+		for t := start; t < start+duration; t++ {
+			i := t - s.origin
+			if i >= int64(len(s.used)) {
+				break
+			}
+			for d := 0; d < len(demand); d++ {
+				if s.used[i][d]+demand[d] > s.capacity[d] {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				// Restart the window just past the conflicting slot.
+				start = t + 1
+				break
+			}
+		}
+		if ok {
+			return start, nil
+		}
+	}
+}
+
+// OccupancyImage returns the occupancy of the horizon slots starting at
+// absolute time from, normalized per dimension to [0, 1]. The layout is
+// image[dim][slot]. This is the cluster-state half of the DRL input
+// (paper §III-D).
+func (s *Space) OccupancyImage(from int64, horizon int) [][]float64 {
+	dims := s.capacity.Dims()
+	img := make([][]float64, dims)
+	for d := range img {
+		img[d] = make([]float64, horizon)
+	}
+	for k := 0; k < horizon; k++ {
+		i := from + int64(k) - s.origin
+		if i < 0 || i >= int64(len(s.used)) {
+			continue
+		}
+		for d := 0; d < dims; d++ {
+			img[d][k] = float64(s.used[i][d]) / float64(s.capacity[d])
+		}
+	}
+	return img
+}
+
+// Advance discards all occupancy strictly before absolute time to. The
+// origin moves forward; placements may no longer start before it. Advancing
+// backwards is a no-op.
+func (s *Space) Advance(to int64) {
+	if to <= s.origin {
+		return
+	}
+	drop := to - s.origin
+	if drop >= int64(len(s.used)) {
+		s.used = s.used[:0]
+	} else {
+		n := copy(s.used, s.used[drop:])
+		s.used = s.used[:n]
+	}
+	s.origin = to
+}

@@ -1,0 +1,61 @@
+package cluster
+
+import (
+	"testing"
+
+	"spear/internal/resource"
+)
+
+// FuzzSpaceOps drives a Space with an arbitrary stream of place / remove /
+// advance / earliest-start operations and checks the core safety invariant
+// after every step: occupancy never exceeds capacity anywhere.
+func FuzzSpaceOps(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 1, 1, 2, 3, 2, 4})
+	f.Add([]byte{3, 0, 5, 1, 0, 9, 9, 9})
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		capacity := resource.Of(10, 7)
+		s, err := NewSpace(capacity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pos := 0
+		next := func() byte {
+			if pos >= len(data) {
+				return 0
+			}
+			v := data[pos]
+			pos++
+			return v
+		}
+		for pos < len(data) {
+			op := next() % 4
+			start := int64(next() % 32)
+			demand := resource.Of(int64(next()%13), int64(next()%13))
+			duration := int64(next()%6) + 1
+			switch op {
+			case 0:
+				_ = s.Place(start, demand, duration) // may fail; must not corrupt
+			case 1:
+				_ = s.Remove(start, demand, duration)
+			case 2:
+				s.Advance(start)
+			case 3:
+				if got, err := s.EarliestStart(start, demand, duration); err == nil {
+					if !s.FitsAt(got, demand, duration) {
+						t.Fatalf("EarliestStart returned non-fitting slot %d", got)
+					}
+				}
+			}
+			for tm := s.Origin(); tm < s.Origin()+40; tm++ {
+				if !s.UsedAt(tm).FitsWithin(capacity) {
+					t.Fatalf("occupancy %v at %d exceeds capacity", s.UsedAt(tm), tm)
+				}
+				if !s.UsedAt(tm).NonNegative() {
+					t.Fatalf("negative occupancy %v at %d", s.UsedAt(tm), tm)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,179 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"spear/internal/drl"
+	"spear/internal/mcts"
+	"spear/internal/nn"
+	"spear/internal/sched"
+	"spear/internal/workload"
+)
+
+// quickModel trains a tiny model once for the whole test file.
+var (
+	quickNet  *nn.Network
+	quickFeat = drl.Features{Window: 5, Horizon: 10, Dims: 2}
+)
+
+func quickModel(t *testing.T) *nn.Network {
+	t.Helper()
+	if quickNet != nil {
+		return quickNet
+	}
+	net, curve, _, err := BuildModel(ModelConfig{
+		Feat:        quickFeat,
+		TrainJobs:   4,
+		TasksPerJob: 10,
+		PretrainCfg: drl.PretrainConfig{Epochs: 10, Opt: nn.RMSProp{LR: 1e-3, Rho: 0.9, Eps: 1e-8}},
+		ReinforceCfg: drl.TrainConfig{
+			Epochs: 3, Rollouts: 4,
+			Opt: nn.RMSProp{LR: 5e-4, Rho: 0.9, Eps: 1e-8},
+		},
+		Seed: 1,
+	}, nil)
+	if err != nil {
+		t.Fatalf("BuildModel: %v", err)
+	}
+	if len(curve) != 3 {
+		t.Fatalf("curve len = %d", len(curve))
+	}
+	quickNet = net
+	return net
+}
+
+func TestSpearProducesValidSchedules(t *testing.T) {
+	net := quickModel(t)
+	s, err := New(net, quickFeat, Config{InitialBudget: 30, MinBudget: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name() != "Spear" {
+		t.Errorf("Name = %q", s.Name())
+	}
+
+	cfg := workload.DefaultRandomDAGConfig()
+	cfg.NumTasks = 25
+	for seed := int64(0); seed < 2; seed++ {
+		g, err := workload.RandomDAG(rand.New(rand.NewSource(seed)), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := s.Schedule(g, cfg.Capacity())
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := sched.Validate(g, cfg.Capacity(), out); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+		if s.LastStats().Decisions == 0 {
+			t.Error("no decisions recorded")
+		}
+	}
+}
+
+func TestSpearSolvesMotivatingExample(t *testing.T) {
+	net := quickModel(t)
+	s, err := New(net, quickFeat, Config{InitialBudget: 2000, MinBudget: 200, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := workload.MotivatingExample(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	capacity := workload.MotivatingCapacity()
+	out, err := s.Schedule(g, capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.Validate(g, capacity, out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Makespan >= 301 {
+		t.Errorf("Spear makespan = %d, want < 301 (the heuristic trap)", out.Makespan)
+	}
+}
+
+func TestSpearGreedyRollout(t *testing.T) {
+	net := quickModel(t)
+	s, err := New(net, quickFeat, Config{InitialBudget: 20, MinBudget: 5, GreedyRollout: true, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := workload.DefaultRandomDAGConfig()
+	cfg.NumTasks = 15
+	g, err := workload.RandomDAG(rand.New(rand.NewSource(9)), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := s.Schedule(g, cfg.Capacity())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.Validate(g, cfg.Capacity(), out); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSpearSmallBudgetTracksMCTSBigBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("comparative test")
+	}
+	// The paper's §V-B2 claim at miniature scale: Spear with a small budget
+	// should be within a few percent of pure MCTS with 4x the budget.
+	net := quickModel(t)
+	spear, err := New(net, quickFeat, Config{InitialBudget: 30, MinBudget: 10, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pure := mcts.New(mcts.Config{InitialBudget: 120, MinBudget: 40, Seed: 5})
+
+	cfg := workload.DefaultRandomDAGConfig()
+	cfg.NumTasks = 25
+	var spearTotal, mctsTotal int64
+	for seed := int64(20); seed < 24; seed++ {
+		g, err := workload.RandomDAG(rand.New(rand.NewSource(seed)), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		so, err := spear.Schedule(g, cfg.Capacity())
+		if err != nil {
+			t.Fatal(err)
+		}
+		mo, err := pure.Schedule(g, cfg.Capacity())
+		if err != nil {
+			t.Fatal(err)
+		}
+		spearTotal += so.Makespan
+		mctsTotal += mo.Makespan
+	}
+	// Spear(30) should be within 15% of MCTS(120).
+	if float64(spearTotal) > 1.15*float64(mctsTotal) {
+		t.Errorf("Spear total %d much worse than MCTS total %d", spearTotal, mctsTotal)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, quickFeat, Config{}); err == nil {
+		t.Error("nil network accepted")
+	}
+	wrong, err := nn.New([]int{2, 2}, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(wrong, quickFeat, Config{}); err == nil {
+		t.Error("mismatched network accepted")
+	}
+}
+
+func TestBuildModelDefaults(t *testing.T) {
+	cfg := ModelConfig{}.Normalized()
+	if cfg.TrainJobs != 16 || cfg.TasksPerJob != 25 {
+		t.Errorf("defaults = %d jobs x %d tasks", cfg.TrainJobs, cfg.TasksPerJob)
+	}
+	if cfg.Feat != drl.DefaultFeatures() {
+		t.Errorf("Feat default = %+v", cfg.Feat)
+	}
+}

@@ -1,0 +1,347 @@
+// Package dag models a job as a directed acyclic graph of tasks with
+// per-task runtimes and multi-dimensional resource demands, and computes the
+// graph features the scheduler and the DRL policy consume: b-level, b-load,
+// child counts and the critical path (paper §III-D).
+package dag
+
+import (
+	"errors"
+	"fmt"
+
+	"spear/internal/resource"
+)
+
+// TaskID identifies a task within a single Graph. IDs are dense: a graph with
+// n tasks uses IDs 0..n-1, assigned in insertion order by the Builder.
+type TaskID int32
+
+// Task is a single unit of work: it runs for Runtime ticks and occupies
+// Demand resources for its whole duration.
+type Task struct {
+	ID      TaskID
+	Name    string
+	Runtime int64
+	Demand  resource.Vector
+}
+
+// Graph is an immutable DAG of tasks. Build one with a Builder. All feature
+// queries are O(1) after construction.
+type Graph struct {
+	tasks []Task
+	succ  [][]TaskID
+	pred  [][]TaskID
+	topo  []TaskID // topological order, entry tasks first
+
+	blevel []int64   // longest runtime path from task to an exit, inclusive
+	bload  [][]int64 // accumulated load along the b-level path, per dimension
+	dims   int
+}
+
+// Errors reported by Builder.Build.
+var (
+	ErrCycle          = errors.New("dag: graph contains a cycle")
+	ErrEmpty          = errors.New("dag: graph has no tasks")
+	ErrBadRuntime     = errors.New("dag: task runtime must be positive")
+	ErrBadDemand      = errors.New("dag: task demand must be non-negative with matching dimensions")
+	ErrUnknownTask    = errors.New("dag: unknown task id")
+	ErrSelfDependency = errors.New("dag: task cannot depend on itself")
+)
+
+// Builder incrementally assembles a Graph.
+type Builder struct {
+	dims  int
+	tasks []Task
+	succ  [][]TaskID
+	pred  [][]TaskID
+	err   error // first structural error, reported by Build
+}
+
+// NewBuilder returns a Builder for graphs whose task demands have the given
+// number of resource dimensions.
+func NewBuilder(dims int) *Builder {
+	return &Builder{dims: dims}
+}
+
+// AddTask appends a task and returns its ID. The demand vector is copied.
+// Invalid runtimes or demands are recorded and reported by Build.
+func (b *Builder) AddTask(name string, runtime int64, demand resource.Vector) TaskID {
+	id := TaskID(len(b.tasks))
+	if runtime <= 0 && b.err == nil {
+		b.err = fmt.Errorf("%w: task %q has runtime %d", ErrBadRuntime, name, runtime)
+	}
+	if (demand.Dims() != b.dims || !demand.NonNegative()) && b.err == nil {
+		b.err = fmt.Errorf("%w: task %q demand %v (want %d dims)", ErrBadDemand, name, demand, b.dims)
+	}
+	b.tasks = append(b.tasks, Task{ID: id, Name: name, Runtime: runtime, Demand: demand.Clone()})
+	b.succ = append(b.succ, nil)
+	b.pred = append(b.pred, nil)
+	return id
+}
+
+// AddDep records that child cannot start until parent has finished.
+// Duplicate edges are ignored.
+func (b *Builder) AddDep(parent, child TaskID) {
+	if int(parent) < 0 || int(parent) >= len(b.tasks) || int(child) < 0 || int(child) >= len(b.tasks) {
+		if b.err == nil {
+			b.err = fmt.Errorf("%w: edge %d -> %d with %d tasks", ErrUnknownTask, parent, child, len(b.tasks))
+		}
+		return
+	}
+	if parent == child {
+		if b.err == nil {
+			b.err = fmt.Errorf("%w: task %d", ErrSelfDependency, parent)
+		}
+		return
+	}
+	for _, s := range b.succ[parent] {
+		if s == child {
+			return
+		}
+	}
+	b.succ[parent] = append(b.succ[parent], child)
+	b.pred[child] = append(b.pred[child], parent)
+}
+
+// Build validates the accumulated structure and returns the immutable Graph.
+// The Builder must not be reused after a successful Build.
+func (b *Builder) Build() (*Graph, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if len(b.tasks) == 0 {
+		return nil, ErrEmpty
+	}
+	g := &Graph{tasks: b.tasks, succ: b.succ, pred: b.pred, dims: b.dims}
+	topo, err := g.topologicalOrder()
+	if err != nil {
+		return nil, err
+	}
+	g.topo = topo
+	g.computeFeatures()
+	return g, nil
+}
+
+// topologicalOrder returns tasks in dependency order (Kahn's algorithm) or
+// ErrCycle when the graph is cyclic. The order is deterministic: among tasks
+// whose dependencies are all satisfied, the lowest ID comes first.
+func (g *Graph) topologicalOrder() ([]TaskID, error) {
+	n := len(g.tasks)
+	indeg := make([]int, n)
+	for id := 0; id < n; id++ {
+		indeg[id] = len(g.pred[id])
+	}
+	// A simple binary-heap-free deterministic frontier: scan for ready IDs in
+	// ascending order using a boolean frontier set. n is small (<= a few
+	// thousand), and construction happens once per graph.
+	order := make([]TaskID, 0, n)
+	ready := make([]TaskID, 0, n)
+	for id := 0; id < n; id++ {
+		if indeg[id] == 0 {
+			ready = append(ready, TaskID(id))
+		}
+	}
+	for len(ready) > 0 {
+		// Pop the smallest ID for determinism.
+		minIdx := 0
+		for i := 1; i < len(ready); i++ {
+			if ready[i] < ready[minIdx] {
+				minIdx = i
+			}
+		}
+		id := ready[minIdx]
+		ready[minIdx] = ready[len(ready)-1]
+		ready = ready[:len(ready)-1]
+		order = append(order, id)
+		for _, s := range g.succ[id] {
+			indeg[s]--
+			if indeg[s] == 0 {
+				ready = append(ready, s)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, ErrCycle
+	}
+	return order, nil
+}
+
+// computeFeatures fills blevel and bload by a reverse topological sweep.
+//
+// blevel(v) = runtime(v) + max over children blevel(c); the b-level of an
+// exit task is its own runtime. bload(v) accumulates runtime*demand along
+// the same path that realizes the b-level (ties broken by larger total
+// b-load, then by smaller child ID), per resource dimension.
+func (g *Graph) computeFeatures() {
+	n := len(g.tasks)
+	g.blevel = make([]int64, n)
+	g.bload = make([][]int64, n)
+	for i := len(g.topo) - 1; i >= 0; i-- {
+		v := g.topo[i]
+		t := &g.tasks[v]
+		best := TaskID(-1)
+		for _, c := range g.succ[v] {
+			if best == -1 {
+				best = c
+				continue
+			}
+			switch {
+			case g.blevel[c] > g.blevel[best]:
+				best = c
+			case g.blevel[c] == g.blevel[best]:
+				cl, bl := sum64(g.bload[c]), sum64(g.bload[best])
+				if cl > bl || (cl == bl && c < best) {
+					best = c
+				}
+			}
+		}
+		load := make([]int64, g.dims)
+		for d := 0; d < g.dims; d++ {
+			load[d] = t.Runtime * t.Demand[d]
+		}
+		if best >= 0 {
+			g.blevel[v] = t.Runtime + g.blevel[best]
+			for d := 0; d < g.dims; d++ {
+				load[d] += g.bload[best][d]
+			}
+		} else {
+			g.blevel[v] = t.Runtime
+		}
+		g.bload[v] = load
+	}
+}
+
+func sum64(xs []int64) int64 {
+	var s int64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// NumTasks reports the number of tasks in the graph.
+func (g *Graph) NumTasks() int { return len(g.tasks) }
+
+// Dims reports the number of resource dimensions of task demands.
+func (g *Graph) Dims() int { return g.dims }
+
+// Task returns the task with the given ID. The returned value shares the
+// demand vector with the graph; callers must not modify it.
+func (g *Graph) Task(id TaskID) Task { return g.tasks[id] }
+
+// Succ returns the direct successors (children) of id. The returned slice is
+// owned by the graph; callers must not modify it.
+func (g *Graph) Succ(id TaskID) []TaskID { return g.succ[id] }
+
+// Pred returns the direct predecessors (parents) of id. The returned slice
+// is owned by the graph; callers must not modify it.
+func (g *Graph) Pred(id TaskID) []TaskID { return g.pred[id] }
+
+// NumChildren reports the out-degree of id, one of the DRL tie-break
+// features (paper §III-D).
+func (g *Graph) NumChildren(id TaskID) int { return len(g.succ[id]) }
+
+// TopologicalOrder returns a copy of the cached dependency order.
+func (g *Graph) TopologicalOrder() []TaskID {
+	out := make([]TaskID, len(g.topo))
+	copy(out, g.topo)
+	return out
+}
+
+// BLevel returns the longest runtime path from id to any exit task,
+// including id's own runtime.
+func (g *Graph) BLevel(id TaskID) int64 { return g.blevel[id] }
+
+// BLoad returns the accumulated load (runtime x demand) along id's b-level
+// path for the given resource dimension.
+func (g *Graph) BLoad(id TaskID, dim int) int64 { return g.bload[id][dim] }
+
+// CriticalPath returns the length of the longest runtime path through the
+// graph — a lower bound on any schedule's makespan.
+func (g *Graph) CriticalPath() int64 {
+	var m int64
+	for id := range g.tasks {
+		if g.pred[id] == nil && g.blevel[id] > m {
+			m = g.blevel[id]
+		}
+	}
+	return m
+}
+
+// Entries returns the tasks with no predecessors, in ID order.
+func (g *Graph) Entries() []TaskID {
+	var out []TaskID
+	for id := range g.tasks {
+		if len(g.pred[id]) == 0 {
+			out = append(out, TaskID(id))
+		}
+	}
+	return out
+}
+
+// Exits returns the tasks with no successors, in ID order.
+func (g *Graph) Exits() []TaskID {
+	var out []TaskID
+	for id := range g.tasks {
+		if len(g.succ[id]) == 0 {
+			out = append(out, TaskID(id))
+		}
+	}
+	return out
+}
+
+// TotalWork returns the sum over tasks of runtime x demand for the given
+// dimension: the total area the job occupies in the resource-time space.
+func (g *Graph) TotalWork(dim int) int64 {
+	var s int64
+	for i := range g.tasks {
+		s += g.tasks[i].Runtime * g.tasks[i].Demand[dim]
+	}
+	return s
+}
+
+// MakespanLowerBound returns a simple lower bound on the makespan of any
+// valid schedule: the maximum of the critical path and, per dimension, the
+// total work divided by capacity (rounded up).
+func (g *Graph) MakespanLowerBound(capacity resource.Vector) (int64, error) {
+	if capacity.Dims() != g.dims {
+		return 0, resource.ErrDimensionMismatch
+	}
+	lb := g.CriticalPath()
+	for d := 0; d < g.dims; d++ {
+		if capacity[d] <= 0 {
+			return 0, fmt.Errorf("dag: capacity dimension %d is not positive", d)
+		}
+		w := g.TotalWork(d)
+		bound := (w + capacity[d] - 1) / capacity[d]
+		if bound > lb {
+			lb = bound
+		}
+	}
+	return lb, nil
+}
+
+// MaxDemand returns, per dimension, the largest demand of any single task.
+// A graph is schedulable on a cluster only if MaxDemand fits within its
+// capacity.
+func (g *Graph) MaxDemand() resource.Vector {
+	out := resource.New(g.dims)
+	for i := range g.tasks {
+		for d := 0; d < g.dims; d++ {
+			if g.tasks[i].Demand[d] > out[d] {
+				out[d] = g.tasks[i].Demand[d]
+			}
+		}
+	}
+	return out
+}
+
+// MaxRuntime returns the largest runtime of any single task.
+func (g *Graph) MaxRuntime() int64 {
+	var m int64
+	for i := range g.tasks {
+		if g.tasks[i].Runtime > m {
+			m = g.tasks[i].Runtime
+		}
+	}
+	return m
+}

@@ -1,0 +1,26 @@
+package dag
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDOT renders the graph in Graphviz DOT format for debugging and
+// documentation. Each node is labelled with its name, runtime and demand.
+func (g *Graph) WriteDOT(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString("digraph job {\n  rankdir=TB;\n  node [shape=box];\n")
+	for i := range g.tasks {
+		t := &g.tasks[i]
+		fmt.Fprintf(&b, "  t%d [label=%q];\n", t.ID, fmt.Sprintf("%s\\nr=%d d=%s", t.Name, t.Runtime, t.Demand))
+	}
+	for id, succs := range g.succ {
+		for _, s := range succs {
+			fmt.Fprintf(&b, "  t%d -> t%d;\n", id, s)
+		}
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,71 @@
+package dag
+
+import (
+	"testing"
+
+	"spear/internal/resource"
+)
+
+// FuzzBuilder feeds arbitrary byte-driven task/edge streams into the
+// Builder: Build must either return an error or a graph whose invariants
+// hold (acyclic topological order, monotone b-level along edges,
+// non-negative b-load).
+func FuzzBuilder(f *testing.F) {
+	f.Add([]byte{3, 1, 2, 3, 0, 1, 1, 2})
+	f.Add([]byte{2, 5, 5, 0, 1, 1, 0}) // attempted 2-cycle
+	f.Add([]byte{1, 0})
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		n := int(data[0]%16) + 1
+		b := NewBuilder(1)
+		pos := 1
+		next := func() byte {
+			if pos >= len(data) {
+				return 0
+			}
+			v := data[pos]
+			pos++
+			return v
+		}
+		for i := 0; i < n; i++ {
+			runtime := int64(next()%9) - 1 // occasionally invalid (<= 0)
+			b.AddTask("t", runtime, resource.Of(int64(next()%5)))
+		}
+		for pos+1 < len(data) {
+			b.AddDep(TaskID(next()%byte(n+2)), TaskID(next()%byte(n+2)))
+		}
+
+		g, err := b.Build()
+		if err != nil {
+			return // rejected inputs are fine; they must not panic
+		}
+		order := g.TopologicalOrder()
+		if len(order) != g.NumTasks() {
+			t.Fatalf("topo order covers %d of %d tasks", len(order), g.NumTasks())
+		}
+		posOf := make(map[TaskID]int, len(order))
+		for i, id := range order {
+			posOf[id] = i
+		}
+		for id := 0; id < g.NumTasks(); id++ {
+			for _, s := range g.Succ(TaskID(id)) {
+				if posOf[TaskID(id)] >= posOf[s] {
+					t.Fatalf("edge %d->%d violates topo order", id, s)
+				}
+				if g.BLevel(TaskID(id)) <= g.BLevel(s) {
+					t.Fatalf("b-level not monotone along %d->%d", id, s)
+				}
+			}
+			if g.BLoad(TaskID(id), 0) < 0 {
+				t.Fatalf("negative b-load at %d", id)
+			}
+		}
+		if g.CriticalPath() < g.MaxRuntime() {
+			t.Fatalf("critical path %d < max runtime %d", g.CriticalPath(), g.MaxRuntime())
+		}
+	})
+}

@@ -1,0 +1,142 @@
+package drl
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"spear/internal/nn"
+	"spear/internal/simenv"
+)
+
+// Agent wraps the policy network as a scheduling policy. In Sample mode it
+// draws actions from the softmax distribution (used in training and MCTS
+// rollouts, §III-D "it will draw one action from the distribution of the
+// actions in the output layer"); in Greedy mode it takes the argmax.
+type Agent struct {
+	net    *nn.Network
+	feat   Features
+	greedy bool
+	name   string
+}
+
+var _ simenv.Policy = (*Agent)(nil)
+
+// Agent errors.
+var (
+	ErrNilNetwork = errors.New("drl: nil network")
+	ErrShape      = errors.New("drl: network shape does not match features")
+)
+
+// NewAgent wraps net for the given featurization. greedy selects argmax
+// action choice instead of sampling.
+func NewAgent(net *nn.Network, feat Features, greedy bool) (*Agent, error) {
+	if net == nil {
+		return nil, ErrNilNetwork
+	}
+	if err := feat.Validate(); err != nil {
+		return nil, err
+	}
+	if net.InputSize() != feat.InputSize() || net.OutputSize() != feat.OutputSize() {
+		return nil, fmt.Errorf("%w: net %dx%d, features %dx%d",
+			ErrShape, net.InputSize(), net.OutputSize(), feat.InputSize(), feat.OutputSize())
+	}
+	mode := "sample"
+	if greedy {
+		mode = "greedy"
+	}
+	return &Agent{net: net, feat: feat, greedy: greedy, name: "DRL-" + mode}, nil
+}
+
+// DefaultNetwork builds the paper's 256/32/32 policy network for the given
+// featurization (§IV).
+func DefaultNetwork(feat Features, rng *rand.Rand) (*nn.Network, error) {
+	if err := feat.Validate(); err != nil {
+		return nil, err
+	}
+	return nn.New([]int{feat.InputSize(), 256, 32, 32, feat.OutputSize()}, rng)
+}
+
+// Name implements simenv.Policy.
+func (a *Agent) Name() string { return a.name }
+
+// Network returns the wrapped policy network.
+func (a *Agent) Network() *nn.Network { return a.net }
+
+// Features returns the featurization the agent encodes states with.
+func (a *Agent) Features() Features { return a.feat }
+
+// probs evaluates the masked action distribution at the current state.
+func (a *Agent) probs(e *simenv.Env, legal []simenv.Action) ([]float64, error) {
+	x := a.feat.Encode(e, nil)
+	mask := a.feat.Mask(legal, nil)
+	return a.net.Probs(x, mask)
+}
+
+// Choose implements simenv.Policy.
+func (a *Agent) Choose(e *simenv.Env, legal []simenv.Action, rng *rand.Rand) (simenv.Action, error) {
+	probs, err := a.probs(e, legal)
+	if err != nil {
+		return 0, err
+	}
+	if a.greedy {
+		best, bestP := -1, -1.0
+		for i, p := range probs {
+			if p > bestP {
+				best, bestP = i, p
+			}
+		}
+		return a.feat.ActionFor(best), nil
+	}
+	if rng == nil {
+		return 0, errors.New("drl: sampling agent requires an rng")
+	}
+	return a.feat.ActionFor(sampleIndex(probs, rng)), nil
+}
+
+// sampleIndex draws an index proportional to probs (which sum to 1 over the
+// unmasked entries).
+func sampleIndex(probs []float64, rng *rand.Rand) int {
+	u := rng.Float64()
+	acc := 0.0
+	last := 0
+	for i, p := range probs {
+		if p <= 0 {
+			continue
+		}
+		acc += p
+		last = i
+		if u < acc {
+			return i
+		}
+	}
+	return last // numerical remainder falls to the last unmasked action
+}
+
+// Expander adapts the agent as an MCTS expansion strategy: among the
+// untried actions it picks the one the policy network assigns the highest
+// probability, so the search expands "the best unexplored node" (§III-C).
+type Expander struct {
+	agent *Agent
+}
+
+// NewExpander wraps the agent for MCTS expansion.
+func NewExpander(agent *Agent) *Expander { return &Expander{agent: agent} }
+
+// Name implements mcts.Expander.
+func (x *Expander) Name() string { return "drl" }
+
+// Next implements mcts.Expander.
+func (x *Expander) Next(e *simenv.Env, untried []simenv.Action, _ *rand.Rand) (int, error) {
+	probs, err := x.agent.probs(e, untried)
+	if err != nil {
+		return 0, err
+	}
+	best, bestP := 0, -1.0
+	for i, a := range untried {
+		if p := probs[x.agent.feat.IndexFor(a)]; p > bestP {
+			best, bestP = i, p
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,57 @@
+package drl
+
+import (
+	"math/rand"
+	"testing"
+
+	"spear/internal/simenv"
+	"spear/internal/workload"
+)
+
+func benchEnv(b *testing.B, feat Features) *simenv.Env {
+	b.Helper()
+	cfg := workload.DefaultRandomDAGConfig()
+	cfg.NumTasks = 50
+	g, err := workload.RandomDAG(rand.New(rand.NewSource(1)), cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, err := simenv.New(g, cfg.Capacity(), simenv.Config{Window: feat.Window, Mode: simenv.OneSlot})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return e
+}
+
+func BenchmarkEncode(b *testing.B) {
+	feat := DefaultFeatures()
+	e := benchEnv(b, feat)
+	buf := make([]float64, feat.InputSize())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = feat.Encode(e, buf)
+	}
+}
+
+func BenchmarkAgentChoose(b *testing.B) {
+	feat := DefaultFeatures()
+	net, err := DefaultNetwork(feat, rand.New(rand.NewSource(2)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	agent, err := NewAgent(net, feat, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := benchEnv(b, feat)
+	legal := e.LegalActions()
+	rng := rand.New(rand.NewSource(3))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := agent.Choose(e, legal, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,151 @@
+// Package drl implements the paper's deep reinforcement learning agent
+// (§III-D, §IV): the state featurization (cluster occupancy image plus
+// per-ready-task features — runtime, demands, b-level, child count and
+// per-resource b-load), the policy network wrapper that acts as a
+// scheduling policy and as an MCTS expansion guide, supervised warm-start
+// training that imitates the critical-path heuristic, and REINFORCE with a
+// 20-rollout averaged baseline.
+package drl
+
+import (
+	"fmt"
+
+	"spear/internal/simenv"
+)
+
+// Features describes the fixed-size encoding of an environment state.
+type Features struct {
+	// Window is the maximum number of ready tasks encoded (paper: 15).
+	Window int
+	// Horizon is the number of future time slots of cluster occupancy
+	// encoded (paper: 20).
+	Horizon int
+	// Dims is the number of resource dimensions (paper: 2).
+	Dims int
+	// DisableGraphFeatures zeroes the dependency-graph features (b-level,
+	// child count, b-load) in the encoding, leaving only runtimes and
+	// demands — the ablation of §III-D ("our reinforcement learning model
+	// produces results superior to a model where we don't incorporate graph
+	// related features"). Input and output sizes are unchanged.
+	DisableGraphFeatures bool
+}
+
+// DefaultFeatures returns the paper's settings (§V-A).
+func DefaultFeatures() Features { return Features{Window: 15, Horizon: 20, Dims: 2} }
+
+// perTaskFeatures is the number of features per ready-task slot:
+// runtime, b-level, child count, plus demand and b-load per dimension.
+func (f Features) perTaskFeatures() int { return 3 + 2*f.Dims }
+
+// InputSize returns the encoded state vector length: the occupancy image,
+// the ready-task slots, and two scalars (backlog pressure and the number of
+// running tasks).
+func (f Features) InputSize() int {
+	return f.Dims*f.Horizon + f.Window*f.perTaskFeatures() + 2
+}
+
+// OutputSize returns the action-space size: one logit per ready-task slot
+// plus one for the process action.
+func (f Features) OutputSize() int { return f.Window + 1 }
+
+// ProcessIndex is the output index of the process action.
+func (f Features) ProcessIndex() int { return f.Window }
+
+// Validate checks the feature configuration.
+func (f Features) Validate() error {
+	if f.Window < 1 || f.Horizon < 1 || f.Dims < 1 {
+		return fmt.Errorf("drl: invalid features %+v", f)
+	}
+	return nil
+}
+
+// Encode writes the state of e as a feature vector. All features are
+// normalized to roughly [0, 1] using per-job scales (critical path, total
+// work, max runtime) so one trained network generalizes across jobs.
+// The buf slice is reused when it has the right length.
+func (f Features) Encode(e *simenv.Env, buf []float64) []float64 {
+	size := f.InputSize()
+	if len(buf) != size {
+		buf = make([]float64, size)
+	} else {
+		for i := range buf {
+			buf[i] = 0
+		}
+	}
+	g := e.Graph()
+
+	// Cluster occupancy image.
+	img := e.OccupancyImage(f.Horizon)
+	pos := 0
+	for d := 0; d < f.Dims && d < len(img); d++ {
+		copy(buf[pos:pos+f.Horizon], img[d])
+		pos += f.Horizon
+	}
+	pos = f.Dims * f.Horizon
+
+	// Per-job normalizers. Every graph has at least one task with positive
+	// runtime, so these are never zero.
+	cp := float64(g.CriticalPath())
+	maxRT := float64(g.MaxRuntime())
+	capacity := e.Capacity()
+
+	visible := e.VisibleReady()
+	for slot := 0; slot < f.Window && slot < len(visible); slot++ {
+		task := g.Task(visible[slot])
+		base := pos + slot*f.perTaskFeatures()
+		buf[base] = float64(task.Runtime) / maxRT
+		if !f.DisableGraphFeatures {
+			buf[base+1] = float64(g.BLevel(task.ID)) / cp
+			buf[base+2] = float64(g.NumChildren(task.ID)) / 8.0
+		}
+		for d := 0; d < f.Dims; d++ {
+			buf[base+3+d] = float64(task.Demand[d]) / float64(capacity[d])
+			work := g.TotalWork(d)
+			if !f.DisableGraphFeatures && work > 0 {
+				buf[base+3+f.Dims+d] = float64(g.BLoad(task.ID, d)) / float64(work)
+			}
+		}
+	}
+	pos += f.Window * f.perTaskFeatures()
+
+	buf[pos] = float64(e.Backlog()) / float64(f.Window)
+	buf[pos+1] = float64(e.NumRunning()) / float64(f.Window)
+	return buf
+}
+
+// Mask returns the legality mask over the network's outputs for the given
+// legal actions (as produced by Env.LegalActions).
+func (f Features) Mask(legal []simenv.Action, buf []bool) []bool {
+	size := f.OutputSize()
+	if len(buf) != size {
+		buf = make([]bool, size)
+	} else {
+		for i := range buf {
+			buf[i] = false
+		}
+	}
+	for _, a := range legal {
+		if a == simenv.Process {
+			buf[f.ProcessIndex()] = true
+		} else if int(a) < f.Window {
+			buf[a] = true
+		}
+	}
+	return buf
+}
+
+// ActionFor maps an output index back to an environment action.
+func (f Features) ActionFor(index int) simenv.Action {
+	if index == f.ProcessIndex() {
+		return simenv.Process
+	}
+	return simenv.Action(index)
+}
+
+// IndexFor maps an environment action to its output index.
+func (f Features) IndexFor(a simenv.Action) int {
+	if a == simenv.Process {
+		return f.ProcessIndex()
+	}
+	return int(a)
+}

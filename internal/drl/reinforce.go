@@ -1,0 +1,346 @@
+package drl
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"runtime"
+	"strconv"
+	"sync"
+
+	"spear/internal/dag"
+	"spear/internal/nn"
+	"spear/internal/resource"
+	"spear/internal/simenv"
+)
+
+// TrainConfig parameterizes REINFORCE training (§IV): for every example in
+// a mini-batch the agent simulates Rollouts episodes, averages them into a
+// per-step baseline, and updates the policy with RMSProp. Rollouts run in
+// parallel across Workers, mirroring the paper's multiprocessing setup.
+type TrainConfig struct {
+	// Epochs is the number of passes over the example set. The paper
+	// trains for 7000; the experiment harness scales this down by default.
+	Epochs int
+	// Rollouts per example used to estimate the baseline. Paper: 20.
+	Rollouts int
+	// BatchExamples is how many examples share one gradient update.
+	// Default 4.
+	BatchExamples int
+	// Workers bounds rollout/backprop parallelism. Default GOMAXPROCS.
+	Workers int
+	// Opt is the optimizer; zero value means nn.DefaultRMSProp.
+	Opt nn.RMSProp
+	// Mode is the environment's process semantics. Default OneSlot, whose
+	// -1-per-slot reward makes the episode return the negative makespan.
+	Mode simenv.ProcessMode
+	// EntropyBonus adds β·H(π(·|s)) to the objective, discouraging
+	// premature policy collapse — a standard REINFORCE regularizer.
+	// Zero (the paper's setting) disables it.
+	EntropyBonus float64
+	// CheckpointEvery, when positive, invokes Checkpoint after every that
+	// many epochs (and after the final epoch).
+	CheckpointEvery int
+	// Checkpoint receives the epoch index and the live network. A non-nil
+	// error aborts training. The network must not be mutated.
+	Checkpoint func(epoch int, net *nn.Network) error
+}
+
+func (c TrainConfig) normalized() TrainConfig {
+	if c.Epochs <= 0 {
+		c.Epochs = 100
+	}
+	if c.Rollouts <= 0 {
+		c.Rollouts = 20
+	}
+	if c.BatchExamples <= 0 {
+		c.BatchExamples = 4
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Opt == (nn.RMSProp{}) {
+		c.Opt = nn.DefaultRMSProp()
+	}
+	if c.Mode == 0 {
+		c.Mode = simenv.OneSlot
+	}
+	return c
+}
+
+// EpochStats is one point of the learning curve (Fig. 8b): the mean
+// makespan over every rollout of every example in the epoch.
+type EpochStats struct {
+	Epoch        int
+	MeanMakespan float64
+	MinMakespan  int64
+	MaxMakespan  int64
+}
+
+// step is one decision inside a trajectory.
+type step struct {
+	x      []float64
+	mask   []bool
+	action int
+	now    int64
+}
+
+// trajectory is one sampled episode.
+type trajectory struct {
+	steps    []step
+	makespan int64
+}
+
+// Train runs REINFORCE over the example jobs and returns the learning
+// curve. The progress callback (may be nil) fires after every epoch.
+func Train(net *nn.Network, feat Features, jobs []*dag.Graph, capacity resource.Vector, cfg TrainConfig, rng *rand.Rand, progress func(EpochStats)) ([]EpochStats, error) {
+	cfg = cfg.normalized()
+	if net == nil {
+		return nil, ErrNilNetwork
+	}
+	if len(jobs) == 0 {
+		return nil, fmt.Errorf("drl: no training jobs")
+	}
+	agent, err := NewAgent(net, feat, false)
+	if err != nil {
+		return nil, err
+	}
+
+	curve := make([]EpochStats, 0, cfg.Epochs)
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		stats := EpochStats{Epoch: epoch, MinMakespan: -1}
+		var totalMakespan float64
+		var rolloutCount int
+
+		for start := 0; start < len(jobs); start += cfg.BatchExamples {
+			end := start + cfg.BatchExamples
+			if end > len(jobs) {
+				end = len(jobs)
+			}
+			grads := net.NewGrads()
+			for _, g := range jobs[start:end] {
+				trajs, err := sampleTrajectories(agent, g, capacity, cfg, rng)
+				if err != nil {
+					return nil, err
+				}
+				for _, tr := range trajs {
+					totalMakespan += float64(tr.makespan)
+					rolloutCount++
+					if stats.MinMakespan < 0 || tr.makespan < stats.MinMakespan {
+						stats.MinMakespan = tr.makespan
+					}
+					if tr.makespan > stats.MaxMakespan {
+						stats.MaxMakespan = tr.makespan
+					}
+				}
+				if err := accumulatePolicyGradient(net, trajs, grads, cfg.Workers, cfg.EntropyBonus); err != nil {
+					return nil, err
+				}
+			}
+			if grads.Samples() > 0 {
+				if err := net.Apply(grads, cfg.Opt); err != nil {
+					return nil, err
+				}
+			}
+		}
+
+		stats.MeanMakespan = totalMakespan / float64(rolloutCount)
+		curve = append(curve, stats)
+		if progress != nil {
+			progress(stats)
+		}
+		if cfg.Checkpoint != nil && cfg.CheckpointEvery > 0 &&
+			((epoch+1)%cfg.CheckpointEvery == 0 || epoch == cfg.Epochs-1) {
+			if err := cfg.Checkpoint(epoch, net); err != nil {
+				return curve, fmt.Errorf("drl: checkpoint at epoch %d: %w", epoch, err)
+			}
+		}
+	}
+	return curve, nil
+}
+
+// WriteCurveCSV writes a learning curve as CSV with a header row, suitable
+// for plotting Fig. 8(b).
+func WriteCurveCSV(w io.Writer, curve []EpochStats) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"epoch", "meanMakespan", "minMakespan", "maxMakespan"}); err != nil {
+		return err
+	}
+	for _, pt := range curve {
+		rec := []string{
+			strconv.Itoa(pt.Epoch),
+			strconv.FormatFloat(pt.MeanMakespan, 'f', 3, 64),
+			strconv.FormatInt(pt.MinMakespan, 10),
+			strconv.FormatInt(pt.MaxMakespan, 10),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// sampleTrajectories runs cfg.Rollouts sampled episodes of the agent on one
+// job, in parallel.
+func sampleTrajectories(agent *Agent, g *dag.Graph, capacity resource.Vector, cfg TrainConfig, rng *rand.Rand) ([]trajectory, error) {
+	trajs := make([]trajectory, cfg.Rollouts)
+	errs := make([]error, cfg.Rollouts)
+	seeds := make([]int64, cfg.Rollouts)
+	for i := range seeds {
+		seeds[i] = rng.Int63()
+	}
+
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, cfg.Workers)
+	for i := 0; i < cfg.Rollouts; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			trajs[i], errs[i] = sampleOne(agent, g, capacity, cfg.Mode, rand.New(rand.NewSource(seeds[i])))
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return trajs, nil
+}
+
+// sampleOne plays a single episode with the sampling agent, recording every
+// decision.
+func sampleOne(agent *Agent, g *dag.Graph, capacity resource.Vector, mode simenv.ProcessMode, rng *rand.Rand) (trajectory, error) {
+	feat := agent.Features()
+	e, err := simenv.New(g, capacity, simenv.Config{Window: feat.Window, Mode: mode})
+	if err != nil {
+		return trajectory{}, err
+	}
+	var tr trajectory
+	for !e.Done() {
+		legal := e.LegalActions()
+		if len(legal) == 0 {
+			return trajectory{}, fmt.Errorf("drl: stuck episode")
+		}
+		a, err := agent.Choose(e, legal, rng)
+		if err != nil {
+			return trajectory{}, err
+		}
+		tr.steps = append(tr.steps, step{
+			x:      feat.Encode(e, nil),
+			mask:   feat.Mask(legal, nil),
+			action: feat.IndexFor(a),
+			now:    e.Now(),
+		})
+		if err := e.Step(a); err != nil {
+			return trajectory{}, err
+		}
+	}
+	tr.makespan = e.Makespan()
+	return tr, nil
+}
+
+// accumulatePolicyGradient turns the rollouts of one example into REINFORCE
+// gradients with the averaged-trajectory baseline: the return-to-go of step
+// t is G_t = now_t - makespan (each remaining time slot costs -1), and the
+// baseline b_t averages G_t across the example's rollouts (§IV, following
+// the per-timestep baseline of DeepRM). An optional entropy bonus is mixed
+// into the logit gradients. Backprop over trajectories runs in parallel
+// with per-worker gradient buffers.
+func accumulatePolicyGradient(net *nn.Network, trajs []trajectory, grads *nn.Grads, workers int, entropyBonus float64) error {
+	// Per-step baseline across trajectories.
+	maxLen := 0
+	for _, tr := range trajs {
+		if len(tr.steps) > maxLen {
+			maxLen = len(tr.steps)
+		}
+	}
+	baseline := make([]float64, maxLen)
+	counts := make([]int, maxLen)
+	for _, tr := range trajs {
+		for t := range tr.steps {
+			baseline[t] += float64(tr.steps[t].now - tr.makespan)
+			counts[t]++
+		}
+	}
+	for t := range baseline {
+		if counts[t] > 0 {
+			baseline[t] /= float64(counts[t])
+		}
+	}
+
+	local := make([]*nn.Grads, len(trajs))
+	errs := make([]error, len(trajs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i := range trajs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			local[i] = net.NewGrads()
+			errs[i] = backpropTrajectory(net, trajs[i], baseline, local[i], entropyBonus)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	for _, lg := range local {
+		grads.Add(lg)
+	}
+	return nil
+}
+
+// backpropTrajectory accumulates (probs - onehot) * advantage plus the
+// entropy-bonus term for every step of one trajectory. The gradient of
+// -β·H with respect to logit i under a (masked) softmax is
+// β·p_i·(log p_i + H).
+func backpropTrajectory(net *nn.Network, tr trajectory, baseline []float64, grads *nn.Grads, entropyBonus float64) error {
+	for t, st := range tr.steps {
+		g := float64(st.now - tr.makespan)
+		advantage := g - baseline[t]
+		if advantage == 0 && entropyBonus == 0 {
+			// Zero-gradient step; skip the forward/backward pass.
+			continue
+		}
+		cache, err := net.Forward(st.x)
+		if err != nil {
+			return err
+		}
+		probs, err := nn.Softmax(cache.Logits(), st.mask)
+		if err != nil {
+			return err
+		}
+		d := make([]float64, len(probs))
+		for i := range probs {
+			d[i] = probs[i] * advantage
+		}
+		d[st.action] -= advantage
+		if entropyBonus > 0 {
+			var entropy float64
+			for _, p := range probs {
+				if p > 0 {
+					entropy -= p * math.Log(p)
+				}
+			}
+			for i, p := range probs {
+				if p > 0 {
+					d[i] += entropyBonus * p * (math.Log(p) + entropy)
+				}
+			}
+		}
+		if err := net.Backward(cache, d, grads); err != nil {
+			return err
+		}
+	}
+	return nil
+}

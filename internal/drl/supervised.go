@@ -1,0 +1,144 @@
+package drl
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"spear/internal/baselines"
+	"spear/internal/dag"
+	"spear/internal/nn"
+	"spear/internal/resource"
+	"spear/internal/simenv"
+)
+
+// PretrainConfig parameterizes supervised warm-start training. Per §IV,
+// the network first imitates a greedy heuristic (the critical-path
+// algorithm) so that early RL simulations produce meaningful trajectories.
+type PretrainConfig struct {
+	// Epochs over the collected demonstration set. Default 10.
+	Epochs int
+	// Teacher provides the demonstrated actions. Default: baselines.CP.
+	Teacher simenv.Policy
+	// BatchSize for gradient updates. Default 32.
+	BatchSize int
+	// Opt is the optimizer; zero value means nn.DefaultRMSProp.
+	Opt nn.RMSProp
+	// Mode is the environment's process semantics. Default OneSlot.
+	Mode simenv.ProcessMode
+}
+
+func (c PretrainConfig) normalized() PretrainConfig {
+	if c.Epochs <= 0 {
+		c.Epochs = 10
+	}
+	if c.Teacher == nil {
+		c.Teacher = baselines.CP{}
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 32
+	}
+	if c.Opt == (nn.RMSProp{}) {
+		c.Opt = nn.DefaultRMSProp()
+	}
+	if c.Mode == 0 {
+		c.Mode = simenv.OneSlot
+	}
+	return c
+}
+
+// sample is one supervised example: encoded state, legality mask and the
+// teacher's action index.
+type sample struct {
+	x      []float64
+	mask   []bool
+	action int
+}
+
+// Pretrain teaches net to imitate the teacher on the given jobs and returns
+// the mean cross-entropy loss per epoch.
+func Pretrain(net *nn.Network, feat Features, jobs []*dag.Graph, capacity resource.Vector, cfg PretrainConfig, rng *rand.Rand) ([]float64, error) {
+	cfg = cfg.normalized()
+	if net == nil {
+		return nil, ErrNilNetwork
+	}
+	if len(jobs) == 0 {
+		return nil, fmt.Errorf("drl: no pretraining jobs")
+	}
+	if net.InputSize() != feat.InputSize() || net.OutputSize() != feat.OutputSize() {
+		return nil, ErrShape
+	}
+
+	samples, err := collectDemonstrations(feat, jobs, capacity, cfg, rng)
+	if err != nil {
+		return nil, err
+	}
+
+	losses := make([]float64, 0, cfg.Epochs)
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(len(samples), func(i, j int) { samples[i], samples[j] = samples[j], samples[i] })
+		var epochLoss float64
+		for start := 0; start < len(samples); start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > len(samples) {
+				end = len(samples)
+			}
+			grads := net.NewGrads()
+			for _, s := range samples[start:end] {
+				cache, err := net.Forward(s.x)
+				if err != nil {
+					return nil, err
+				}
+				probs, err := nn.Softmax(cache.Logits(), s.mask)
+				if err != nil {
+					return nil, err
+				}
+				epochLoss += -math.Log(math.Max(probs[s.action], 1e-12))
+				d := append([]float64(nil), probs...)
+				d[s.action] -= 1
+				if err := net.Backward(cache, d, grads); err != nil {
+					return nil, err
+				}
+			}
+			if err := net.Apply(grads, cfg.Opt); err != nil {
+				return nil, err
+			}
+		}
+		losses = append(losses, epochLoss/float64(len(samples)))
+	}
+	return losses, nil
+}
+
+// collectDemonstrations runs the teacher once per job, recording every
+// decision as a supervised sample.
+func collectDemonstrations(feat Features, jobs []*dag.Graph, capacity resource.Vector, cfg PretrainConfig, rng *rand.Rand) ([]sample, error) {
+	var samples []sample
+	for ji, g := range jobs {
+		e, err := simenv.New(g, capacity, simenv.Config{Window: feat.Window, Mode: cfg.Mode})
+		if err != nil {
+			return nil, fmt.Errorf("drl: job %d: %w", ji, err)
+		}
+		for !e.Done() {
+			legal := e.LegalActions()
+			if len(legal) == 0 {
+				return nil, fmt.Errorf("drl: job %d: stuck episode", ji)
+			}
+			a, err := cfg.Teacher.Choose(e, legal, rng)
+			if err != nil {
+				return nil, fmt.Errorf("drl: teacher %s: %w", cfg.Teacher.Name(), err)
+			}
+			samples = append(samples, sample{
+				x:      feat.Encode(e, nil),
+				mask:   feat.Mask(legal, nil),
+				action: feat.IndexFor(a),
+			})
+			if err := e.Step(a); err != nil {
+				return nil, fmt.Errorf("drl: job %d: %w", ji, err)
+			}
+		}
+	}
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("drl: teacher produced no demonstrations")
+	}
+	return samples, nil
+}

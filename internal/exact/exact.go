@@ -1,0 +1,212 @@
+// Package exact finds provably optimal makespans for small jobs by
+// depth-first branch and bound over the same decision process every other
+// scheduler in this repository uses. It exists to validate the search-based
+// schedulers (is Spear's "2T" on the motivating example actually optimal?)
+// and to measure optimality gaps on small instances — DAG scheduling is
+// NP-hard, so this is only tractable for jobs of roughly a dozen tasks.
+package exact
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"spear/internal/baselines"
+	"spear/internal/dag"
+	"spear/internal/resource"
+	"spear/internal/sched"
+	"spear/internal/simenv"
+)
+
+// Solver is an exact branch-and-bound makespan minimizer. It implements
+// sched.Scheduler; Schedule fails with ErrBudgetExceeded when the node
+// budget runs out before optimality is proven.
+type Solver struct {
+	// MaxNodes caps the number of explored search nodes. Zero means
+	// DefaultMaxNodes.
+	MaxNodes int64
+
+	explored int64
+	optimal  bool
+}
+
+// DefaultMaxNodes bounds the search effort (~a few seconds for 10-12 task
+// jobs).
+const DefaultMaxNodes = 5_000_000
+
+// ErrBudgetExceeded reports that the node budget ran out before the search
+// space was exhausted.
+var ErrBudgetExceeded = errors.New("exact: node budget exceeded before proving optimality")
+
+var _ sched.Scheduler = (*Solver)(nil)
+
+// New returns a Solver with the given node budget (0 = DefaultMaxNodes).
+func New(maxNodes int64) *Solver { return &Solver{MaxNodes: maxNodes} }
+
+// Name implements sched.Scheduler.
+func (s *Solver) Name() string { return "Optimal" }
+
+// Explored reports how many nodes the last Schedule call visited.
+func (s *Solver) Explored() int64 { return s.explored }
+
+// Optimal reports whether the last Schedule call proved optimality.
+func (s *Solver) Optimal() bool { return s.optimal }
+
+type searchState struct {
+	bestMakespan int64
+	bestEnv      *simenv.Env
+	limit        int64
+	explored     int64
+	g            *dag.Graph
+	capacity     resource.Vector
+}
+
+// Schedule implements sched.Scheduler.
+func (s *Solver) Schedule(g *dag.Graph, capacity resource.Vector) (*sched.Schedule, error) {
+	began := time.Now()
+	s.explored = 0
+	s.optimal = false
+
+	limit := s.MaxNodes
+	if limit <= 0 {
+		limit = DefaultMaxNodes
+	}
+
+	// Incumbent: a greedy packing run gives an upper bound that prunes
+	// most of the tree immediately.
+	incumbent, err := baselines.NewTetrisScheduler().Schedule(g, capacity)
+	if err != nil {
+		return nil, fmt.Errorf("exact: incumbent: %w", err)
+	}
+
+	root, err := simenv.New(g, capacity, simenv.Config{Mode: simenv.NextCompletion})
+	if err != nil {
+		return nil, err
+	}
+	st := &searchState{
+		bestMakespan: incumbent.Makespan,
+		limit:        limit,
+		g:            g,
+		capacity:     capacity,
+	}
+	exhausted := st.dfs(root, -1)
+	s.explored = st.explored
+
+	var out *sched.Schedule
+	if st.bestEnv != nil {
+		out, err = st.bestEnv.Schedule(s.Name())
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		// The greedy incumbent was already optimal (or at least never
+		// improved upon within the explored space).
+		out = incumbent
+		out.Algorithm = s.Name()
+	}
+	out.Elapsed = time.Since(began)
+	if !exhausted {
+		return out, fmt.Errorf("%w: best found %d after %d nodes", ErrBudgetExceeded, out.Makespan, st.explored)
+	}
+	s.optimal = true
+	return out, nil
+}
+
+// dfs explores the subtree under e. minTaskID implements a symmetry
+// reduction: schedule actions taken back-to-back at the same instant
+// commute, so only ID-increasing sequences are explored. It reports false
+// when the node budget ran out.
+func (st *searchState) dfs(e *simenv.Env, minTaskID dag.TaskID) bool {
+	st.explored++
+	if st.explored > st.limit {
+		return false
+	}
+	if e.Done() {
+		if m := e.Makespan(); m < st.bestMakespan {
+			st.bestMakespan = m
+			st.bestEnv = e.Clone()
+		}
+		return true
+	}
+	if st.lowerBound(e) >= st.bestMakespan {
+		return true // pruned: cannot improve on the incumbent
+	}
+
+	visible := e.VisibleReady()
+	exhausted := true
+	for _, a := range e.LegalActions() {
+		var nextMin dag.TaskID
+		if a != simenv.Process {
+			id := visible[a]
+			if id <= minTaskID {
+				continue // symmetric permutation already covered
+			}
+			nextMin = id
+		} else {
+			nextMin = -1 // the clock advanced; reset the canonical order
+		}
+		child := e.Clone()
+		if err := child.Step(a); err != nil {
+			// Legal actions never fail; treat defensively as a prune.
+			continue
+		}
+		if !st.dfs(child, nextMin) {
+			exhausted = false
+		}
+	}
+	return exhausted
+}
+
+// lowerBound returns an admissible bound on the best completion time
+// reachable from e: the max of (a) the latest finish already committed,
+// (b) now plus the b-level of any task not yet started, (c) each running
+// task's finish plus its children's b-levels, and (d) now plus the
+// remaining-work-over-capacity bound.
+func (st *searchState) lowerBound(e *simenv.Env) int64 {
+	g := st.g
+	now := e.Now()
+	bound := e.Makespan() // (a): committed finishes
+
+	dims := g.Dims()
+	remaining := make([]int64, dims)
+
+	for id := 0; id < g.NumTasks(); id++ {
+		tid := dag.TaskID(id)
+		task := g.Task(tid)
+		switch {
+		case e.TaskDone(tid):
+			// contributes nothing further
+		case e.TaskRunning(tid):
+			// (c) its children cannot start before its committed finish,
+			// and its remaining occupancy counts toward the work bound.
+			finish, _ := e.TaskFinish(tid)
+			for _, c := range g.Succ(tid) {
+				if cand := finish + g.BLevel(c); cand > bound {
+					bound = cand
+				}
+			}
+			for d := 0; d < dims; d++ {
+				remaining[d] += (finish - now) * task.Demand[d]
+			}
+		default:
+			// (b) not started: it starts at `now` at the earliest.
+			if cand := now + g.BLevel(tid); cand > bound {
+				bound = cand
+			}
+			for d := 0; d < dims; d++ {
+				remaining[d] += task.Runtime * task.Demand[d]
+			}
+		}
+	}
+	// (d) remaining work must fit under the capacity from now on.
+	for d := 0; d < dims; d++ {
+		if remaining[d] == 0 {
+			continue
+		}
+		cand := now + (remaining[d]+st.capacity[d]-1)/st.capacity[d]
+		if cand > bound {
+			bound = cand
+		}
+	}
+	return bound
+}

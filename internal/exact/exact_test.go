@@ -1,0 +1,200 @@
+package exact
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"spear/internal/baselines"
+	"spear/internal/dag"
+	"spear/internal/mcts"
+	"spear/internal/resource"
+	"spear/internal/sched"
+	"spear/internal/workload"
+)
+
+func TestChainOptimal(t *testing.T) {
+	b := dag.NewBuilder(1)
+	prev := b.AddTask("t0", 3, resource.Of(1))
+	total := int64(3)
+	for i := 1; i < 5; i++ {
+		rt := int64(i + 1)
+		cur := b.AddTask("t", rt, resource.Of(1))
+		b.AddDep(prev, cur)
+		prev = cur
+		total += rt
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(0)
+	out, err := s.Schedule(g, resource.Of(1))
+	if err != nil {
+		t.Fatalf("Schedule: %v", err)
+	}
+	if out.Makespan != total {
+		t.Errorf("makespan = %d, want %d", out.Makespan, total)
+	}
+	if !s.Optimal() {
+		t.Error("optimality not proven on a chain")
+	}
+	if err := sched.Validate(g, resource.Of(1), out); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIndependentTasksPackOptimally(t *testing.T) {
+	// Four unit-demand tasks of runtime 5 on capacity 2: optimal 10.
+	b := dag.NewBuilder(1)
+	for i := 0; i < 4; i++ {
+		b.AddTask("t", 5, resource.Of(1))
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(0)
+	out, err := s.Schedule(g, resource.Of(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Makespan != 10 || !s.Optimal() {
+		t.Errorf("makespan = %d (optimal=%v), want 10 proven", out.Makespan, s.Optimal())
+	}
+}
+
+func TestMotivatingExampleOptimalIs202(t *testing.T) {
+	// Proves the claim in workload.MotivatingExample's documentation: the
+	// best possible makespan is 202 (~2T), so the heuristics' 301 is a true
+	// 1.49x gap and MCTS/Spear's 202-203 is essentially optimal.
+	g, err := workload.MotivatingExample(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	capacity := workload.MotivatingCapacity()
+	s := New(0)
+	out, err := s.Schedule(g, capacity)
+	if err != nil {
+		t.Fatalf("Schedule: %v (explored %d)", err, s.Explored())
+	}
+	if err := sched.Validate(g, capacity, out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Makespan != 202 {
+		t.Errorf("optimal makespan = %d, want 202", out.Makespan)
+	}
+	if !s.Optimal() {
+		t.Error("optimality not proven")
+	}
+	t.Logf("explored %d nodes", s.Explored())
+}
+
+func TestBudgetExceeded(t *testing.T) {
+	cfg := workload.DefaultRandomDAGConfig()
+	cfg.NumTasks = 30
+	g, err := workload.RandomDAG(rand.New(rand.NewSource(1)), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(50)
+	out, err := s.Schedule(g, cfg.Capacity())
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want ErrBudgetExceeded", err)
+	}
+	if out == nil || out.Makespan <= 0 {
+		t.Error("no incumbent returned alongside the budget error")
+	}
+	if s.Optimal() {
+		t.Error("claimed optimality despite budget exhaustion")
+	}
+}
+
+func TestOptimalNeverWorseThanHeuristics(t *testing.T) {
+	cfg := workload.DefaultRandomDAGConfig()
+	cfg.MinWidth, cfg.MaxWidth = 2, 3
+	for seed := int64(0); seed < 6; seed++ {
+		cfg.NumTasks = 7 + int(seed%3)
+		g, err := workload.RandomDAG(rand.New(rand.NewSource(seed)), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		solver := New(0)
+		opt, err := solver.Schedule(g, cfg.Capacity())
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := sched.Validate(g, cfg.Capacity(), opt); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		lb, err := g.MakespanLowerBound(cfg.Capacity())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if opt.Makespan < lb {
+			t.Errorf("seed %d: optimal %d below bound %d", seed, opt.Makespan, lb)
+		}
+		for _, h := range []sched.Scheduler{
+			baselines.NewTetrisScheduler(),
+			baselines.NewCPScheduler(),
+			baselines.NewSJFScheduler(),
+			baselines.NewGrapheneScheduler(),
+		} {
+			ho, err := h.Schedule(g, cfg.Capacity())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if opt.Makespan > ho.Makespan {
+				t.Errorf("seed %d: optimal %d worse than %s %d", seed, opt.Makespan, h.Name(), ho.Makespan)
+			}
+		}
+	}
+}
+
+func TestMCTSReachesOptimalOnSmallJobs(t *testing.T) {
+	// On small instances a well-budgeted MCTS should land on (or very near)
+	// the proven optimum — the soundness check behind the paper's approach.
+	cfg := workload.DefaultRandomDAGConfig()
+	cfg.NumTasks = 8
+	cfg.MinWidth, cfg.MaxWidth = 2, 3
+	var optTotal, mctsTotal int64
+	for seed := int64(10); seed < 14; seed++ {
+		g, err := workload.RandomDAG(rand.New(rand.NewSource(seed)), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, err := New(0).Schedule(g, cfg.Capacity())
+		if err != nil {
+			t.Fatal(err)
+		}
+		searcher := mcts.New(mcts.Config{InitialBudget: 500, MinBudget: 100, Seed: seed})
+		mo, err := searcher.Schedule(g, cfg.Capacity())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mo.Makespan < opt.Makespan {
+			t.Fatalf("seed %d: MCTS %d beat 'optimal' %d — solver bug", seed, mo.Makespan, opt.Makespan)
+		}
+		optTotal += opt.Makespan
+		mctsTotal += mo.Makespan
+	}
+	if float64(mctsTotal) > 1.05*float64(optTotal) {
+		t.Errorf("MCTS total %d more than 5%% above optimal total %d", mctsTotal, optTotal)
+	}
+}
+
+func BenchmarkExact8Tasks(b *testing.B) {
+	cfg := workload.DefaultRandomDAGConfig()
+	cfg.NumTasks = 8
+	g, err := workload.RandomDAG(rand.New(rand.NewSource(2)), cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := New(0).Schedule(g, cfg.Capacity()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,155 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"io"
+	"strconv"
+
+	"spear/internal/drl"
+)
+
+// This file provides machine-readable CSV exports of every experiment
+// result, so the figures can be re-plotted outside Go.
+
+func writeCSV(w io.Writer, header []string, rows [][]string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func itoa64(v int64) string { return strconv.FormatInt(v, 10) }
+
+func ftoa(v float64) string { return strconv.FormatFloat(v, 'f', 4, 64) }
+
+// WriteCSV exports the per-algorithm makespan of the motivating example.
+func (r *Fig3Result) WriteCSV(w io.Writer) error {
+	rows := make([][]string, 0, len(r.Makespans))
+	for _, name := range []string{"Spear", "Graphene", "Tetris", "CP", "SJF"} {
+		if m, ok := r.Makespans[name]; ok {
+			rows = append(rows, []string{name, itoa64(m)})
+		}
+	}
+	return writeCSV(w, []string{"algorithm", "makespan"}, rows)
+}
+
+// WriteCSV exports one row per (algorithm, job) with makespan and elapsed
+// milliseconds — the raw data behind both Fig. 6(a) and Fig. 6(b).
+func (r *Fig6Result) WriteCSV(w io.Writer) error {
+	var rows [][]string
+	for _, ar := range r.Results {
+		for i, m := range ar.Makespans {
+			rows = append(rows, []string{
+				ar.Name,
+				strconv.Itoa(i),
+				itoa64(m),
+				ftoa(float64(ar.Elapsed[i].Microseconds()) / 1000),
+			})
+		}
+	}
+	return writeCSV(w, []string{"algorithm", "job", "makespan", "elapsedMillis"}, rows)
+}
+
+// WriteCSV exports the budget sweep behind Fig. 7(a)/7(b).
+func (r *Fig7Result) WriteCSV(w io.Writer) error {
+	rows := make([][]string, 0, len(r.Points))
+	for _, p := range r.Points {
+		rows = append(rows, []string{
+			strconv.Itoa(p.Budget),
+			ftoa(p.MeanMakespan),
+			ftoa(p.TetrisMean),
+			strconv.Itoa(p.BeatsTetris),
+			strconv.Itoa(p.TiesTetris),
+			strconv.Itoa(p.Jobs),
+			ftoa(p.MeanElapsedMS),
+		})
+	}
+	return writeCSV(w, []string{"budget", "meanMakespan", "tetrisMean", "wins", "ties", "jobs", "meanElapsedMillis"}, rows)
+}
+
+// WriteCSV exports Table I as (tasks, budget, elapsedMillis) triples.
+func (r *Table1Result) WriteCSV(w io.Writer) error {
+	var rows [][]string
+	for i, size := range r.Sizes {
+		for j, budget := range r.Budgets {
+			rows = append(rows, []string{
+				strconv.Itoa(size),
+				strconv.Itoa(budget),
+				ftoa(float64(r.Elapsed[i][j].Microseconds()) / 1000),
+			})
+		}
+	}
+	return writeCSV(w, []string{"tasks", "budget", "elapsedMillis"}, rows)
+}
+
+// WriteCSV exports the Fig. 8(a) comparison rows.
+func (r *Fig8aResult) WriteCSV(w io.Writer) error {
+	var rows [][]string
+	for _, ar := range r.Results {
+		for i, m := range ar.Makespans {
+			rows = append(rows, []string{
+				ar.Name,
+				strconv.Itoa(i),
+				itoa64(m),
+				ftoa(float64(ar.Elapsed[i].Microseconds()) / 1000),
+			})
+		}
+	}
+	return writeCSV(w, []string{"algorithm", "job", "makespan", "elapsedMillis"}, rows)
+}
+
+// WriteCSV exports the learning curve plus the reference lines.
+func (r *Fig8bResult) WriteCSV(w io.Writer) error {
+	if err := drl.WriteCurveCSV(w, r.Curve); err != nil {
+		return err
+	}
+	return writeCSV(w, []string{"reference", "meanMakespan"}, [][]string{
+		{"Tetris", ftoa(r.TetrisMean)},
+		{"SJF", ftoa(r.SJFMean)},
+	})
+}
+
+// WriteCSV exports per-job trace statistics (Fig. 9(a)/9(b) raw data).
+func (r *TraceResult) WriteCSV(w io.Writer) error {
+	var rows [][]string
+	for i := range r.Stats.MapTaskCounts {
+		rows = append(rows, []string{
+			strconv.Itoa(i),
+			strconv.Itoa(r.Stats.MapTaskCounts[i]),
+			strconv.Itoa(r.Stats.RedTaskCounts[i]),
+		})
+	}
+	return writeCSV(w, []string{"job", "mapTasks", "reduceTasks"}, rows)
+}
+
+// WriteCSV exports the per-job reduction of Fig. 9(c).
+func (r *Fig9cResult) WriteCSV(w io.Writer) error {
+	rows := make([][]string, 0, len(r.Reductions))
+	for i, red := range r.Reductions {
+		rows = append(rows, []string{strconv.Itoa(i), ftoa(red)})
+	}
+	return writeCSV(w, []string{"job", "reduction"}, rows)
+}
+
+// WriteCSV exports the ablation rows.
+func (r *AblationResult) WriteCSV(w io.Writer) error {
+	var rows [][]string
+	for _, ar := range r.Results {
+		for i, m := range ar.Makespans {
+			rows = append(rows, []string{
+				ar.Name,
+				strconv.Itoa(i),
+				itoa64(m),
+				ftoa(float64(ar.Elapsed[i].Microseconds()) / 1000),
+			})
+		}
+	}
+	return writeCSV(w, []string{"variant", "job", "makespan", "elapsedMillis"}, rows)
+}

@@ -1,0 +1,306 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"spear/internal/core"
+	"spear/internal/drl"
+	"spear/internal/nn"
+)
+
+// tinySuite builds a Suite whose model trains in well under a second, so
+// the whole registry can be exercised in tests.
+func tinySuite(t *testing.T) *Suite {
+	t.Helper()
+	s := NewSuite(7)
+	s.Feat = drl.Features{Window: 4, Horizon: 8, Dims: 2}
+	s.ModelCfg = &core.ModelConfig{
+		Feat:        s.Feat,
+		TrainJobs:   2,
+		TasksPerJob: 8,
+		PretrainCfg: drl.PretrainConfig{Epochs: 3, Opt: nn.RMSProp{LR: 1e-3, Rho: 0.9, Eps: 1e-8}},
+		ReinforceCfg: drl.TrainConfig{
+			Epochs: 2, Rollouts: 2,
+			Opt: nn.RMSProp{LR: 5e-4, Rho: 0.9, Eps: 1e-8},
+		},
+		Seed: 7,
+	}
+	return s
+}
+
+func TestNamesMatchRegistry(t *testing.T) {
+	names := Names()
+	want := []string{"fig3", "fig6a", "fig6b", "fig7a", "fig7b", "table1", "fig8a", "fig8b", "fig9a", "fig9b", "fig9c", "ablation", "gap"}
+	if len(names) != len(want) {
+		t.Fatalf("Names = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Errorf("Names[%d] = %q, want %q", i, names[i], want[i])
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	s := tinySuite(t)
+	if err := s.Run("nope", &bytes.Buffer{}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestTrainModelCachesAndReturnsCurve(t *testing.T) {
+	s := tinySuite(t)
+	curve, err := s.TrainModel()
+	if err != nil {
+		t.Fatalf("TrainModel: %v", err)
+	}
+	if len(curve) != 2 {
+		t.Fatalf("curve len = %d", len(curve))
+	}
+	net := s.Net
+	if _, err := s.TrainModel(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Net != net {
+		t.Error("TrainModel retrained despite cached model")
+	}
+}
+
+func TestFig3ReportsTrapAndEscape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("search test")
+	}
+	s := tinySuite(t)
+	r, err := s.Fig3()
+	if err != nil {
+		t.Fatalf("Fig3: %v", err)
+	}
+	for _, name := range []string{"Spear", "Graphene", "Tetris", "CP", "SJF"} {
+		if _, ok := r.Makespans[name]; !ok {
+			t.Errorf("missing %s", name)
+		}
+	}
+	if r.Makespans["Graphene"] != 301 || r.Makespans["Tetris"] != 301 {
+		t.Errorf("heuristics should be trapped at 301: %v", r.Makespans)
+	}
+	if r.Makespans["Spear"] >= 301 {
+		t.Errorf("Spear did not escape the trap: %d", r.Makespans["Spear"])
+	}
+	if !strings.Contains(r.String(), "Fig. 3") {
+		t.Errorf("report: %q", r.String())
+	}
+}
+
+func TestFig7SweepShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep test")
+	}
+	s := tinySuite(t)
+	r, err := s.Fig7()
+	if err != nil {
+		t.Fatalf("Fig7: %v", err)
+	}
+	if len(r.Points) < 3 {
+		t.Fatalf("points = %d", len(r.Points))
+	}
+	// Makespan at the largest budget should not exceed the smallest-budget
+	// result (the paper's monotone-improvement claim, fuzzed by seed noise
+	// only mildly at this scale).
+	first, last := r.Points[0], r.Points[len(r.Points)-1]
+	if last.MeanMakespan > first.MeanMakespan {
+		t.Errorf("mean makespan rose with budget: %.1f -> %.1f", first.MeanMakespan, last.MeanMakespan)
+	}
+	if last.BeatsTetris < first.BeatsTetris {
+		t.Errorf("win rate fell with budget: %d -> %d", first.BeatsTetris, last.BeatsTetris)
+	}
+	// Both fig7a and fig7b render from the same sweep.
+	if !strings.Contains(r.MakespanTable(), "budget") || !strings.Contains(r.WinRateTable(), "win rate") {
+		t.Error("tables missing headers")
+	}
+	// The sweep is cached on the suite.
+	again, err := s.Fig7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != r {
+		t.Error("Fig7 not cached")
+	}
+}
+
+func TestTable1Shapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	s := tinySuite(t)
+	r, err := s.Table1()
+	if err != nil {
+		t.Fatalf("Table1: %v", err)
+	}
+	if len(r.Elapsed) != len(r.Sizes) {
+		t.Fatalf("rows = %d", len(r.Elapsed))
+	}
+	for i, row := range r.Elapsed {
+		if len(row) != len(r.Budgets) {
+			t.Fatalf("row %d cols = %d", i, len(row))
+		}
+	}
+	if !strings.Contains(r.String(), "Table I") {
+		t.Error("missing title")
+	}
+}
+
+func TestFig9TraceAndC(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trace test")
+	}
+	s := tinySuite(t)
+	tr, err := s.Fig9Trace()
+	if err != nil {
+		t.Fatalf("Fig9Trace: %v", err)
+	}
+	if tr.Stats.Jobs != 99 {
+		t.Errorf("jobs = %d", tr.Stats.Jobs)
+	}
+	if !strings.Contains(tr.CountTable(), "map") || !strings.Contains(tr.RuntimeTable(), "reduce") {
+		t.Error("trace tables missing stages")
+	}
+
+	r, err := s.Fig9c()
+	if err != nil {
+		t.Fatalf("Fig9c: %v", err)
+	}
+	if r.Jobs != 12 {
+		t.Errorf("quick-mode jobs = %d, want 12", r.Jobs)
+	}
+	if len(r.Reductions) != r.Jobs {
+		t.Errorf("reductions = %d", len(r.Reductions))
+	}
+	if r.NoWorseShare < 0 || r.NoWorseShare > 1 {
+		t.Errorf("NoWorseShare = %v", r.NoWorseShare)
+	}
+	if !strings.Contains(r.String(), "Graphene") {
+		t.Error("report missing text")
+	}
+}
+
+func TestFig8bCurveAndReferences(t *testing.T) {
+	s := tinySuite(t)
+	r, err := s.Fig8b()
+	if err != nil {
+		t.Fatalf("Fig8b: %v", err)
+	}
+	if len(r.Curve) != 2 {
+		t.Errorf("curve len = %d", len(r.Curve))
+	}
+	if r.TetrisMean <= 0 || r.SJFMean <= 0 {
+		t.Errorf("references: tetris %.1f sjf %.1f", r.TetrisMean, r.SJFMean)
+	}
+	if !strings.Contains(r.String(), "references") {
+		t.Error("report missing reference lines")
+	}
+}
+
+func TestAblationVariantsAllRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("search test")
+	}
+	s := tinySuite(t)
+	r, err := s.Ablation()
+	if err != nil {
+		t.Fatalf("Ablation: %v", err)
+	}
+	if len(r.Results) != 6 {
+		t.Fatalf("variants = %d, want 6", len(r.Results))
+	}
+	for _, ar := range r.Results {
+		if len(ar.Makespans) != r.Graphs {
+			t.Errorf("%s ran %d graphs, want %d", ar.Name, len(ar.Makespans), r.Graphs)
+		}
+	}
+	if !strings.Contains(r.String(), "Ablation") {
+		t.Error("missing title")
+	}
+}
+
+func TestGapExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exact-solver test")
+	}
+	s := tinySuite(t)
+	r, err := s.Gap()
+	if err != nil {
+		t.Fatalf("Gap: %v", err)
+	}
+	if len(r.Optimal) != r.Jobs || len(r.PerAlgo) != 6 {
+		t.Fatalf("shape: %d optima, %d algos", len(r.Optimal), len(r.PerAlgo))
+	}
+	for i, gap := range r.MeanGaps {
+		if gap < 0 {
+			t.Errorf("%s has negative mean gap %.2f%% — solver or scheduler bug", r.PerAlgo[i].Name, gap)
+		}
+	}
+	if !strings.Contains(r.String(), "Optimality gap") {
+		t.Error("missing title")
+	}
+}
+
+func TestRunWritesReports(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full registry test")
+	}
+	s := tinySuite(t)
+	for _, name := range []string{"fig9a", "fig9b", "fig8b"} {
+		var buf bytes.Buffer
+		if err := s.Run(name, &buf); err != nil {
+			t.Fatalf("Run(%s): %v", name, err)
+		}
+		if buf.Len() == 0 {
+			t.Errorf("Run(%s) wrote nothing", name)
+		}
+	}
+}
+
+func TestEveryRegisteredExperimentRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the whole evaluation at quick scale")
+	}
+	s := tinySuite(t)
+	s.Log = &bytes.Buffer{} // exercise the logging paths too
+	for _, r := range Registry() {
+		var buf bytes.Buffer
+		if err := r.Run(s, &buf); err != nil {
+			t.Fatalf("%s: %v", r.Name, err)
+		}
+		if buf.Len() == 0 {
+			t.Errorf("%s wrote nothing", r.Name)
+		}
+		if r.Description == "" {
+			t.Errorf("%s has no description", r.Name)
+		}
+	}
+	// Shared caches must have been populated.
+	if s.fig6 == nil || s.fig7 == nil || s.trace == nil {
+		t.Error("registry run did not populate shared caches")
+	}
+
+	// Every experiment must also export CSV with a header plus data rows.
+	for _, r := range Registry() {
+		if r.CSV == nil {
+			t.Errorf("%s has no CSV writer", r.Name)
+			continue
+		}
+		var buf bytes.Buffer
+		if err := r.CSV(s, &buf); err != nil {
+			t.Fatalf("%s CSV: %v", r.Name, err)
+		}
+		lines := strings.Count(buf.String(), "\n")
+		if lines < 2 {
+			t.Errorf("%s CSV has %d lines: %q", r.Name, lines, buf.String())
+		}
+		if !strings.Contains(strings.SplitN(buf.String(), "\n", 2)[0], ",") {
+			t.Errorf("%s CSV header missing: %q", r.Name, buf.String())
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+
+	"spear/internal/dag"
+	"spear/internal/sched"
+	"spear/internal/workload"
+)
+
+// Fig3Result reports every scheduler's makespan on the motivating example,
+// in units of the long-task runtime T.
+type Fig3Result struct {
+	T         int64
+	Makespans map[string]int64
+}
+
+// Fig3 runs the motivating-example comparison (paper Fig. 3): Spear's
+// search should land in the ~2T region while the work-conserving heuristics
+// are trapped at ~3T.
+func (s *Suite) Fig3() (*Fig3Result, error) {
+	const T = 100
+	g, err := workload.MotivatingExample(T)
+	if err != nil {
+		return nil, err
+	}
+	capacity := workload.MotivatingCapacity()
+
+	spear, err := s.spear(2000, 200)
+	if err != nil {
+		return nil, err
+	}
+	schedulers := append([]sched.Scheduler{spear}, baselineSet()...)
+	results, err := runAll([]*dag.Graph{g}, capacity, schedulers, s.logf)
+	if err != nil {
+		return nil, err
+	}
+	out := &Fig3Result{T: T, Makespans: make(map[string]int64, len(results))}
+	for _, r := range results {
+		out.Makespans[r.Name] = r.Makespans[0]
+	}
+	return out, nil
+}
+
+// String renders the Fig. 3 table.
+func (r *Fig3Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 3 — motivating example (T = %d)\n", r.T)
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "algorithm\tmakespan\tin units of T")
+	for _, name := range []string{"Spear", "Graphene", "Tetris", "CP", "SJF"} {
+		m, ok := r.Makespans[name]
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(w, "%s\t%d\t%.2fT\n", name, m, float64(m)/float64(r.T))
+	}
+	w.Flush()
+	return b.String()
+}

@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+
+	"spear/internal/baselines"
+	"spear/internal/mcts"
+	"spear/internal/stats"
+)
+
+// Fig7Point is one budget setting of the pure-MCTS sweep.
+type Fig7Point struct {
+	Budget        int
+	MeanMakespan  float64
+	TetrisMean    float64
+	BeatsTetris   int // jobs where MCTS makespan < Tetris
+	TiesTetris    int
+	Jobs          int
+	MeanElapsedMS float64
+}
+
+// Fig7Result is the budget sweep behind Fig. 7(a) (makespan vs budget) and
+// Fig. 7(b) (win rate vs Tetris).
+type Fig7Result struct {
+	Tasks  int
+	Points []Fig7Point
+}
+
+// Fig7 sweeps the pure-MCTS budget over a batch of random DAGs (§V-B2):
+// makespan should fall as budget grows, and the fraction of jobs where MCTS
+// beats Tetris should rise.
+func (s *Suite) Fig7() (*Fig7Result, error) {
+	if s.fig7 != nil {
+		return s.fig7, nil
+	}
+	nGraphs, tasks := 6, 30
+	budgets := []int{25, 50, 100, 200, 400}
+	if s.Full {
+		// The paper sweeps 100 DAGs of 100 tasks up to budget 2200 with
+		// minimum budget 5.
+		nGraphs, tasks = 20, 100
+		budgets = []int{500, 600, 1000, 1400, 1800, 2200}
+	}
+	graphs, capacity, err := s.randomJobs(nGraphs, tasks, 700)
+	if err != nil {
+		return nil, err
+	}
+
+	tetris := baselines.NewTetrisScheduler()
+	tetrisMakespans := make([]int64, len(graphs))
+	for i, g := range graphs {
+		out, err := tetris.Schedule(g, capacity)
+		if err != nil {
+			return nil, err
+		}
+		tetrisMakespans[i] = out.Makespan
+	}
+	tetrisMean, _ := stats.Mean(tetrisMakespans)
+
+	result := &Fig7Result{Tasks: tasks}
+	for _, budget := range budgets {
+		s.logf("fig7: budget %d\n", budget)
+		point := Fig7Point{Budget: budget, Jobs: len(graphs), TetrisMean: tetrisMean}
+		searcher := mcts.New(mcts.Config{InitialBudget: budget, MinBudget: 5, Seed: s.Seed})
+		var makespans []int64
+		var elapsedMS []float64
+		for i, g := range graphs {
+			out, err := searcher.Schedule(g, capacity)
+			if err != nil {
+				return nil, err
+			}
+			makespans = append(makespans, out.Makespan)
+			elapsedMS = append(elapsedMS, float64(out.Elapsed.Microseconds())/1000)
+			switch {
+			case out.Makespan < tetrisMakespans[i]:
+				point.BeatsTetris++
+			case out.Makespan == tetrisMakespans[i]:
+				point.TiesTetris++
+			}
+		}
+		point.MeanMakespan, _ = stats.Mean(makespans)
+		point.MeanElapsedMS, _ = stats.Mean(elapsedMS)
+		result.Points = append(result.Points, point)
+	}
+	s.fig7 = result
+	return result, nil
+}
+
+// MakespanTable renders the Fig. 7(a) series.
+func (r *Fig7Result) MakespanTable() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 7(a) — pure MCTS makespan vs budget (%d-task DAGs, %d jobs)\n", r.Tasks, r.Points[0].Jobs)
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "budget\tavg makespan\tavg time")
+	for _, p := range r.Points {
+		fmt.Fprintf(w, "%d\t%.1f\t%.0fms\n", p.Budget, p.MeanMakespan, p.MeanElapsedMS)
+	}
+	w.Flush()
+	fmt.Fprintf(&b, "(Tetris reference: %.1f)\n", r.Points[0].TetrisMean)
+	return b.String()
+}
+
+// WinRateTable renders the Fig. 7(b) series.
+func (r *Fig7Result) WinRateTable() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 7(b) — fraction of jobs where MCTS beats Tetris\n")
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "budget\twins\tties\tjobs\twin rate")
+	for _, p := range r.Points {
+		fmt.Fprintf(w, "%d\t%d\t%d\t%d\t%.0f%%\n", p.Budget, p.BeatsTetris, p.TiesTetris, p.Jobs,
+			100*float64(p.BeatsTetris)/float64(p.Jobs))
+	}
+	w.Flush()
+	return b.String()
+}

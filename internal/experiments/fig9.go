@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"text/tabwriter"
+
+	"spear/internal/baselines"
+	"spear/internal/sched"
+	"spear/internal/stats"
+	"spear/internal/workload"
+)
+
+// TraceResult wraps the synthetic production trace and its summary
+// statistics (Fig. 9(a)/9(b)).
+type TraceResult struct {
+	Trace *workload.Trace
+	Stats workload.TraceStats
+}
+
+// Fig9Trace generates (once) the synthetic 99-job MapReduce trace.
+func (s *Suite) Fig9Trace() (*TraceResult, error) {
+	if s.trace != nil {
+		return s.trace, nil
+	}
+	r := rand.New(rand.NewSource(s.Seed + 900))
+	trace, err := workload.GenerateTrace(r, workload.DefaultTraceConfig())
+	if err != nil {
+		return nil, err
+	}
+	s.trace = &TraceResult{Trace: trace, Stats: trace.Stats()}
+	return s.trace, nil
+}
+
+// CountTable renders the Fig. 9(a) statistics (task counts per stage).
+func (r *TraceResult) CountTable() string {
+	var b strings.Builder
+	b.WriteString("Fig. 9(a) — tasks per job in the synthetic trace (paper: median 14/17, max 29/38)\n")
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "stage\tmedian\tp90\tmax")
+	mp90, _ := stats.Percentile(r.Stats.MapTaskCounts, 90)
+	rp90, _ := stats.Percentile(r.Stats.RedTaskCounts, 90)
+	fmt.Fprintf(w, "map\t%d\t%.0f\t%d\n", r.Stats.MedianMaps, mp90, r.Stats.MaxMaps)
+	fmt.Fprintf(w, "reduce\t%d\t%.0f\t%d\n", r.Stats.MedianReduces, rp90, r.Stats.MaxReduces)
+	w.Flush()
+	return b.String()
+}
+
+// RuntimeTable renders the Fig. 9(b) statistics (task runtimes per stage).
+func (r *TraceResult) RuntimeTable() string {
+	var b strings.Builder
+	b.WriteString("Fig. 9(b) — task runtimes in the synthetic trace (paper: median 73/32)\n")
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "stage\tmedian\tp90\tmax mean per job")
+	mp90, _ := stats.Percentile(r.Stats.MapRuntimes, 90)
+	rp90, _ := stats.Percentile(r.Stats.RedRuntimes, 90)
+	fmt.Fprintf(w, "map\t%d\t%.0f\t%.0f\n", r.Stats.MedianMapRT, mp90, r.Stats.MaxMeanMapRT)
+	fmt.Fprintf(w, "reduce\t%d\t%.0f\t%.0f\n", r.Stats.MedianReduceRT, rp90, r.Stats.MaxMeanRedRT)
+	w.Flush()
+	return b.String()
+}
+
+// Fig9cResult is the trace-driven comparison: the distribution of
+// makespan reductions of Spear relative to Graphene (paper Fig. 9(c):
+// Spear no worse on ~90% of jobs, up to ~20% better).
+type Fig9cResult struct {
+	Jobs          int
+	Reductions    []float64 // (graphene - spear) / graphene, one per job
+	NoWorseShare  float64
+	MaxReduction  float64
+	MeanReduction float64
+}
+
+// Fig9c schedules trace jobs with Spear (budget 100 decaying to 50, §V-C)
+// and Graphene, reporting per-job makespan reduction.
+func (s *Suite) Fig9c() (*Fig9cResult, error) {
+	tr, err := s.Fig9Trace()
+	if err != nil {
+		return nil, err
+	}
+	graphs, err := tr.Trace.Graphs()
+	if err != nil {
+		return nil, err
+	}
+	jobs := 12
+	budget, minBudget := 60, 30
+	if s.Full {
+		jobs = len(graphs) // all 99
+		budget, minBudget = 100, 50
+	}
+	if jobs > len(graphs) {
+		jobs = len(graphs)
+	}
+	capacity := tr.Trace.Capacity
+	spear, err := s.spear(budget, minBudget)
+	if err != nil {
+		return nil, err
+	}
+	graphene := baselines.NewGrapheneScheduler()
+
+	result := &Fig9cResult{Jobs: jobs}
+	for i := 0; i < jobs; i++ {
+		g := graphs[i]
+		so, err := spear.Schedule(g, capacity)
+		if err != nil {
+			return nil, fmt.Errorf("spear job %d: %w", i, err)
+		}
+		if err := sched.Validate(g, capacity, so); err != nil {
+			return nil, fmt.Errorf("spear job %d: %w", i, err)
+		}
+		go_, err := graphene.Schedule(g, capacity)
+		if err != nil {
+			return nil, fmt.Errorf("graphene job %d: %w", i, err)
+		}
+		reduction := float64(go_.Makespan-so.Makespan) / float64(go_.Makespan)
+		result.Reductions = append(result.Reductions, reduction)
+		s.logf("  fig9c job %d/%d: graphene %d, spear %d (%.1f%%)\n", i+1, jobs, go_.Makespan, so.Makespan, 100*reduction)
+	}
+	noWorse := 0
+	for _, red := range result.Reductions {
+		if red >= 0 {
+			noWorse++
+		}
+	}
+	result.NoWorseShare = float64(noWorse) / float64(jobs)
+	result.MaxReduction, _ = stats.Max(result.Reductions)
+	result.MeanReduction, _ = stats.Mean(result.Reductions)
+	return result, nil
+}
+
+// String renders the Fig. 9(c) CDF summary.
+func (r *Fig9cResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 9(c) — reduction in job duration vs Graphene over %d trace jobs\n", r.Jobs)
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "percentile\treduction")
+	for _, p := range []float64{10, 25, 50, 75, 90, 100} {
+		v, _ := stats.Percentile(r.Reductions, p)
+		fmt.Fprintf(w, "p%.0f\t%.1f%%\n", p, 100*v)
+	}
+	w.Flush()
+	fmt.Fprintf(&b, "Spear no worse than Graphene on %.0f%% of jobs; max reduction %.1f%%; mean %.1f%%\n",
+		100*r.NoWorseShare, 100*r.MaxReduction, 100*r.MeanReduction)
+	return b.String()
+}

@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+
+	"spear/internal/exact"
+	"spear/internal/mcts"
+	"spear/internal/sched"
+	"spear/internal/stats"
+)
+
+// GapResult measures optimality gaps on small jobs where the exact
+// branch-and-bound solver can prove the optimum — a validation experiment
+// beyond the paper: how far from optimal are the search-based schedulers
+// and the heuristics, really?
+type GapResult struct {
+	Jobs     int
+	Tasks    int
+	Optimal  []int64
+	PerAlgo  []AlgorithmResult
+	MeanGaps []float64 // aligned with PerAlgo, in percent
+}
+
+// Gap runs the optimality-gap study.
+func (s *Suite) Gap() (*GapResult, error) {
+	nGraphs, tasks := 5, 8
+	if s.Full {
+		nGraphs, tasks = 10, 10
+	}
+	graphs, capacity, err := s.randomJobs(nGraphs, tasks, 1100)
+	if err != nil {
+		return nil, err
+	}
+
+	solver := exact.New(0)
+	optimal := make([]int64, len(graphs))
+	for i, g := range graphs {
+		out, err := solver.Schedule(g, capacity)
+		if err != nil {
+			return nil, fmt.Errorf("exact on graph %d: %w", i, err)
+		}
+		optimal[i] = out.Makespan
+		s.logf("  optimal graph %d/%d: %d (%d nodes)\n", i+1, len(graphs), out.Makespan, solver.Explored())
+	}
+
+	spear, err := s.spear(200, 50)
+	if err != nil {
+		return nil, err
+	}
+	schedulers := append([]sched.Scheduler{
+		mcts.New(mcts.Config{InitialBudget: 500, MinBudget: 100, Seed: s.Seed}),
+		spear,
+	}, baselineSet()...)
+	results, err := runAll(graphs, capacity, schedulers, s.logf)
+	if err != nil {
+		return nil, err
+	}
+
+	out := &GapResult{Jobs: nGraphs, Tasks: tasks, Optimal: optimal, PerAlgo: results}
+	for _, ar := range results {
+		gaps := make([]float64, len(ar.Makespans))
+		for i, m := range ar.Makespans {
+			gaps[i] = 100 * float64(m-optimal[i]) / float64(optimal[i])
+		}
+		mean, _ := stats.Mean(gaps)
+		out.MeanGaps = append(out.MeanGaps, mean)
+	}
+	return out, nil
+}
+
+// String renders the gap table.
+func (r *GapResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Optimality gap — %d x %d-task jobs vs proven optimum (branch and bound)\n", r.Jobs, r.Tasks)
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "algorithm\tmean gap\tjobs at optimum")
+	for i, ar := range r.PerAlgo {
+		atOpt := 0
+		for j, m := range ar.Makespans {
+			if m == r.Optimal[j] {
+				atOpt++
+			}
+		}
+		fmt.Fprintf(w, "%s\t%.1f%%\t%d/%d\n", ar.Name, r.MeanGaps[i], atOpt, r.Jobs)
+	}
+	w.Flush()
+	return b.String()
+}
+
+// WriteCSV exports the per-job makespans next to the proven optimum.
+func (r *GapResult) WriteCSV(w io.Writer) error {
+	var rows [][]string
+	for i, ar := range r.PerAlgo {
+		for j, m := range ar.Makespans {
+			rows = append(rows, []string{
+				ar.Name,
+				strconv.Itoa(j),
+				itoa64(m),
+				itoa64(r.Optimal[j]),
+				ftoa(r.MeanGaps[i]),
+			})
+		}
+	}
+	return writeCSV(w, []string{"algorithm", "job", "makespan", "optimal", "meanGapPct"}, rows)
+}

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"spear/internal/mcts"
+)
+
+// Table1Result holds MCTS wall-clock runtimes across graph sizes and
+// budgets (paper Table I): runtime grows with both.
+type Table1Result struct {
+	Sizes   []int
+	Budgets []int
+	// Elapsed[i][j] is the scheduling time for Sizes[i] x Budgets[j].
+	Elapsed [][]time.Duration
+}
+
+// Table1 measures the MCTS-only scheduler's runtime on different scales.
+func (s *Suite) Table1() (*Table1Result, error) {
+	sizes := []int{10, 25, 50}
+	budgets := []int{25, 50, 100}
+	if s.Full {
+		sizes = []int{25, 50, 100}
+		budgets = []int{50, 100, 500, 1000}
+	}
+	result := &Table1Result{Sizes: sizes, Budgets: budgets}
+	for _, size := range sizes {
+		graphs, capacity, err := s.randomJobs(1, size, 800+int64(size))
+		if err != nil {
+			return nil, err
+		}
+		row := make([]time.Duration, 0, len(budgets))
+		for _, budget := range budgets {
+			s.logf("table1: size %d budget %d\n", size, budget)
+			searcher := mcts.New(mcts.Config{InitialBudget: budget, MinBudget: budget / 10, Seed: s.Seed})
+			out, err := searcher.Schedule(graphs[0], capacity)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, out.Elapsed)
+		}
+		result.Elapsed = append(result.Elapsed, row)
+	}
+	return result, nil
+}
+
+// String renders Table I.
+func (r *Table1Result) String() string {
+	var b strings.Builder
+	b.WriteString("Table I — MCTS-only scheduling runtime\n")
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprint(w, "tasks \\ budget")
+	for _, budget := range r.Budgets {
+		fmt.Fprintf(w, "\t%d", budget)
+	}
+	fmt.Fprintln(w)
+	for i, size := range r.Sizes {
+		fmt.Fprintf(w, "%d", size)
+		for _, d := range r.Elapsed[i] {
+			fmt.Fprintf(w, "\t%v", d.Round(time.Millisecond))
+		}
+		fmt.Fprintln(w)
+	}
+	w.Flush()
+	return b.String()
+}

@@ -1,0 +1,154 @@
+package listsched
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"spear/internal/dag"
+	"spear/internal/resource"
+	"spear/internal/sched"
+	"spear/internal/workload"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New("x", nil); !errors.Is(err, ErrNilPriority) {
+		t.Errorf("err = %v", err)
+	}
+	s, err := New("x", func(*dag.Graph, dag.TaskID) float64 { return 0 })
+	if err != nil || s.Name() != "x" {
+		t.Errorf("New: %v, name %q", err, s.Name())
+	}
+}
+
+func TestHEFTChain(t *testing.T) {
+	b := dag.NewBuilder(1)
+	a := b.AddTask("a", 3, resource.Of(5))
+	c := b.AddTask("c", 4, resource.Of(5))
+	b.AddDep(a, c)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := NewHEFT().Schedule(g, resource.Of(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Makespan != 7 {
+		t.Errorf("makespan = %d, want 7", out.Makespan)
+	}
+	if err := sched.Validate(g, resource.Of(10), out); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHEFTFillsGaps(t *testing.T) {
+	// Insertion-based placement can slide a small independent task into the
+	// capacity left alongside a long chain — which the online policies only
+	// do when the gap is at "now".
+	//
+	// chain: a(4) -> b(4), demand 6; free capacity alongside = 4.
+	// small: s(8), demand 4: fits alongside the whole chain -> makespan 8.
+	b := dag.NewBuilder(1)
+	a := b.AddTask("a", 4, resource.Of(6))
+	bb := b.AddTask("b", 4, resource.Of(6))
+	b.AddTask("s", 8, resource.Of(4))
+	b.AddDep(a, bb)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := NewHEFT().Schedule(g, resource.Of(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.Validate(g, resource.Of(10), out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Makespan != 8 {
+		t.Errorf("makespan = %d, want 8 (small task packed alongside chain); schedule:\n%s",
+			out.Makespan, out.Gantt(g, 40))
+	}
+}
+
+func TestSchedulersProduceValidSchedules(t *testing.T) {
+	cfg := workload.DefaultRandomDAGConfig()
+	cfg.NumTasks = 60
+	schedulers := []*Scheduler{NewHEFT(), NewLPT(), NewBLoad()}
+	for seed := int64(0); seed < 4; seed++ {
+		g, err := workload.RandomDAG(rand.New(rand.NewSource(seed)), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lb, err := g.MakespanLowerBound(cfg.Capacity())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range schedulers {
+			out, err := s.Schedule(g, cfg.Capacity())
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", s.Name(), seed, err)
+			}
+			if err := sched.Validate(g, cfg.Capacity(), out); err != nil {
+				t.Errorf("%s seed %d: %v", s.Name(), seed, err)
+			}
+			if out.Makespan < lb {
+				t.Errorf("%s seed %d: makespan %d below bound %d", s.Name(), seed, out.Makespan, lb)
+			}
+		}
+	}
+}
+
+func TestInfeasibleDemandRejected(t *testing.T) {
+	b := dag.NewBuilder(1)
+	b.AddTask("fat", 1, resource.Of(20))
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewHEFT().Schedule(g, resource.Of(10)); err == nil {
+		t.Error("infeasible demand accepted")
+	}
+}
+
+func TestPropertyAlwaysValid(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		cfg := workload.DefaultRandomDAGConfig()
+		cfg.NumTasks = 5 + r.Intn(40)
+		g, err := workload.RandomDAG(r, cfg)
+		if err != nil {
+			return false
+		}
+		for _, s := range []*Scheduler{NewHEFT(), NewLPT(), NewBLoad()} {
+			out, err := s.Schedule(g, cfg.Capacity())
+			if err != nil {
+				return false
+			}
+			if err := sched.Validate(g, cfg.Capacity(), out); err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkHEFT100Tasks(b *testing.B) {
+	cfg := workload.DefaultRandomDAGConfig()
+	g, err := workload.RandomDAG(rand.New(rand.NewSource(1)), cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := NewHEFT()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Schedule(g, cfg.Capacity()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,15 @@
+package mcts
+
+import "testing"
+
+func BenchmarkSchedule30Tasks(b *testing.B) {
+	g, capacity := smallRandomDAG(1, 30)
+	s := New(Config{InitialBudget: 50, MinBudget: 10, Seed: 1})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Schedule(g, capacity); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

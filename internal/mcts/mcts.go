@@ -1,0 +1,408 @@
+// Package mcts implements the improved Monte Carlo Tree Search of paper
+// §III-C: UCB selection with max-value exploitation and mean tiebreak
+// (Eq. 5), a makespan-scaled exploration constant, per-decision budget decay
+// max(b_initial/depth, b_min) (Eq. 4), the expansion filters that prune
+// superficial actions, and pluggable expansion/rollout policies so that the
+// DRL agent can replace the classic random policy (which is how Spear is
+// assembled in internal/core).
+package mcts
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+	"time"
+
+	"spear/internal/baselines"
+	"spear/internal/dag"
+	"spear/internal/resource"
+	"spear/internal/sched"
+	"spear/internal/simenv"
+)
+
+// Expander chooses which untried action to expand next. Classic MCTS picks
+// uniformly at random; Spear substitutes the trained policy network, which
+// "effectively sorts the actions by how promising they are" (§III-C).
+type Expander interface {
+	// Name returns a short label for logging and ablation output.
+	Name() string
+	// Next returns the index into untried of the action to expand. untried
+	// is never empty and must not be modified or retained.
+	Next(e *simenv.Env, untried []simenv.Action, rng *rand.Rand) (int, error)
+}
+
+// RandomExpander is the classic uniformly-random expansion strategy.
+type RandomExpander struct{}
+
+var _ Expander = RandomExpander{}
+
+// Name implements Expander.
+func (RandomExpander) Name() string { return "random" }
+
+// Next implements Expander.
+func (RandomExpander) Next(_ *simenv.Env, untried []simenv.Action, rng *rand.Rand) (int, error) {
+	if rng == nil {
+		return 0, errors.New("mcts: random expander requires an rng")
+	}
+	return rng.Intn(len(untried)), nil
+}
+
+// Config parameterizes the search. The zero value is completed with the
+// paper's defaults by normalize.
+type Config struct {
+	// InitialBudget is b_initial of Eq. 4: the iteration budget for the
+	// first scheduling decision. Default 1000 (§V-A).
+	InitialBudget int
+	// MinBudget is b_min of Eq. 4: the floor of the decayed budget.
+	// Default 100 (§V-B1).
+	MinBudget int
+	// ExplorationScale multiplies the greedy-packing makespan estimate to
+	// form the UCB exploration constant c (§IV: "we scale it by an estimate
+	// of the makespan produced by ... a greedy packing algorithm").
+	// Default 0.1.
+	ExplorationScale float64
+	// Rollout simulates from expanded nodes to termination. Default: the
+	// uniformly random policy of classic MCTS.
+	Rollout simenv.Policy
+	// Expand orders unexplored actions during expansion. Default: uniform
+	// random.
+	Expand Expander
+	// Window caps the visible ready tasks (0 = unlimited). Spear sets it to
+	// the neural network's input window.
+	Window int
+	// Seed feeds the search's private random source.
+	Seed int64
+	// ReuseTree keeps the chosen child's subtree between decisions instead
+	// of rebuilding from scratch. Default true.
+	DisableTreeReuse bool
+	// DisableBudgetDecay spends the full InitialBudget at every decision
+	// instead of Eq. 4's max(b_initial/depth, b_min) decay — the ablation
+	// arm for the paper's budget-decay design choice.
+	DisableBudgetDecay bool
+	// RolloutsPerExpansion runs this many simulations from each expanded
+	// node instead of one, in parallel (the paper notes MCTS "can easily be
+	// parallelized" [16]; this is leaf parallelization). Each simulation's
+	// value is backpropagated. Default 1.
+	RolloutsPerExpansion int
+	// Parallelism bounds concurrent rollouts when RolloutsPerExpansion > 1.
+	// Default GOMAXPROCS.
+	Parallelism int
+}
+
+func (c Config) normalized() Config {
+	if c.InitialBudget <= 0 {
+		c.InitialBudget = 1000
+	}
+	if c.MinBudget <= 0 {
+		c.MinBudget = 100
+	}
+	if c.MinBudget > c.InitialBudget {
+		c.MinBudget = c.InitialBudget
+	}
+	if c.ExplorationScale <= 0 {
+		c.ExplorationScale = 0.1
+	}
+	if c.Rollout == nil {
+		c.Rollout = baselines.Random{}
+	}
+	if c.Expand == nil {
+		c.Expand = RandomExpander{}
+	}
+	if c.RolloutsPerExpansion <= 0 {
+		c.RolloutsPerExpansion = 1
+	}
+	if c.Parallelism <= 0 {
+		c.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// Stats reports what one Schedule call did, for tests and benchmarks.
+type Stats struct {
+	Decisions  int
+	Iterations int
+	Expansions int
+}
+
+// Scheduler runs MCTS to schedule whole jobs. It implements
+// sched.Scheduler.
+type Scheduler struct {
+	name  string
+	cfg   Config
+	stats Stats
+}
+
+var _ sched.Scheduler = (*Scheduler)(nil)
+
+// New returns an MCTS scheduler with the given configuration.
+func New(cfg Config) *Scheduler {
+	return &Scheduler{name: "MCTS", cfg: cfg.normalized()}
+}
+
+// NewNamed is New with a custom display name (used by Spear).
+func NewNamed(name string, cfg Config) *Scheduler {
+	return &Scheduler{name: name, cfg: cfg.normalized()}
+}
+
+// Name implements sched.Scheduler.
+func (s *Scheduler) Name() string { return s.name }
+
+// LastStats returns counters from the most recent Schedule call.
+func (s *Scheduler) LastStats() Stats { return s.stats }
+
+// node is one state in the search tree, reached by applying action to the
+// parent's state. Values are negative makespans, so larger is better.
+type node struct {
+	env      *simenv.Env
+	action   simenv.Action
+	parent   *node
+	children []*node
+	untried  []simenv.Action
+	visits   int64
+	sum      float64
+	max      float64
+}
+
+func newNode(env *simenv.Env, parent *node, action simenv.Action) *node {
+	return &node{
+		env:     env,
+		action:  action,
+		parent:  parent,
+		untried: env.LegalActions(),
+		max:     math.Inf(-1),
+	}
+}
+
+func (n *node) terminal() bool { return n.env.Done() }
+
+func (n *node) fullyExpanded() bool { return len(n.untried) == 0 }
+
+// ucb is Eq. 5: max value plus the scaled exploration bonus, with the mean
+// as an implicit tiebreak via a tiny epsilon weight.
+func (n *node) ucb(c float64) float64 {
+	if n.visits == 0 {
+		return math.Inf(1)
+	}
+	mean := n.sum / float64(n.visits)
+	exploit := n.max + 1e-6*mean
+	explore := c * math.Sqrt(math.Log(float64(n.parent.visits+1))/float64(n.visits))
+	return exploit + explore
+}
+
+// better reports whether n is a strictly better committed move than m,
+// using max value with mean tiebreak (§IV).
+func (n *node) better(m *node) bool {
+	if n.max != m.max {
+		return n.max > m.max
+	}
+	nm, mm := n.sum/float64(n.visits), m.sum/float64(m.visits)
+	return nm > mm
+}
+
+// Schedule implements sched.Scheduler.
+func (s *Scheduler) Schedule(g *dag.Graph, capacity resource.Vector) (*sched.Schedule, error) {
+	began := time.Now()
+	s.stats = Stats{}
+	rng := rand.New(rand.NewSource(s.cfg.Seed))
+
+	env, err := simenv.New(g, capacity, simenv.Config{Window: s.cfg.Window, Mode: simenv.NextCompletion})
+	if err != nil {
+		return nil, fmt.Errorf("mcts: %w", err)
+	}
+
+	c, err := s.explorationConstant(g, capacity)
+	if err != nil {
+		return nil, err
+	}
+
+	root := newNode(env, nil, 0)
+	depth := 0
+	for !root.terminal() {
+		depth++
+		s.stats.Decisions++
+
+		legal := root.env.LegalActions()
+		if len(legal) == 0 {
+			return nil, fmt.Errorf("mcts: no legal actions at decision %d", depth)
+		}
+		var next *node
+		if len(legal) == 1 {
+			// Forced move: skip the search entirely.
+			child, err := s.childFor(root, legal[0])
+			if err != nil {
+				return nil, err
+			}
+			next = child
+		} else {
+			budget := s.cfg.InitialBudget
+			if !s.cfg.DisableBudgetDecay {
+				budget = s.cfg.InitialBudget / depth
+				if budget < s.cfg.MinBudget {
+					budget = s.cfg.MinBudget
+				}
+			}
+			if err := s.search(root, budget, c, rng); err != nil {
+				return nil, err
+			}
+			next = root.children[0]
+			for _, ch := range root.children[1:] {
+				if ch.better(next) {
+					next = ch
+				}
+			}
+		}
+		// Commit the move; the chosen child becomes the new root.
+		next.parent = nil
+		if s.cfg.DisableTreeReuse {
+			next = newNode(next.env, nil, 0)
+		}
+		root = next
+	}
+
+	out, err := root.env.Schedule(s.name)
+	if err != nil {
+		return nil, err
+	}
+	out.Elapsed = time.Since(began)
+	return out, nil
+}
+
+// explorationConstant estimates the job makespan with a greedy packing run
+// (Tetris) and scales it per the configuration.
+func (s *Scheduler) explorationConstant(g *dag.Graph, capacity resource.Vector) (float64, error) {
+	est, err := baselines.NewTetrisScheduler().Schedule(g, capacity)
+	if err != nil {
+		return 0, fmt.Errorf("mcts: greedy estimate: %w", err)
+	}
+	return s.cfg.ExplorationScale * float64(est.Makespan), nil
+}
+
+// childFor returns the existing child of n for the action, creating it (and
+// counting an expansion) if absent.
+func (s *Scheduler) childFor(n *node, a simenv.Action) (*node, error) {
+	for _, ch := range n.children {
+		if ch.action == a {
+			return ch, nil
+		}
+	}
+	env := n.env.Clone()
+	if err := env.Step(a); err != nil {
+		return nil, err
+	}
+	s.stats.Expansions++
+	child := newNode(env, n, a)
+	n.children = append(n.children, child)
+	// Drop a from untried if present.
+	for i, u := range n.untried {
+		if u == a {
+			n.untried = append(n.untried[:i], n.untried[i+1:]...)
+			break
+		}
+	}
+	return child, nil
+}
+
+// simulate estimates node n's value with one or more rollouts, returning
+// one negative-makespan value per simulation. Terminal nodes report their
+// exact makespan. Parallel rollouts draw their seeds from rng sequentially
+// and return values in seed order, so results stay deterministic.
+func (s *Scheduler) simulate(n *node, rng *rand.Rand) ([]float64, error) {
+	if n.terminal() {
+		return []float64{-float64(n.env.Makespan())}, nil
+	}
+	k := s.cfg.RolloutsPerExpansion
+	if k == 1 {
+		sim := n.env.Clone()
+		makespan, err := simenv.Rollout(sim, s.cfg.Rollout, rng)
+		if err != nil {
+			return nil, fmt.Errorf("mcts: rollout %s: %w", s.cfg.Rollout.Name(), err)
+		}
+		return []float64{-float64(makespan)}, nil
+	}
+
+	values := make([]float64, k)
+	errs := make([]error, k)
+	seeds := make([]int64, k)
+	for i := range seeds {
+		seeds[i] = rng.Int63()
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, s.cfg.Parallelism)
+	for i := 0; i < k; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			sim := n.env.Clone()
+			makespan, err := simenv.Rollout(sim, s.cfg.Rollout, rand.New(rand.NewSource(seeds[i])))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			values[i] = -float64(makespan)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("mcts: rollout %s: %w", s.cfg.Rollout.Name(), err)
+		}
+	}
+	return values, nil
+}
+
+// search runs budget iterations of selection, expansion, simulation and
+// backpropagation from the root.
+func (s *Scheduler) search(root *node, budget int, c float64, rng *rand.Rand) error {
+	for iter := 0; iter < budget; iter++ {
+		s.stats.Iterations++
+		n := root
+		// Selection: descend through fully expanded nodes.
+		for !n.terminal() && n.fullyExpanded() && len(n.children) > 0 {
+			best := n.children[0]
+			bestScore := best.ucb(c)
+			for _, ch := range n.children[1:] {
+				if score := ch.ucb(c); score > bestScore {
+					best, bestScore = ch, score
+				}
+			}
+			n = best
+		}
+		// Expansion: add one new child unless terminal.
+		if !n.terminal() && !n.fullyExpanded() {
+			idx, err := s.cfg.Expand.Next(n.env, n.untried, rng)
+			if err != nil {
+				return fmt.Errorf("mcts: expander %s: %w", s.cfg.Expand.Name(), err)
+			}
+			if idx < 0 || idx >= len(n.untried) {
+				return fmt.Errorf("mcts: expander %s returned index %d of %d", s.cfg.Expand.Name(), idx, len(n.untried))
+			}
+			child, err := s.childFor(n, n.untried[idx])
+			if err != nil {
+				return err
+			}
+			n = child
+		}
+		// Simulation: roll out to termination with the configured policy
+		// (leaf-parallel when RolloutsPerExpansion > 1).
+		values, err := s.simulate(n, rng)
+		if err != nil {
+			return err
+		}
+		// Backpropagation: update max and mean up to the root.
+		for _, value := range values {
+			for cur := n; cur != nil; cur = cur.parent {
+				cur.visits++
+				cur.sum += value
+				if value > cur.max {
+					cur.max = value
+				}
+			}
+		}
+	}
+	return nil
+}

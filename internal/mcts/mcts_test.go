@@ -1,0 +1,350 @@
+package mcts
+
+import (
+	"math/rand"
+	"testing"
+
+	"spear/internal/baselines"
+	"spear/internal/dag"
+	"spear/internal/resource"
+	"spear/internal/sched"
+	"spear/internal/simenv"
+	"spear/internal/workload"
+)
+
+func smallRandomDAG(seed int64, n int) (*dag.Graph, resource.Vector) {
+	cfg := workload.DefaultRandomDAGConfig()
+	cfg.NumTasks = n
+	g, err := workload.RandomDAG(rand.New(rand.NewSource(seed)), cfg)
+	if err != nil {
+		panic(err)
+	}
+	return g, cfg.Capacity()
+}
+
+func TestMCTSProducesValidSchedules(t *testing.T) {
+	for seed := int64(0); seed < 3; seed++ {
+		g, capacity := smallRandomDAG(seed, 30)
+		s := New(Config{InitialBudget: 60, MinBudget: 10, Seed: seed})
+		out, err := s.Schedule(g, capacity)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := sched.Validate(g, capacity, out); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+		lb, err := g.MakespanLowerBound(capacity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Makespan < lb {
+			t.Errorf("seed %d: makespan %d below lower bound %d", seed, out.Makespan, lb)
+		}
+		stats := s.LastStats()
+		if stats.Decisions == 0 || stats.Expansions == 0 {
+			t.Errorf("seed %d: empty stats %+v", seed, stats)
+		}
+	}
+}
+
+func TestMCTSDeterministicGivenSeed(t *testing.T) {
+	g, capacity := smallRandomDAG(11, 25)
+	run := func() int64 {
+		s := New(Config{InitialBudget: 50, MinBudget: 10, Seed: 3})
+		out, err := s.Schedule(g, capacity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out.Makespan
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("same seed gave different makespans: %d vs %d", a, b)
+	}
+}
+
+func TestMCTSSolvesMotivatingExample(t *testing.T) {
+	g, err := workload.MotivatingExample(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	capacity := workload.MotivatingCapacity()
+	s := New(Config{InitialBudget: 3000, MinBudget: 300, Seed: 1})
+	out, err := s.Schedule(g, capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.Validate(g, capacity, out); err != nil {
+		t.Fatal(err)
+	}
+	// The work-conserving heuristics are stuck at 301 (~3T); the search must
+	// discover the non-greedy 2T-region schedule.
+	if out.Makespan >= 301 {
+		t.Errorf("MCTS makespan = %d, want < 301 (heuristic trap)", out.Makespan)
+	}
+	if out.Makespan > 210 {
+		t.Logf("note: MCTS found %d, optimal region is ~202", out.Makespan)
+	}
+}
+
+func TestMCTSBeatsRandomOnAverage(t *testing.T) {
+	var mctsTotal, randTotal int64
+	for seed := int64(0); seed < 3; seed++ {
+		g, capacity := smallRandomDAG(seed+100, 40)
+		s := New(Config{InitialBudget: 80, MinBudget: 20, Seed: seed})
+		out, err := s.Schedule(g, capacity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mctsTotal += out.Makespan
+
+		r, err := baselines.NewRandomScheduler(seed).Schedule(g, capacity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		randTotal += r.Makespan
+	}
+	if mctsTotal >= randTotal {
+		t.Errorf("MCTS total %d not better than random total %d", mctsTotal, randTotal)
+	}
+}
+
+func TestMCTSMoreBudgetNotWorse(t *testing.T) {
+	// Statistically more budget helps; on a fixed seed/graph we assert the
+	// weaker, stable property that a large budget is at least as good as a
+	// tiny one.
+	g, capacity := smallRandomDAG(42, 30)
+	small := New(Config{InitialBudget: 5, MinBudget: 2, Seed: 7})
+	big := New(Config{InitialBudget: 400, MinBudget: 80, Seed: 7})
+	outSmall, err := small.Schedule(g, capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outBig, err := big.Schedule(g, capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outBig.Makespan > outSmall.Makespan {
+		t.Errorf("budget 400 makespan %d worse than budget 5 makespan %d", outBig.Makespan, outSmall.Makespan)
+	}
+}
+
+func TestConfigNormalization(t *testing.T) {
+	s := New(Config{})
+	if s.cfg.InitialBudget != 1000 || s.cfg.MinBudget != 100 {
+		t.Errorf("default budgets = %d/%d, want 1000/100", s.cfg.InitialBudget, s.cfg.MinBudget)
+	}
+	if s.cfg.Rollout == nil || s.cfg.Expand == nil {
+		t.Error("default policies not set")
+	}
+	s = New(Config{InitialBudget: 10, MinBudget: 50})
+	if s.cfg.MinBudget != 10 {
+		t.Errorf("MinBudget not clamped to InitialBudget: %d", s.cfg.MinBudget)
+	}
+}
+
+func TestNamedScheduler(t *testing.T) {
+	s := NewNamed("Spear", Config{InitialBudget: 5, MinBudget: 2})
+	if s.Name() != "Spear" {
+		t.Errorf("Name = %q", s.Name())
+	}
+	g, capacity := smallRandomDAG(1, 10)
+	out, err := s.Schedule(g, capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Algorithm != "Spear" {
+		t.Errorf("Algorithm = %q", out.Algorithm)
+	}
+}
+
+func TestTreeReuseMatchesNoReuseValidity(t *testing.T) {
+	g, capacity := smallRandomDAG(5, 20)
+	for _, disable := range []bool{false, true} {
+		s := New(Config{InitialBudget: 40, MinBudget: 10, Seed: 2, DisableTreeReuse: disable})
+		out, err := s.Schedule(g, capacity)
+		if err != nil {
+			t.Fatalf("reuse=%v: %v", !disable, err)
+		}
+		if err := sched.Validate(g, capacity, out); err != nil {
+			t.Errorf("reuse=%v: %v", !disable, err)
+		}
+	}
+}
+
+func TestForcedMovesSkipSearch(t *testing.T) {
+	// A pure chain has exactly one legal action at every step, so zero
+	// iterations should be spent.
+	b := dag.NewBuilder(1)
+	prev := b.AddTask("t0", 2, resource.Of(1))
+	for i := 1; i < 6; i++ {
+		cur := b.AddTask("t", 2, resource.Of(1))
+		b.AddDep(prev, cur)
+		prev = cur
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(Config{InitialBudget: 100, MinBudget: 10, Seed: 1})
+	out, err := s.Schedule(g, resource.Of(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Makespan != 12 {
+		t.Errorf("chain makespan = %d, want 12", out.Makespan)
+	}
+	if got := s.LastStats().Iterations; got != 0 {
+		t.Errorf("Iterations = %d, want 0 (all moves forced)", got)
+	}
+}
+
+// fixedExpander always expands the first untried action; used to verify the
+// Expander plumbing.
+type fixedExpander struct{ calls int }
+
+func (f *fixedExpander) Name() string { return "fixed" }
+
+func (f *fixedExpander) Next(_ *simenv.Env, _ []simenv.Action, _ *rand.Rand) (int, error) {
+	f.calls++
+	return 0, nil
+}
+
+// badExpander returns an out-of-range index — failure injection for the
+// search loop's expander validation.
+type badExpander struct{}
+
+func (badExpander) Name() string { return "bad" }
+
+func (badExpander) Next(_ *simenv.Env, untried []simenv.Action, _ *rand.Rand) (int, error) {
+	return len(untried) + 3, nil
+}
+
+// erroringExpander fails outright.
+type erroringExpander struct{}
+
+func (erroringExpander) Name() string { return "erroring" }
+
+func (erroringExpander) Next(_ *simenv.Env, _ []simenv.Action, _ *rand.Rand) (int, error) {
+	return 0, errTest
+}
+
+var errTest = dag.ErrEmpty // any sentinel will do for matching
+
+func TestExpanderFailureInjection(t *testing.T) {
+	g, capacity := smallRandomDAG(6, 15)
+	s := New(Config{InitialBudget: 20, MinBudget: 5, Seed: 1, Expand: badExpander{}})
+	if _, err := s.Schedule(g, capacity); err == nil {
+		t.Error("out-of-range expander index accepted")
+	}
+	s = New(Config{InitialBudget: 20, MinBudget: 5, Seed: 1, Expand: erroringExpander{}})
+	if _, err := s.Schedule(g, capacity); err == nil {
+		t.Error("expander error swallowed")
+	}
+}
+
+func TestCustomExpanderIsUsed(t *testing.T) {
+	g, capacity := smallRandomDAG(3, 15)
+	exp := &fixedExpander{}
+	s := New(Config{InitialBudget: 30, MinBudget: 5, Seed: 1, Expand: exp})
+	if _, err := s.Schedule(g, capacity); err != nil {
+		t.Fatal(err)
+	}
+	if exp.calls == 0 {
+		t.Error("custom expander never called")
+	}
+}
+
+// cpRollout uses the CP heuristic for rollouts; verifies pluggable rollout
+// policies and is itself the simplest "expert rollout" ablation.
+func TestCustomRolloutIsUsed(t *testing.T) {
+	g, capacity := smallRandomDAG(4, 25)
+	s := New(Config{InitialBudget: 30, MinBudget: 5, Seed: 1, Rollout: baselines.CP{}})
+	out, err := s.Schedule(g, capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.Validate(g, capacity, out); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParallelRolloutsValidAndDeterministic(t *testing.T) {
+	g, capacity := smallRandomDAG(6, 25)
+	run := func() int64 {
+		s := New(Config{InitialBudget: 30, MinBudget: 8, Seed: 4, RolloutsPerExpansion: 4, Parallelism: 2})
+		out, err := s.Schedule(g, capacity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sched.Validate(g, capacity, out); err != nil {
+			t.Fatal(err)
+		}
+		return out.Makespan
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("parallel rollouts nondeterministic: %d vs %d", a, b)
+	}
+}
+
+func TestParallelRolloutsIncreaseVisits(t *testing.T) {
+	// With k rollouts per expansion, total simulations = k x iterations;
+	// quality should be at least as good as single-rollout at tiny budget
+	// most of the time — here we assert only the machinery runs and stats
+	// count iterations, not rollouts.
+	g, capacity := smallRandomDAG(8, 20)
+	s := New(Config{InitialBudget: 10, MinBudget: 4, Seed: 2, RolloutsPerExpansion: 3})
+	if _, err := s.Schedule(g, capacity); err != nil {
+		t.Fatal(err)
+	}
+	if s.LastStats().Iterations == 0 {
+		t.Error("no iterations recorded")
+	}
+}
+
+func TestDisableBudgetDecaySpendsFullBudget(t *testing.T) {
+	// Two independent tasks on a 1-capacity cluster: first decision has two
+	// legal actions, so search runs; later decisions are forced. With decay
+	// disabled every searched decision gets the full budget.
+	b := dag.NewBuilder(1)
+	b.AddTask("x", 2, resource.Of(1))
+	b.AddTask("y", 3, resource.Of(1))
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	capacity := resource.Of(1)
+
+	decayed := New(Config{InitialBudget: 40, MinBudget: 1, Seed: 1})
+	if _, err := decayed.Schedule(g, capacity); err != nil {
+		t.Fatal(err)
+	}
+	constant := New(Config{InitialBudget: 40, MinBudget: 1, Seed: 1, DisableBudgetDecay: true})
+	if _, err := constant.Schedule(g, capacity); err != nil {
+		t.Fatal(err)
+	}
+	if constant.LastStats().Iterations < decayed.LastStats().Iterations {
+		t.Errorf("no-decay iterations %d < decayed %d", constant.LastStats().Iterations, decayed.LastStats().Iterations)
+	}
+}
+
+func TestWindowLimitsVisibleActions(t *testing.T) {
+	// A wide fan of independent tasks with window 3: the search must still
+	// schedule everything.
+	b := dag.NewBuilder(1)
+	for i := 0; i < 10; i++ {
+		b.AddTask("t", 2, resource.Of(1))
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	capacity := resource.Of(3)
+	s := New(Config{InitialBudget: 20, MinBudget: 5, Seed: 1, Window: 3})
+	out, err := s.Schedule(g, capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.Validate(g, capacity, out); err != nil {
+		t.Error(err)
+	}
+}

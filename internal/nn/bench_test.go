@@ -1,0 +1,103 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// paperNet builds the paper's 147-256-32-32-16 policy network.
+func paperNet(b *testing.B) *Network {
+	b.Helper()
+	n, err := New([]int{147, 256, 32, 32, 16}, rand.New(rand.NewSource(1)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return n
+}
+
+func benchInput(n *Network) []float64 {
+	x := make([]float64, n.InputSize())
+	r := rand.New(rand.NewSource(2))
+	for i := range x {
+		x[i] = r.Float64()
+	}
+	return x
+}
+
+func BenchmarkForward(b *testing.B) {
+	n := paperNet(b)
+	x := benchInput(n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := n.Forward(x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkProbsMasked(b *testing.B) {
+	n := paperNet(b)
+	x := benchInput(n)
+	mask := make([]bool, n.OutputSize())
+	for i := 0; i < len(mask); i += 2 {
+		mask[i] = true
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := n.Probs(x, mask); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBackward(b *testing.B) {
+	n := paperNet(b)
+	x := benchInput(n)
+	cache, err := n.Forward(x)
+	if err != nil {
+		b.Fatal(err)
+	}
+	probs, err := Softmax(cache.Logits(), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := append([]float64(nil), probs...)
+	d[3] -= 1
+	g := n.NewGrads()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := n.Backward(cache, d, g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkApplyRMSProp(b *testing.B) {
+	n := paperNet(b)
+	x := benchInput(n)
+	cache, err := n.Forward(x)
+	if err != nil {
+		b.Fatal(err)
+	}
+	probs, err := Softmax(cache.Logits(), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := append([]float64(nil), probs...)
+	d[3] -= 1
+	g := n.NewGrads()
+	if err := n.Backward(cache, d, g); err != nil {
+		b.Fatal(err)
+	}
+	opt := DefaultRMSProp()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := n.Apply(g, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,319 @@
+// Package nn is a small, dependency-free feedforward neural network with
+// ReLU hidden layers, a (maskable) softmax output, backpropagation and
+// RMSProp — everything the paper's policy network needs (§IV: three hidden
+// layers of 256/32/32 units, softmax output, RMSProp with lr 1e-4, ρ 0.9).
+// It replaces the Theano dependency of the original implementation.
+package nn
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+)
+
+// Network is a fully connected network: len(sizes)-1 layers, ReLU between
+// hidden layers, raw logits at the output (softmax applied separately so
+// that masking is possible). It is safe for concurrent Forward/Probs calls
+// as long as no Apply* call runs concurrently.
+type Network struct {
+	sizes   []int
+	weights [][]float64 // weights[l][j*in+i]: layer l, output j, input i
+	biases  [][]float64
+
+	// RMSProp accumulators.
+	msW [][]float64
+	msB [][]float64
+}
+
+// Errors returned by the package.
+var (
+	ErrBadShape  = errors.New("nn: invalid network shape")
+	ErrBadInput  = errors.New("nn: input size mismatch")
+	ErrAllMasked = errors.New("nn: every action is masked")
+)
+
+// New builds a network with the given layer sizes (input first, output
+// last) and He-initialized weights.
+func New(sizes []int, rng *rand.Rand) (*Network, error) {
+	if len(sizes) < 2 {
+		return nil, fmt.Errorf("%w: need at least input and output, got %v", ErrBadShape, sizes)
+	}
+	for _, s := range sizes {
+		if s < 1 {
+			return nil, fmt.Errorf("%w: non-positive layer size in %v", ErrBadShape, sizes)
+		}
+	}
+	n := &Network{sizes: append([]int(nil), sizes...)}
+	for l := 0; l < len(sizes)-1; l++ {
+		in, out := sizes[l], sizes[l+1]
+		w := make([]float64, in*out)
+		std := math.Sqrt(2.0 / float64(in))
+		for i := range w {
+			w[i] = rng.NormFloat64() * std
+		}
+		n.weights = append(n.weights, w)
+		n.biases = append(n.biases, make([]float64, out))
+		n.msW = append(n.msW, make([]float64, in*out))
+		n.msB = append(n.msB, make([]float64, out))
+	}
+	return n, nil
+}
+
+// Sizes returns a copy of the layer sizes.
+func (n *Network) Sizes() []int { return append([]int(nil), n.sizes...) }
+
+// InputSize returns the expected input dimension.
+func (n *Network) InputSize() int { return n.sizes[0] }
+
+// OutputSize returns the number of logits.
+func (n *Network) OutputSize() int { return n.sizes[len(n.sizes)-1] }
+
+// Cache holds the per-layer activations of one forward pass, needed by
+// Backward.
+type Cache struct {
+	// acts[0] is the input; acts[l+1] is the post-ReLU activation of layer
+	// l (for the last layer: raw logits).
+	acts [][]float64
+}
+
+// Logits returns the output-layer logits of the cached pass.
+func (c *Cache) Logits() []float64 { return c.acts[len(c.acts)-1] }
+
+// Forward computes logits for input x, retaining activations for Backward.
+func (n *Network) Forward(x []float64) (*Cache, error) {
+	if len(x) != n.sizes[0] {
+		return nil, fmt.Errorf("%w: got %d, want %d", ErrBadInput, len(x), n.sizes[0])
+	}
+	cache := &Cache{acts: make([][]float64, len(n.sizes))}
+	cache.acts[0] = append([]float64(nil), x...)
+	cur := cache.acts[0]
+	last := len(n.weights) - 1
+	for l, w := range n.weights {
+		in, out := n.sizes[l], n.sizes[l+1]
+		next := make([]float64, out)
+		for j := 0; j < out; j++ {
+			sum := n.biases[l][j]
+			row := w[j*in : (j+1)*in]
+			for i, xi := range cur {
+				sum += row[i] * xi
+			}
+			if l != last && sum < 0 {
+				sum = 0 // ReLU on hidden layers
+			}
+			next[j] = sum
+		}
+		cache.acts[l+1] = next
+		cur = next
+	}
+	return cache, nil
+}
+
+// Softmax converts logits to probabilities; entries where mask is false get
+// probability zero. A nil mask means all actions are allowed.
+func Softmax(logits []float64, mask []bool) ([]float64, error) {
+	if mask != nil && len(mask) != len(logits) {
+		return nil, fmt.Errorf("%w: mask size %d, logits %d", ErrBadInput, len(mask), len(logits))
+	}
+	max := math.Inf(-1)
+	any := false
+	for i, v := range logits {
+		if mask != nil && !mask[i] {
+			continue
+		}
+		any = true
+		if v > max {
+			max = v
+		}
+	}
+	if !any {
+		return nil, ErrAllMasked
+	}
+	out := make([]float64, len(logits))
+	var sum float64
+	for i, v := range logits {
+		if mask != nil && !mask[i] {
+			continue
+		}
+		e := math.Exp(v - max)
+		out[i] = e
+		sum += e
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out, nil
+}
+
+// Probs is Forward followed by masked Softmax, discarding the cache.
+func (n *Network) Probs(x []float64, mask []bool) ([]float64, error) {
+	cache, err := n.Forward(x)
+	if err != nil {
+		return nil, err
+	}
+	return Softmax(cache.Logits(), mask)
+}
+
+// Grads accumulates parameter gradients across a mini-batch.
+type Grads struct {
+	w [][]float64
+	b [][]float64
+	n int // samples accumulated
+}
+
+// NewGrads returns a zeroed gradient accumulator shaped like the network.
+func (n *Network) NewGrads() *Grads {
+	g := &Grads{}
+	for l := range n.weights {
+		g.w = append(g.w, make([]float64, len(n.weights[l])))
+		g.b = append(g.b, make([]float64, len(n.biases[l])))
+	}
+	return g
+}
+
+// Add merges other into g (for parallel workers).
+func (g *Grads) Add(other *Grads) {
+	for l := range g.w {
+		for i, v := range other.w[l] {
+			g.w[l][i] += v
+		}
+		for i, v := range other.b[l] {
+			g.b[l][i] += v
+		}
+	}
+	g.n += other.n
+}
+
+// Samples returns how many samples were accumulated.
+func (g *Grads) Samples() int { return g.n }
+
+// Backward accumulates gradients for one sample given dLogits, the gradient
+// of the loss with respect to the output logits (for policy-gradient /
+// cross-entropy losses with softmax this is (probs - onehot) * scale).
+func (n *Network) Backward(cache *Cache, dLogits []float64, g *Grads) error {
+	if len(dLogits) != n.OutputSize() {
+		return fmt.Errorf("%w: dLogits %d, want %d", ErrBadInput, len(dLogits), n.OutputSize())
+	}
+	delta := append([]float64(nil), dLogits...)
+	for l := len(n.weights) - 1; l >= 0; l-- {
+		in := n.sizes[l]
+		prev := cache.acts[l]
+		// Parameter gradients.
+		for j, dj := range delta {
+			g.b[l][j] += dj
+			row := g.w[l][j*in : (j+1)*in]
+			for i, pi := range prev {
+				row[i] += dj * pi
+			}
+		}
+		if l == 0 {
+			break
+		}
+		// Propagate to the previous layer through W and the ReLU.
+		nextDelta := make([]float64, in)
+		w := n.weights[l]
+		for j, dj := range delta {
+			row := w[j*in : (j+1)*in]
+			for i := range nextDelta {
+				nextDelta[i] += dj * row[i]
+			}
+		}
+		for i := range nextDelta {
+			if cache.acts[l][i] <= 0 { // ReLU derivative
+				nextDelta[i] = 0
+			}
+		}
+		delta = nextDelta
+	}
+	g.n++
+	return nil
+}
+
+// RMSProp hyperparameters (§IV).
+type RMSProp struct {
+	LR  float64 // learning rate α; paper: 1e-4
+	Rho float64 // decay ρ; paper: 0.9
+	Eps float64 // ε; paper: 1e-9
+}
+
+// DefaultRMSProp returns the paper's optimizer settings.
+func DefaultRMSProp() RMSProp { return RMSProp{LR: 1e-4, Rho: 0.9, Eps: 1e-9} }
+
+// Apply performs one RMSProp update with the mean gradient of the batch.
+// Accumulators persist inside the network.
+func (n *Network) Apply(g *Grads, opt RMSProp) error {
+	if g.n == 0 {
+		return errors.New("nn: empty gradient batch")
+	}
+	scale := 1.0 / float64(g.n)
+	for l := range n.weights {
+		for i, raw := range g.w[l] {
+			grad := raw * scale
+			n.msW[l][i] = opt.Rho*n.msW[l][i] + (1-opt.Rho)*grad*grad
+			n.weights[l][i] -= opt.LR * grad / (math.Sqrt(n.msW[l][i]) + opt.Eps)
+		}
+		for i, raw := range g.b[l] {
+			grad := raw * scale
+			n.msB[l][i] = opt.Rho*n.msB[l][i] + (1-opt.Rho)*grad*grad
+			n.biases[l][i] -= opt.LR * grad / (math.Sqrt(n.msB[l][i]) + opt.Eps)
+		}
+	}
+	return nil
+}
+
+// networkState is the gob wire format.
+type networkState struct {
+	Sizes   []int
+	Weights [][]float64
+	Biases  [][]float64
+}
+
+// Save serializes the network weights (not the optimizer state).
+func (n *Network) Save(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(networkState{
+		Sizes:   n.sizes,
+		Weights: n.weights,
+		Biases:  n.biases,
+	})
+}
+
+// Load reads a network previously written by Save. Optimizer accumulators
+// start from zero.
+func Load(r io.Reader) (*Network, error) {
+	var st networkState
+	if err := gob.NewDecoder(r).Decode(&st); err != nil {
+		return nil, fmt.Errorf("nn: decode: %w", err)
+	}
+	if len(st.Sizes) < 2 || len(st.Weights) != len(st.Sizes)-1 || len(st.Biases) != len(st.Sizes)-1 {
+		return nil, fmt.Errorf("%w: corrupt saved model", ErrBadShape)
+	}
+	n := &Network{sizes: st.Sizes, weights: st.Weights, biases: st.Biases}
+	for l := 0; l < len(st.Sizes)-1; l++ {
+		in, out := st.Sizes[l], st.Sizes[l+1]
+		if len(st.Weights[l]) != in*out || len(st.Biases[l]) != out {
+			return nil, fmt.Errorf("%w: layer %d shape mismatch", ErrBadShape, l)
+		}
+		n.msW = append(n.msW, make([]float64, in*out))
+		n.msB = append(n.msB, make([]float64, out))
+	}
+	return n, nil
+}
+
+// Clone returns a deep copy of the network, including optimizer state.
+func (n *Network) Clone() *Network {
+	c := &Network{sizes: append([]int(nil), n.sizes...)}
+	cp := func(src [][]float64) [][]float64 {
+		out := make([][]float64, len(src))
+		for i, s := range src {
+			out[i] = append([]float64(nil), s...)
+		}
+		return out
+	}
+	c.weights = cp(n.weights)
+	c.biases = cp(n.biases)
+	c.msW = cp(n.msW)
+	c.msB = cp(n.msB)
+	return c
+}

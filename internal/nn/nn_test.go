@@ -1,0 +1,390 @@
+package nn
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func newNet(t *testing.T, sizes ...int) *Network {
+	t.Helper()
+	n, err := New(sizes, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return n
+}
+
+func TestNewValidation(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	if _, err := New([]int{4}, r); !errors.Is(err, ErrBadShape) {
+		t.Errorf("single layer err = %v", err)
+	}
+	if _, err := New([]int{4, 0, 2}, r); !errors.Is(err, ErrBadShape) {
+		t.Errorf("zero layer err = %v", err)
+	}
+	n, err := New([]int{4, 8, 2}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.InputSize() != 4 || n.OutputSize() != 2 {
+		t.Errorf("sizes: in=%d out=%d", n.InputSize(), n.OutputSize())
+	}
+}
+
+func TestForwardShapeAndDeterminism(t *testing.T) {
+	n := newNet(t, 3, 5, 2)
+	x := []float64{0.1, -0.2, 0.3}
+	c1, err := n.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := n.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c1.Logits()) != 2 {
+		t.Fatalf("logits len = %d", len(c1.Logits()))
+	}
+	for i := range c1.Logits() {
+		if c1.Logits()[i] != c2.Logits()[i] {
+			t.Errorf("forward not deterministic at %d", i)
+		}
+	}
+	if _, err := n.Forward([]float64{1}); !errors.Is(err, ErrBadInput) {
+		t.Errorf("bad input err = %v", err)
+	}
+}
+
+func TestSoftmax(t *testing.T) {
+	p, err := Softmax([]float64{1, 1, 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range p {
+		if math.Abs(v-1.0/3) > 1e-12 {
+			t.Errorf("uniform softmax = %v", p)
+		}
+	}
+
+	p, err = Softmax([]float64{5, 0, -5}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(p[0] > p[1] && p[1] > p[2]) {
+		t.Errorf("softmax not monotone: %v", p)
+	}
+	var sum float64
+	for _, v := range p {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("softmax sum = %v", sum)
+	}
+}
+
+func TestSoftmaxMask(t *testing.T) {
+	p, err := Softmax([]float64{100, 1, 2}, []bool{false, true, true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p[0] != 0 {
+		t.Errorf("masked entry prob = %v", p[0])
+	}
+	if math.Abs(p[1]+p[2]-1) > 1e-12 {
+		t.Errorf("unmasked probs sum = %v", p[1]+p[2])
+	}
+
+	if _, err := Softmax([]float64{1, 2}, []bool{false, false}); !errors.Is(err, ErrAllMasked) {
+		t.Errorf("all masked err = %v", err)
+	}
+	if _, err := Softmax([]float64{1, 2}, []bool{true}); !errors.Is(err, ErrBadInput) {
+		t.Errorf("short mask err = %v", err)
+	}
+}
+
+func TestSoftmaxNumericalStability(t *testing.T) {
+	p, err := Softmax([]float64{1e4, 1e4 - 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(p[0]) || math.IsInf(p[0], 0) {
+		t.Errorf("softmax overflowed: %v", p)
+	}
+}
+
+// numericalGradient estimates d(loss)/d(param) by central differences,
+// where loss = -log softmax(logits)[target].
+func numericalGradient(t *testing.T, n *Network, x []float64, target int, param *float64) float64 {
+	t.Helper()
+	const h = 1e-6
+	loss := func() float64 {
+		p, err := n.Probs(x, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return -math.Log(p[target])
+	}
+	orig := *param
+	*param = orig + h
+	up := loss()
+	*param = orig - h
+	down := loss()
+	*param = orig
+	return (up - down) / (2 * h)
+}
+
+func TestBackwardGradientCheck(t *testing.T) {
+	n := newNet(t, 4, 6, 5, 3)
+	rng := rand.New(rand.NewSource(7))
+	x := make([]float64, 4)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	target := 1
+
+	cache, err := n.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probs, err := Softmax(cache.Logits(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dLogits := append([]float64(nil), probs...)
+	dLogits[target] -= 1 // d(-log p[target])/d logits
+
+	g := n.NewGrads()
+	if err := n.Backward(cache, dLogits, g); err != nil {
+		t.Fatal(err)
+	}
+
+	// Spot-check a handful of weights and biases in every layer.
+	for l := range n.weights {
+		for _, idx := range []int{0, len(n.weights[l]) / 2, len(n.weights[l]) - 1} {
+			got := g.w[l][idx]
+			want := numericalGradient(t, n, x, target, &n.weights[l][idx])
+			if math.Abs(got-want) > 1e-4*(1+math.Abs(want)) {
+				t.Errorf("layer %d weight %d: analytic %g, numeric %g", l, idx, got, want)
+			}
+		}
+		for _, idx := range []int{0, len(n.biases[l]) - 1} {
+			got := g.b[l][idx]
+			want := numericalGradient(t, n, x, target, &n.biases[l][idx])
+			if math.Abs(got-want) > 1e-4*(1+math.Abs(want)) {
+				t.Errorf("layer %d bias %d: analytic %g, numeric %g", l, idx, got, want)
+			}
+		}
+	}
+}
+
+func TestBackwardGradientCheckMasked(t *testing.T) {
+	// The REINFORCE path differentiates -log softmax(logits)[a] where the
+	// softmax is restricted to unmasked actions; verify the analytic
+	// gradient (probs - onehot over the unmasked set) numerically.
+	n := newNet(t, 3, 5, 4)
+	rng := rand.New(rand.NewSource(9))
+	x := make([]float64, 3)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	mask := []bool{true, false, true, true}
+	target := 2
+
+	loss := func() float64 {
+		p, err := n.Probs(x, mask)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return -math.Log(p[target])
+	}
+
+	cache, err := n.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probs, err := Softmax(cache.Logits(), mask)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := append([]float64(nil), probs...)
+	d[target] -= 1
+	g := n.NewGrads()
+	if err := n.Backward(cache, d, g); err != nil {
+		t.Fatal(err)
+	}
+
+	const h = 1e-6
+	for l := range n.weights {
+		for _, idx := range []int{0, len(n.weights[l]) - 1} {
+			orig := n.weights[l][idx]
+			n.weights[l][idx] = orig + h
+			up := loss()
+			n.weights[l][idx] = orig - h
+			down := loss()
+			n.weights[l][idx] = orig
+			want := (up - down) / (2 * h)
+			got := g.w[l][idx]
+			if math.Abs(got-want) > 1e-4*(1+math.Abs(want)) {
+				t.Errorf("masked grad layer %d idx %d: analytic %g, numeric %g", l, idx, got, want)
+			}
+		}
+	}
+}
+
+func TestTrainingReducesLoss(t *testing.T) {
+	// Teach the net a fixed mapping x -> class and check the loss drops.
+	n := newNet(t, 3, 16, 4)
+	opt := RMSProp{LR: 1e-2, Rho: 0.9, Eps: 1e-8}
+	x := []float64{0.5, -1, 0.25}
+	target := 2
+
+	loss := func() float64 {
+		p, err := n.Probs(x, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return -math.Log(p[target])
+	}
+	before := loss()
+	for step := 0; step < 200; step++ {
+		cache, err := n.Forward(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		probs, err := Softmax(cache.Logits(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := append([]float64(nil), probs...)
+		d[target] -= 1
+		g := n.NewGrads()
+		if err := n.Backward(cache, d, g); err != nil {
+			t.Fatal(err)
+		}
+		if err := n.Apply(g, opt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after := loss()
+	if after >= before {
+		t.Errorf("loss did not decrease: before %g, after %g", before, after)
+	}
+	if after > 0.1 {
+		t.Errorf("loss after training = %g, want < 0.1", after)
+	}
+}
+
+func TestGradsAddAndSamples(t *testing.T) {
+	n := newNet(t, 2, 3, 2)
+	g1 := n.NewGrads()
+	g2 := n.NewGrads()
+	cache, err := n.Forward([]float64{1, -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Backward(cache, []float64{0.5, -0.5}, g1); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Backward(cache, []float64{0.5, -0.5}, g2); err != nil {
+		t.Fatal(err)
+	}
+	g1.Add(g2)
+	if g1.Samples() != 2 {
+		t.Errorf("Samples = %d, want 2", g1.Samples())
+	}
+	for i := range g1.w[0] {
+		if math.Abs(g1.w[0][i]-2*g2.w[0][i]) > 1e-12 {
+			t.Errorf("Add did not double gradient at %d", i)
+		}
+	}
+}
+
+func TestApplyEmptyBatch(t *testing.T) {
+	n := newNet(t, 2, 2)
+	if err := n.Apply(n.NewGrads(), DefaultRMSProp()); err == nil {
+		t.Error("empty batch accepted")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	n := newNet(t, 4, 8, 3)
+	x := []float64{0.1, 0.2, 0.3, 0.4}
+	want, err := n.Probs(x, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := n.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	got, err := loaded.Probs(x, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-15 {
+			t.Errorf("prob %d: %g != %g", i, got[i], want[i])
+		}
+	}
+
+	if _, err := Load(bytes.NewBufferString("junk")); err == nil {
+		t.Error("corrupt model accepted")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	n := newNet(t, 2, 4, 2)
+	c := n.Clone()
+	x := []float64{1, 2}
+
+	cache, err := c.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probs, err := Softmax(cache.Logits(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := append([]float64(nil), probs...)
+	d[0] -= 1
+	g := c.NewGrads()
+	if err := c.Backward(cache, d, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Apply(g, RMSProp{LR: 0.1, Rho: 0.9, Eps: 1e-8}); err != nil {
+		t.Fatal(err)
+	}
+
+	p1, err := n.Probs(x, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := c.Probs(x, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("training the clone did not change it relative to the original")
+	}
+}
+
+func TestDefaultRMSPropMatchesPaper(t *testing.T) {
+	opt := DefaultRMSProp()
+	if opt.LR != 1e-4 || opt.Rho != 0.9 || opt.Eps != 1e-9 {
+		t.Errorf("DefaultRMSProp = %+v, want lr=1e-4 rho=0.9 eps=1e-9", opt)
+	}
+}

@@ -1,0 +1,62 @@
+package sched
+
+import (
+	"fmt"
+
+	"spear/internal/dag"
+	"spear/internal/resource"
+)
+
+// Utilization summarizes how densely a schedule packs the cluster.
+type Utilization struct {
+	// PerDim is, per resource dimension, the occupied fraction of the
+	// capacity x makespan rectangle, in [0, 1].
+	PerDim []float64
+	// Mean averages PerDim.
+	Mean float64
+	// IdleSlots counts time slots in [0, makespan) where the cluster is
+	// completely empty (possible only through scheduler idling, since a
+	// valid schedule's makespan is tight).
+	IdleSlots int64
+}
+
+// ComputeUtilization reports the resource utilization of a schedule that
+// has passed Validate.
+func ComputeUtilization(g *dag.Graph, capacity resource.Vector, s *Schedule) (Utilization, error) {
+	if s == nil || s.Makespan <= 0 {
+		return Utilization{}, fmt.Errorf("sched: cannot compute utilization of an empty schedule")
+	}
+	if capacity.Dims() != g.Dims() {
+		return Utilization{}, resource.ErrDimensionMismatch
+	}
+	dims := g.Dims()
+	work := make([]int64, dims)
+	for _, p := range s.Placements {
+		task := g.Task(p.Task)
+		for d := 0; d < dims; d++ {
+			work[d] += task.Runtime * task.Demand[d]
+		}
+	}
+
+	u := Utilization{PerDim: make([]float64, dims)}
+	for d := 0; d < dims; d++ {
+		u.PerDim[d] = float64(work[d]) / float64(capacity[d]*s.Makespan)
+		u.Mean += u.PerDim[d]
+	}
+	u.Mean /= float64(dims)
+
+	// Sweep the busy intervals to count fully idle slots.
+	busy := make([]bool, s.Makespan)
+	for _, p := range s.Placements {
+		task := g.Task(p.Task)
+		for t := p.Start; t < p.Start+task.Runtime && t < s.Makespan; t++ {
+			busy[t] = true
+		}
+	}
+	for _, b := range busy {
+		if !b {
+			u.IdleSlots++
+		}
+	}
+	return u, nil
+}

@@ -1,0 +1,93 @@
+package sched
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"spear/internal/dag"
+	"spear/internal/resource"
+)
+
+func TestComputeUtilization(t *testing.T) {
+	// Two parallel tasks exactly filling a (2)-capacity cluster for 4
+	// ticks: utilization 1.0, no idle slots.
+	b := dag.NewBuilder(1)
+	b.AddTask("x", 4, resource.Of(1))
+	b.AddTask("y", 4, resource.Of(1))
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &Schedule{
+		Placements: []Placement{{Task: 0, Start: 0}, {Task: 1, Start: 0}},
+		Makespan:   4,
+	}
+	capacity := resource.Of(2)
+	if err := Validate(g, capacity, s); err != nil {
+		t.Fatal(err)
+	}
+	u, err := ComputeUtilization(g, capacity, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(u.PerDim[0]-1) > 1e-12 || math.Abs(u.Mean-1) > 1e-12 {
+		t.Errorf("utilization = %+v, want 1.0", u)
+	}
+	if u.IdleSlots != 0 {
+		t.Errorf("IdleSlots = %d", u.IdleSlots)
+	}
+}
+
+func TestComputeUtilizationHalf(t *testing.T) {
+	// One task using half the capacity for the whole makespan.
+	b := dag.NewBuilder(2)
+	b.AddTask("x", 5, resource.Of(5, 10))
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &Schedule{Placements: []Placement{{Task: 0, Start: 0}}, Makespan: 5}
+	u, err := ComputeUtilization(g, resource.Of(10, 10), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(u.PerDim[0]-0.5) > 1e-12 || math.Abs(u.PerDim[1]-1.0) > 1e-12 {
+		t.Errorf("PerDim = %v", u.PerDim)
+	}
+	if math.Abs(u.Mean-0.75) > 1e-12 {
+		t.Errorf("Mean = %v", u.Mean)
+	}
+}
+
+func TestComputeUtilizationErrors(t *testing.T) {
+	g := twoTaskChain(t)
+	if _, err := ComputeUtilization(g, resource.Of(5), nil); err == nil {
+		t.Error("nil schedule accepted")
+	}
+	s := &Schedule{Placements: []Placement{{Task: 0, Start: 0}, {Task: 1, Start: 3}}, Makespan: 5}
+	if _, err := ComputeUtilization(g, resource.Of(5, 5), s); err == nil {
+		t.Error("dim mismatch accepted")
+	}
+}
+
+func TestScheduleJSONRoundTrip(t *testing.T) {
+	_, s := validChain(t)
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"algorithm"`, `"placements"`, `"makespan"`, `"task"`, `"start"`} {
+		if !strings.Contains(string(data), key) {
+			t.Errorf("JSON missing %s: %s", key, data)
+		}
+	}
+	var back Schedule
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Makespan != s.Makespan || len(back.Placements) != len(s.Placements) || back.Algorithm != s.Algorithm {
+		t.Errorf("round trip mismatch: %+v", back)
+	}
+}

@@ -1,0 +1,190 @@
+// Package sched defines the common contract between scheduling algorithms:
+// the Scheduler interface, the Schedule result type, and a validator that
+// checks the two correctness invariants every schedule must satisfy —
+// dependency order and per-slot capacity.
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"spear/internal/cluster"
+	"spear/internal/dag"
+	"spear/internal/resource"
+)
+
+// Placement records when a single task starts. Its finish time is
+// Start + task runtime.
+type Placement struct {
+	Task  dag.TaskID `json:"task"`
+	Start int64      `json:"start"`
+}
+
+// Schedule is the output of a scheduling algorithm for one job DAG.
+type Schedule struct {
+	// Algorithm names the scheduler that produced this schedule.
+	Algorithm string `json:"algorithm"`
+	// Placements holds one entry per task in the DAG.
+	Placements []Placement `json:"placements"`
+	// Makespan is the finish time of the last task (start times are
+	// relative to 0).
+	Makespan int64 `json:"makespan"`
+	// Elapsed is the wall-clock time the scheduler spent producing the
+	// schedule (serialized as nanoseconds). Used by the Fig. 6(b) and
+	// Table I experiments.
+	Elapsed time.Duration `json:"elapsedNanos"`
+}
+
+// Scheduler is a dependency- and resource-aware scheduling algorithm.
+// Implementations must be safe for sequential reuse across jobs; they need
+// not be safe for concurrent use.
+type Scheduler interface {
+	// Name returns a short human-readable algorithm name ("Spear",
+	// "Graphene", "Tetris", "SJF", "CP", ...).
+	Name() string
+	// Schedule computes a full schedule for the job on a cluster with the
+	// given capacity.
+	Schedule(g *dag.Graph, capacity resource.Vector) (*Schedule, error)
+}
+
+// Validation errors.
+var (
+	ErrMissingTask     = errors.New("sched: schedule is missing a task")
+	ErrDuplicateTask   = errors.New("sched: task placed more than once")
+	ErrNegativeStart   = errors.New("sched: task starts before time 0")
+	ErrDependencyOrder = errors.New("sched: task starts before a parent finishes")
+	ErrOverCapacity    = errors.New("sched: schedule exceeds cluster capacity")
+	ErrWrongMakespan   = errors.New("sched: recorded makespan does not match placements")
+	ErrNilSchedule     = errors.New("sched: nil schedule")
+)
+
+// Validate checks that s is a correct schedule for g on a cluster with the
+// given capacity: every task placed exactly once, no task starting before
+// time 0 or before its parents finish, occupancy within capacity at every
+// slot, and the recorded makespan consistent with the placements.
+func Validate(g *dag.Graph, capacity resource.Vector, s *Schedule) error {
+	if s == nil {
+		return ErrNilSchedule
+	}
+	n := g.NumTasks()
+	start := make([]int64, n)
+	seen := make([]bool, n)
+	for _, p := range s.Placements {
+		if int(p.Task) < 0 || int(p.Task) >= n {
+			return fmt.Errorf("%w: id %d out of range", ErrMissingTask, p.Task)
+		}
+		if seen[p.Task] {
+			return fmt.Errorf("%w: task %d", ErrDuplicateTask, p.Task)
+		}
+		seen[p.Task] = true
+		if p.Start < 0 {
+			return fmt.Errorf("%w: task %d at %d", ErrNegativeStart, p.Task, p.Start)
+		}
+		start[p.Task] = p.Start
+	}
+	for id := 0; id < n; id++ {
+		if !seen[id] {
+			return fmt.Errorf("%w: task %d", ErrMissingTask, id)
+		}
+	}
+
+	var makespan int64
+	for id := 0; id < n; id++ {
+		finish := start[id] + g.Task(dag.TaskID(id)).Runtime
+		if finish > makespan {
+			makespan = finish
+		}
+		for _, parent := range g.Pred(dag.TaskID(id)) {
+			parentFinish := start[parent] + g.Task(parent).Runtime
+			if start[id] < parentFinish {
+				return fmt.Errorf("%w: task %d starts at %d, parent %d finishes at %d",
+					ErrDependencyOrder, id, start[id], parent, parentFinish)
+			}
+		}
+	}
+	if s.Makespan != makespan {
+		return fmt.Errorf("%w: recorded %d, actual %d", ErrWrongMakespan, s.Makespan, makespan)
+	}
+
+	space, err := cluster.NewSpace(capacity)
+	if err != nil {
+		return err
+	}
+	// Place in start order for stable error messages.
+	order := make([]dag.TaskID, n)
+	for i := range order {
+		order[i] = dag.TaskID(i)
+	}
+	sort.Slice(order, func(i, j int) bool { return start[order[i]] < start[order[j]] })
+	for _, id := range order {
+		task := g.Task(id)
+		if err := space.Place(start[id], task.Demand, task.Runtime); err != nil {
+			return fmt.Errorf("%w: task %d at %d: %v", ErrOverCapacity, id, start[id], err)
+		}
+	}
+	return nil
+}
+
+// StartTimes returns the per-task start times indexed by TaskID. It assumes
+// a schedule that has passed Validate.
+func (s *Schedule) StartTimes(n int) []int64 {
+	starts := make([]int64, n)
+	for _, p := range s.Placements {
+		if int(p.Task) >= 0 && int(p.Task) < n {
+			starts[p.Task] = p.Start
+		}
+	}
+	return starts
+}
+
+// Gantt renders the schedule as an ASCII chart, one row per task ordered by
+// start time, with the timeline scaled to at most width characters.
+func (s *Schedule) Gantt(g *dag.Graph, width int) string {
+	if width < 10 {
+		width = 10
+	}
+	if s.Makespan <= 0 {
+		return "(empty schedule)\n"
+	}
+	scale := float64(width) / float64(s.Makespan)
+
+	ps := make([]Placement, len(s.Placements))
+	copy(ps, s.Placements)
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].Start != ps[j].Start {
+			return ps[i].Start < ps[j].Start
+		}
+		return ps[i].Task < ps[j].Task
+	})
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s  makespan=%d\n", s.Algorithm, s.Makespan)
+	for _, p := range ps {
+		task := g.Task(p.Task)
+		from := int(float64(p.Start) * scale)
+		to := int(float64(p.Start+task.Runtime) * scale)
+		if to <= from {
+			to = from + 1
+		}
+		if to > width {
+			to = width
+		}
+		fmt.Fprintf(&b, "%-12s |%s%s%s| [%d,%d)\n",
+			truncate(task.Name, 12),
+			strings.Repeat(" ", from),
+			strings.Repeat("#", to-from),
+			strings.Repeat(" ", width-to),
+			p.Start, p.Start+task.Runtime)
+	}
+	return b.String()
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}

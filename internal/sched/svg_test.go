@@ -1,0 +1,65 @@
+package sched
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+)
+
+func TestWriteSVG(t *testing.T) {
+	g, s := validChain(t)
+	var sb strings.Builder
+	if err := s.WriteSVG(&sb, g, 400, 16); err != nil {
+		t.Fatalf("WriteSVG: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{"<svg", "</svg>", "makespan 5", "rect"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	// Must be well-formed XML.
+	dec := xml.NewDecoder(strings.NewReader(out))
+	for {
+		if _, err := dec.Token(); err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("SVG is not well-formed XML: %v", err)
+		}
+	}
+	// One rect per task.
+	if got := strings.Count(out, "<rect"); got != 2 {
+		t.Errorf("rects = %d, want 2", got)
+	}
+}
+
+func TestWriteSVGClampsAndEscapes(t *testing.T) {
+	g, s := validChain(t)
+	var sb strings.Builder
+	// Tiny dimensions are clamped rather than producing degenerate output.
+	if err := s.WriteSVG(&sb, g, 10, 2); err != nil {
+		t.Fatalf("WriteSVG: %v", err)
+	}
+	if !strings.Contains(sb.String(), `width="200"`) {
+		t.Errorf("width not clamped")
+	}
+
+	s.Algorithm = `<evil>&"`
+	sb.Reset()
+	if err := s.WriteSVG(&sb, g, 300, 14); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "<evil>") {
+		t.Errorf("XML not escaped")
+	}
+}
+
+func TestWriteSVGEmpty(t *testing.T) {
+	g, _ := validChain(t)
+	empty := &Schedule{}
+	var sb strings.Builder
+	if err := empty.WriteSVG(&sb, g, 300, 14); err == nil {
+		t.Error("empty schedule accepted")
+	}
+}

@@ -1,0 +1,462 @@
+// Package simenv implements the sequential decision process of paper §III-B:
+// states are (cluster occupancy, ready tasks), and the action space is
+// {process, schedule ready-task i}. Scheduling a task places it at the
+// current time without advancing the clock; the process action advances the
+// clock — by one slot (DRL training) or to the next task completion (MCTS).
+//
+// The environment is the single execution substrate shared by every
+// scheduler in this repository: the heuristic baselines, pure MCTS, the DRL
+// agent and Spear all drive the same Env, so their makespans are directly
+// comparable and every produced schedule can be re-validated independently.
+package simenv
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"spear/internal/cluster"
+	"spear/internal/dag"
+	"spear/internal/resource"
+	"spear/internal/sched"
+)
+
+// Action encodes one scheduler decision. Process advances time; any other
+// value is an index into VisibleReady() selecting a task to start now.
+type Action int32
+
+// Process is the "let the cluster run" action (the paper's action -1).
+const Process Action = -1
+
+// ProcessMode selects how far the Process action advances the clock.
+type ProcessMode int
+
+const (
+	// NextCompletion advances to the earliest finish time among running
+	// tasks. Used inside MCTS to keep the search tree shallow (§III-C: "we
+	// will only proceed until at least one task finishes, since no new
+	// information arrives prior").
+	NextCompletion ProcessMode = iota + 1
+	// OneSlot advances the clock by exactly one slot. Used during DRL
+	// training, where each process action carries a -1 reward so that the
+	// episode's total reward equals the negative makespan (§III-D).
+	OneSlot
+)
+
+// DefaultWindow is the maximum number of ready tasks exposed to the neural
+// network at once (paper §V-A); additional ready tasks wait in a backlog.
+const DefaultWindow = 15
+
+// Config parameterizes an Env.
+type Config struct {
+	// Window caps the number of visible ready tasks; 0 means unlimited.
+	Window int
+	// Mode selects the Process semantics. Zero value means NextCompletion.
+	Mode ProcessMode
+}
+
+type status int8
+
+const (
+	statusPending status = iota + 1
+	statusReady
+	statusRunning
+	statusDone
+)
+
+// Env is one in-progress scheduling episode over a single job DAG. Clone it
+// to branch the episode (tree search); the zero value is not usable — use
+// New.
+type Env struct {
+	g     *dag.Graph
+	space *cluster.Space
+	cfg   Config
+
+	now            int64
+	status         []status
+	missingParents []int32
+	start          []int64
+	finish         []int64
+	ready          []dag.TaskID // FIFO: visible window is ready[:Window]
+	running        int
+	done           int
+	processSteps   int64 // number of Process actions taken (== -reward)
+}
+
+// Env construction and stepping errors.
+var (
+	ErrInfeasible    = errors.New("simenv: a task demand exceeds cluster capacity")
+	ErrIllegalAction = errors.New("simenv: illegal action")
+	ErrEpisodeOver   = errors.New("simenv: episode already finished")
+	ErrNotFinished   = errors.New("simenv: episode not finished")
+)
+
+// New returns a fresh episode for scheduling g on a cluster with the given
+// capacity. It fails with ErrInfeasible if any single task could never fit.
+func New(g *dag.Graph, capacity resource.Vector, cfg Config) (*Env, error) {
+	if cfg.Window < 0 {
+		return nil, fmt.Errorf("simenv: negative window %d", cfg.Window)
+	}
+	if cfg.Mode == 0 {
+		cfg.Mode = NextCompletion
+	}
+	space, err := cluster.NewSpace(capacity)
+	if err != nil {
+		return nil, err
+	}
+	if !g.MaxDemand().FitsWithin(capacity) {
+		return nil, fmt.Errorf("%w: max demand %v, capacity %v", ErrInfeasible, g.MaxDemand(), capacity)
+	}
+
+	n := g.NumTasks()
+	e := &Env{
+		g:              g,
+		space:          space,
+		cfg:            cfg,
+		status:         make([]status, n),
+		missingParents: make([]int32, n),
+		start:          make([]int64, n),
+		finish:         make([]int64, n),
+	}
+	for id := 0; id < n; id++ {
+		e.status[id] = statusPending
+		e.missingParents[id] = int32(len(g.Pred(dag.TaskID(id))))
+		e.start[id] = -1
+		e.finish[id] = -1
+	}
+	for _, id := range g.Entries() {
+		e.status[id] = statusReady
+		e.ready = append(e.ready, id)
+	}
+	return e, nil
+}
+
+// Clone returns an independent deep copy of the episode.
+func (e *Env) Clone() *Env {
+	c := &Env{
+		g:              e.g, // immutable, shared
+		space:          e.space.Clone(),
+		cfg:            e.cfg,
+		now:            e.now,
+		status:         append([]status(nil), e.status...),
+		missingParents: append([]int32(nil), e.missingParents...),
+		start:          append([]int64(nil), e.start...),
+		finish:         append([]int64(nil), e.finish...),
+		ready:          append([]dag.TaskID(nil), e.ready...),
+		running:        e.running,
+		done:           e.done,
+		processSteps:   e.processSteps,
+	}
+	return c
+}
+
+// Graph returns the job DAG being scheduled.
+func (e *Env) Graph() *dag.Graph { return e.g }
+
+// Capacity returns a copy of the cluster capacity.
+func (e *Env) Capacity() resource.Vector { return e.space.Capacity() }
+
+// Now returns the current clock value.
+func (e *Env) Now() int64 { return e.now }
+
+// Done reports whether every task has finished.
+func (e *Env) Done() bool { return e.done == e.g.NumTasks() }
+
+// ProcessSteps returns how many Process actions were taken so far. In
+// OneSlot mode the episode reward is its negation.
+func (e *Env) ProcessSteps() int64 { return e.processSteps }
+
+// NumReady reports the total number of ready tasks (visible + backlog).
+func (e *Env) NumReady() int { return len(e.ready) }
+
+// NumRunning reports the number of currently running tasks.
+func (e *Env) NumRunning() int { return e.running }
+
+// TaskDone reports whether the task has finished executing.
+func (e *Env) TaskDone(id dag.TaskID) bool { return e.status[id] == statusDone }
+
+// TaskRunning reports whether the task is currently executing.
+func (e *Env) TaskRunning(id dag.TaskID) bool { return e.status[id] == statusRunning }
+
+// TaskFinish returns the committed finish time of a running or done task;
+// ok is false for tasks that have not started.
+func (e *Env) TaskFinish(id dag.TaskID) (finish int64, ok bool) {
+	if st := e.status[id]; st != statusRunning && st != statusDone {
+		return 0, false
+	}
+	return e.finish[id], true
+}
+
+// Backlog reports how many ready tasks are hidden behind the window.
+func (e *Env) Backlog() int {
+	if e.cfg.Window == 0 || len(e.ready) <= e.cfg.Window {
+		return 0
+	}
+	return len(e.ready) - e.cfg.Window
+}
+
+// VisibleReady returns a copy of the ready tasks exposed to the agent, in
+// FIFO order. Schedule actions index into this slice.
+func (e *Env) VisibleReady() []dag.TaskID {
+	w := len(e.ready)
+	if e.cfg.Window > 0 && w > e.cfg.Window {
+		w = e.cfg.Window
+	}
+	out := make([]dag.TaskID, w)
+	copy(out, e.ready[:w])
+	return out
+}
+
+// visibleLen returns the window size without copying.
+func (e *Env) visibleLen() int {
+	w := len(e.ready)
+	if e.cfg.Window > 0 && w > e.cfg.Window {
+		w = e.cfg.Window
+	}
+	return w
+}
+
+// FitsNow reports whether the i-th visible ready task can start at the
+// current time within the remaining capacity.
+func (e *Env) FitsNow(i int) bool {
+	if i < 0 || i >= e.visibleLen() {
+		return false
+	}
+	task := e.g.Task(e.ready[i])
+	return e.space.FitsAt(e.now, task.Demand, task.Runtime)
+}
+
+// LegalActions returns the legal actions at the current state, applying the
+// search-space reductions of §III-C: only ready tasks that fit the remaining
+// capacity right now are schedulable (a non-fitting task cannot start before
+// the earliest completion anyway), and Process is legal only when the
+// cluster is actually running something. Schedule actions come first in
+// visible-window order, then Process.
+func (e *Env) LegalActions() []Action {
+	if e.Done() {
+		return nil
+	}
+	w := e.visibleLen()
+	out := make([]Action, 0, w+1)
+	for i := 0; i < w; i++ {
+		if e.FitsNow(i) {
+			out = append(out, Action(i))
+		}
+	}
+	if e.running > 0 {
+		out = append(out, Process)
+	}
+	return out
+}
+
+// Step applies action a. Scheduling actions leave the clock unchanged;
+// Process advances it according to the configured mode and completes any
+// tasks whose finish time has been reached.
+func (e *Env) Step(a Action) error {
+	if e.Done() {
+		return ErrEpisodeOver
+	}
+	if a == Process {
+		return e.stepProcess()
+	}
+	return e.stepSchedule(int(a))
+}
+
+func (e *Env) stepSchedule(i int) error {
+	if i < 0 || i >= e.visibleLen() {
+		return fmt.Errorf("%w: schedule index %d with %d visible tasks", ErrIllegalAction, i, e.visibleLen())
+	}
+	id := e.ready[i]
+	task := e.g.Task(id)
+	if err := e.space.Place(e.now, task.Demand, task.Runtime); err != nil {
+		return fmt.Errorf("%w: task %d does not fit now: %v", ErrIllegalAction, id, err)
+	}
+	e.ready = append(e.ready[:i], e.ready[i+1:]...)
+	e.status[id] = statusRunning
+	e.start[id] = e.now
+	e.finish[id] = e.now + task.Runtime
+	e.running++
+	return nil
+}
+
+func (e *Env) stepProcess() error {
+	if e.running == 0 {
+		return fmt.Errorf("%w: process with an idle cluster", ErrIllegalAction)
+	}
+	var target int64
+	switch e.cfg.Mode {
+	case OneSlot:
+		target = e.now + 1
+	case NextCompletion:
+		target = e.earliestRunningFinish()
+	default:
+		return fmt.Errorf("simenv: unknown process mode %d", e.cfg.Mode)
+	}
+	e.processSteps++
+	e.advanceTo(target)
+	return nil
+}
+
+// earliestRunningFinish returns the minimum finish time among running tasks.
+// Callers must ensure at least one task is running.
+func (e *Env) earliestRunningFinish() int64 {
+	first := true
+	var min int64
+	for id, st := range e.status {
+		if st != statusRunning {
+			continue
+		}
+		if first || e.finish[id] < min {
+			min = e.finish[id]
+			first = false
+		}
+	}
+	return min
+}
+
+// EarliestRunningFinish returns the earliest finish among running tasks and
+// whether any task is running at all.
+func (e *Env) EarliestRunningFinish() (int64, bool) {
+	if e.running == 0 {
+		return 0, false
+	}
+	return e.earliestRunningFinish(), true
+}
+
+// advanceTo moves the clock to target and completes every running task with
+// finish <= target. Newly ready tasks are appended to the ready queue in
+// (finish time, task ID) order, which keeps episodes fully deterministic.
+func (e *Env) advanceTo(target int64) {
+	e.now = target
+
+	var completed []dag.TaskID
+	for id, st := range e.status {
+		if st == statusRunning && e.finish[id] <= target {
+			completed = append(completed, dag.TaskID(id))
+		}
+	}
+	sort.Slice(completed, func(i, j int) bool {
+		fi, fj := e.finish[completed[i]], e.finish[completed[j]]
+		if fi != fj {
+			return fi < fj
+		}
+		return completed[i] < completed[j]
+	})
+	for _, id := range completed {
+		e.status[id] = statusDone
+		e.running--
+		e.done++
+		var newlyReady []dag.TaskID
+		for _, child := range e.g.Succ(id) {
+			e.missingParents[child]--
+			if e.missingParents[child] == 0 {
+				newlyReady = append(newlyReady, child)
+			}
+		}
+		sort.Slice(newlyReady, func(i, j int) bool { return newlyReady[i] < newlyReady[j] })
+		for _, child := range newlyReady {
+			e.status[child] = statusReady
+			e.ready = append(e.ready, child)
+		}
+	}
+	e.space.Advance(target)
+}
+
+// Makespan returns the finish time of the last task. It is only meaningful
+// once Done reports true; before that it returns the makespan of the tasks
+// finished or running so far.
+func (e *Env) Makespan() int64 {
+	var m int64
+	for id, st := range e.status {
+		if st == statusRunning || st == statusDone {
+			if e.finish[id] > m {
+				m = e.finish[id]
+			}
+		}
+	}
+	return m
+}
+
+// Schedule converts a finished episode into a Schedule. It fails with
+// ErrNotFinished when tasks are still outstanding.
+func (e *Env) Schedule(algorithm string) (*sched.Schedule, error) {
+	if !e.Done() {
+		return nil, ErrNotFinished
+	}
+	placements := make([]sched.Placement, e.g.NumTasks())
+	for id := range placements {
+		placements[id] = sched.Placement{Task: dag.TaskID(id), Start: e.start[id]}
+	}
+	return &sched.Schedule{
+		Algorithm:  algorithm,
+		Placements: placements,
+		Makespan:   e.Makespan(),
+	}, nil
+}
+
+// OccupancyImage returns the normalized cluster occupancy for the next
+// horizon slots starting at the current time, laid out [dim][slot].
+func (e *Env) OccupancyImage(horizon int) [][]float64 {
+	return e.space.OccupancyImage(e.now, horizon)
+}
+
+// AvailableNow returns the free capacity at the current time.
+func (e *Env) AvailableNow() resource.Vector {
+	return e.space.AvailableAt(e.now)
+}
+
+// Policy chooses among legal actions. Implementations must be deterministic
+// given the same env state and rng state, so that episodes are reproducible.
+type Policy interface {
+	// Name returns a short policy name for labelling results.
+	Name() string
+	// Choose picks one of the legal actions. legal is never empty and must
+	// not be modified or retained.
+	Choose(e *Env, legal []Action, rng *rand.Rand) (Action, error)
+}
+
+// Run drives e with the policy until the episode finishes and returns the
+// resulting schedule. The environment is mutated in place.
+func Run(e *Env, p Policy, rng *rand.Rand) (*sched.Schedule, error) {
+	began := time.Now()
+	for !e.Done() {
+		legal := e.LegalActions()
+		if len(legal) == 0 {
+			return nil, fmt.Errorf("simenv: no legal actions with %d/%d tasks done", e.done, e.g.NumTasks())
+		}
+		a, err := p.Choose(e, legal, rng)
+		if err != nil {
+			return nil, fmt.Errorf("policy %s: %w", p.Name(), err)
+		}
+		if err := e.Step(a); err != nil {
+			return nil, fmt.Errorf("policy %s chose action %d: %w", p.Name(), a, err)
+		}
+	}
+	s, err := e.Schedule(p.Name())
+	if err != nil {
+		return nil, err
+	}
+	s.Elapsed = time.Since(began)
+	return s, nil
+}
+
+// Rollout runs the policy to completion and returns only the makespan. It
+// is the hot path of MCTS simulations.
+func Rollout(e *Env, p Policy, rng *rand.Rand) (int64, error) {
+	for !e.Done() {
+		legal := e.LegalActions()
+		if len(legal) == 0 {
+			return 0, fmt.Errorf("simenv: no legal actions with %d/%d tasks done", e.done, e.g.NumTasks())
+		}
+		a, err := p.Choose(e, legal, rng)
+		if err != nil {
+			return 0, err
+		}
+		if err := e.Step(a); err != nil {
+			return 0, err
+		}
+	}
+	return e.Makespan(), nil
+}

@@ -1,0 +1,141 @@
+// Package stats provides the small set of summary statistics the experiment
+// harness reports: mean, median, percentiles, standard deviation and CDF
+// points.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// Number covers the numeric types the harness aggregates.
+type Number interface {
+	~int | ~int32 | ~int64 | ~float64
+}
+
+// ErrEmpty is returned when a statistic of an empty sample is requested.
+var ErrEmpty = errors.New("stats: empty sample")
+
+// Mean returns the arithmetic mean.
+func Mean[T Number](xs []T) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += float64(x)
+	}
+	return sum / float64(len(xs)), nil
+}
+
+// Stddev returns the population standard deviation.
+func Stddev[T Number](xs []T) (float64, error) {
+	m, err := Mean(xs)
+	if err != nil {
+		return 0, err
+	}
+	var ss float64
+	for _, x := range xs {
+		d := float64(x) - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs))), nil
+}
+
+// sorted returns a sorted float64 copy.
+func sorted[T Number](xs []T) []float64 {
+	c := make([]float64, len(xs))
+	for i, x := range xs {
+		c[i] = float64(x)
+	}
+	sort.Float64s(c)
+	return c
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) using linear
+// interpolation between order statistics.
+func Percentile[T Number](xs []T, p float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if p < 0 || p > 100 {
+		return 0, errors.New("stats: percentile out of [0, 100]")
+	}
+	c := sorted(xs)
+	if len(c) == 1 {
+		return c[0], nil
+	}
+	rank := p / 100 * float64(len(c)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return c[lo], nil
+	}
+	frac := rank - float64(lo)
+	return c[lo]*(1-frac) + c[hi]*frac, nil
+}
+
+// Median returns the 50th percentile.
+func Median[T Number](xs []T) (float64, error) { return Percentile(xs, 50) }
+
+// Min returns the smallest element.
+func Min[T Number](xs []T) (T, error) {
+	var zero T
+	if len(xs) == 0 {
+		return zero, ErrEmpty
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m, nil
+}
+
+// Max returns the largest element.
+func Max[T Number](xs []T) (T, error) {
+	var zero T
+	if len(xs) == 0 {
+		return zero, ErrEmpty
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m, nil
+}
+
+// CDFPoint is one (value, cumulative fraction) pair.
+type CDFPoint struct {
+	Value    float64
+	Fraction float64
+}
+
+// CDF returns the empirical cumulative distribution of xs: for each sorted
+// sample value, the fraction of samples less than or equal to it.
+func CDF[T Number](xs []T) []CDFPoint {
+	c := sorted(xs)
+	out := make([]CDFPoint, len(c))
+	for i, v := range c {
+		out[i] = CDFPoint{Value: v, Fraction: float64(i+1) / float64(len(c))}
+	}
+	return out
+}
+
+// FractionBelow returns the fraction of samples strictly less than x.
+func FractionBelow[T Number](xs []T, x float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	n := 0
+	for _, v := range xs {
+		if float64(v) < x {
+			n++
+		}
+	}
+	return float64(n) / float64(len(xs))
+}

@@ -1,0 +1,117 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestMean(t *testing.T) {
+	got, err := Mean([]int64{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 2.5 {
+		t.Errorf("Mean = %v, want 2.5", got)
+	}
+	if _, err := Mean([]float64{}); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty err = %v", err)
+	}
+}
+
+func TestStddev(t *testing.T) {
+	got, err := Stddev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-2) > 1e-12 {
+		t.Errorf("Stddev = %v, want 2", got)
+	}
+}
+
+func TestPercentileAndMedian(t *testing.T) {
+	xs := []int64{10, 20, 30, 40, 50}
+	for _, tc := range []struct {
+		p    float64
+		want float64
+	}{
+		{0, 10}, {25, 20}, {50, 30}, {75, 40}, {100, 50}, {90, 46},
+	} {
+		got, err := Percentile(xs, tc.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("P%.0f = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+
+	med, err := Median([]int64{3, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if med != 2 {
+		t.Errorf("Median = %v, want 2", med)
+	}
+
+	if _, err := Percentile([]int64{1}, -1); err == nil {
+		t.Error("negative percentile accepted")
+	}
+	if _, err := Percentile([]int64{}, 50); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty err = %v", err)
+	}
+	one, err := Percentile([]int64{7}, 99)
+	if err != nil || one != 7 {
+		t.Errorf("single-element percentile = %v, %v", one, err)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []int{5, -2, 9, 0}
+	min, err := Min(xs)
+	if err != nil || min != -2 {
+		t.Errorf("Min = %v, %v", min, err)
+	}
+	max, err := Max(xs)
+	if err != nil || max != 9 {
+		t.Errorf("Max = %v, %v", max, err)
+	}
+	if _, err := Min([]int{}); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty Min err = %v", err)
+	}
+	if _, err := Max([]int{}); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty Max err = %v", err)
+	}
+}
+
+func TestCDF(t *testing.T) {
+	pts := CDF([]int64{30, 10, 20})
+	if len(pts) != 3 {
+		t.Fatalf("len = %d", len(pts))
+	}
+	if pts[0].Value != 10 || math.Abs(pts[0].Fraction-1.0/3) > 1e-12 {
+		t.Errorf("pts[0] = %+v", pts[0])
+	}
+	if pts[2].Value != 30 || pts[2].Fraction != 1 {
+		t.Errorf("pts[2] = %+v", pts[2])
+	}
+	if got := CDF([]int64{}); len(got) != 0 {
+		t.Errorf("empty CDF = %v", got)
+	}
+}
+
+func TestFractionBelow(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if got := FractionBelow(xs, 3); got != 0.5 {
+		t.Errorf("FractionBelow(3) = %v, want 0.5", got)
+	}
+	if got := FractionBelow(xs, 0); got != 0 {
+		t.Errorf("FractionBelow(0) = %v", got)
+	}
+	if got := FractionBelow(xs, 100); got != 1 {
+		t.Errorf("FractionBelow(100) = %v", got)
+	}
+	if got := FractionBelow([]float64{}, 1); got != 0 {
+		t.Errorf("empty FractionBelow = %v", got)
+	}
+}

@@ -1,0 +1,141 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"spear/internal/baselines"
+	"spear/internal/dag"
+	"spear/internal/sched"
+)
+
+func TestForkJoinShape(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	g, err := ForkJoin(r, TopologyConfig{}, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per stage: 1 fork + 4 work + 1 join = 6 tasks.
+	if g.NumTasks() != 18 {
+		t.Fatalf("NumTasks = %d, want 18", g.NumTasks())
+	}
+	if len(g.Entries()) != 1 || len(g.Exits()) != 1 {
+		t.Errorf("entries %d, exits %d; want 1, 1", len(g.Entries()), len(g.Exits()))
+	}
+	// Depth: 3 stages x 3 levels = 9 levels.
+	if g.NumLevels() != 9 {
+		t.Errorf("NumLevels = %d, want 9", g.NumLevels())
+	}
+
+	if _, err := ForkJoin(r, TopologyConfig{}, 0, 3); err == nil {
+		t.Error("zero stages accepted")
+	}
+}
+
+func TestOutTreeShape(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	g, err := OutTree(r, TopologyConfig{}, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 + 2 + 4 + 8 = 15 nodes.
+	if g.NumTasks() != 15 {
+		t.Fatalf("NumTasks = %d, want 15", g.NumTasks())
+	}
+	if len(g.Entries()) != 1 {
+		t.Errorf("entries = %d, want 1 (the root)", len(g.Entries()))
+	}
+	if len(g.Exits()) != 8 {
+		t.Errorf("exits = %d, want 8 (the leaves)", len(g.Exits()))
+	}
+	// Every non-root node has exactly one parent.
+	for id := 1; id < g.NumTasks(); id++ {
+		if len(g.Pred(dag.TaskID(id))) != 1 {
+			t.Errorf("node %d has %d parents", id, len(g.Pred(dag.TaskID(id))))
+		}
+	}
+}
+
+func TestInTreeShape(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	g, err := InTree(r, TopologyConfig{}, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumTasks() != 15 {
+		t.Fatalf("NumTasks = %d, want 15", g.NumTasks())
+	}
+	if len(g.Entries()) != 8 {
+		t.Errorf("entries = %d, want 8 (the leaves)", len(g.Entries()))
+	}
+	if len(g.Exits()) != 1 {
+		t.Errorf("exits = %d, want 1 (the root)", len(g.Exits()))
+	}
+}
+
+func TestGaussianEliminationShape(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	m := 5
+	g, err := GaussianElimination(r, TopologyConfig{}, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tasks: sum over k of (1 pivot + m-k-1 updates) for k in 0..m-2:
+	// (m-1) pivots + m(m-1)/2 updates = 4 + 10 = 14.
+	want := (m - 1) + m*(m-1)/2
+	if g.NumTasks() != want {
+		t.Fatalf("NumTasks = %d, want %d", g.NumTasks(), want)
+	}
+	// Exactly one entry: pivot0.
+	if len(g.Entries()) != 1 {
+		t.Errorf("entries = %d, want 1", len(g.Entries()))
+	}
+	// The elimination is inherently sequential in k: at least m-1 levels.
+	if g.NumLevels() < m-1 {
+		t.Errorf("NumLevels = %d, want >= %d", g.NumLevels(), m-1)
+	}
+
+	if _, err := GaussianElimination(r, TopologyConfig{}, 1); err == nil {
+		t.Error("m=1 accepted")
+	}
+}
+
+func TestTopologiesAllSchedulable(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	cfg := TopologyConfig{}
+	graphs := []*dag.Graph{}
+	for _, build := range []func() (*dag.Graph, error){
+		func() (*dag.Graph, error) { return ForkJoin(r, cfg, 2, 5) },
+		func() (*dag.Graph, error) { return OutTree(r, cfg, 3, 3) },
+		func() (*dag.Graph, error) { return InTree(r, cfg, 2, 4) },
+		func() (*dag.Graph, error) { return GaussianElimination(r, cfg, 6) },
+	} {
+		g, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		graphs = append(graphs, g)
+	}
+	capacity := cfg.Capacity()
+	for i, g := range graphs {
+		for _, s := range []sched.Scheduler{baselines.NewTetrisScheduler(), baselines.NewCPScheduler()} {
+			out, err := s.Schedule(g, capacity)
+			if err != nil {
+				t.Fatalf("graph %d %s: %v", i, s.Name(), err)
+			}
+			if err := sched.Validate(g, capacity, out); err != nil {
+				t.Errorf("graph %d %s: %v", i, s.Name(), err)
+			}
+		}
+	}
+}
+
+func TestTopologyConfigDefaults(t *testing.T) {
+	c := TopologyConfig{}.normalized()
+	if c.Dims != 2 || c.MaxRuntime != 20 || c.MaxDemand != 20 {
+		t.Errorf("defaults = %+v", c)
+	}
+	if got := (TopologyConfig{}).Capacity(); !got.Equal(c.Capacity()) {
+		t.Errorf("Capacity mismatch")
+	}
+}

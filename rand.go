@@ -1,0 +1,8 @@
+package spear
+
+import "math/rand"
+
+// newRand returns a deterministic random source for the given seed. Every
+// stochastic entry point of the public API takes an explicit seed so that
+// results are reproducible.
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,309 @@
+// Package spear is a Go implementation of Spear — "Optimized
+// Dependency-Aware Task Scheduling with Deep Reinforcement Learning"
+// (Hu, Tu and Li, ICDCS 2019).
+//
+// Spear schedules a job expressed as a DAG of tasks with heterogeneous,
+// multi-dimensional resource demands onto a fixed-capacity cluster,
+// minimizing the makespan. It searches the schedule space with Monte Carlo
+// Tree Search whose expansion and rollout steps are guided by a trained
+// deep-RL policy network, and is evaluated against the Tetris, SJF,
+// critical-path and Graphene baselines — all included here.
+//
+// # Quick start
+//
+//	b := spear.NewJobBuilder(2) // CPU + memory
+//	fetch := b.AddTask("fetch", 4, spear.Resources(300, 100))
+//	parse := b.AddTask("parse", 6, spear.Resources(500, 700))
+//	b.AddDep(fetch, parse)
+//	job, err := b.Build()
+//	// ...
+//	net, _, _, err := spear.TrainModel(spear.ModelConfig{}, nil)
+//	// ...
+//	scheduler, err := spear.NewSpear(net, spear.DefaultFeatures(), spear.SpearConfig{})
+//	// ...
+//	schedule, err := scheduler.Schedule(job, spear.Resources(1000, 1000))
+//	fmt.Println(schedule.Makespan)
+//
+// The examples/ directory contains runnable programs and cmd/ the CLI
+// tools, including cmd/spear-experiments which regenerates every table and
+// figure of the paper's evaluation.
+package spear
+
+import (
+	"io"
+
+	"spear/internal/anneal"
+	"spear/internal/baselines"
+	"spear/internal/core"
+	"spear/internal/dag"
+	"spear/internal/drl"
+	"spear/internal/exact"
+	"spear/internal/listsched"
+	"spear/internal/mcts"
+	"spear/internal/nn"
+	"spear/internal/resource"
+	"spear/internal/sched"
+	"spear/internal/simenv"
+	"spear/internal/workload"
+)
+
+// Core job-model types.
+type (
+	// Job is a DAG of tasks with runtimes and resource demands.
+	Job = dag.Graph
+	// JobBuilder incrementally assembles a Job.
+	JobBuilder = dag.Builder
+	// TaskID identifies a task within one Job.
+	TaskID = dag.TaskID
+	// Task is one unit of work.
+	Task = dag.Task
+	// Vector is a multi-dimensional resource amount.
+	Vector = resource.Vector
+
+	// Schedule is the result of scheduling one Job.
+	Schedule = sched.Schedule
+	// Placement is one task's start time within a Schedule.
+	Placement = sched.Placement
+	// Scheduler is any scheduling algorithm in this library.
+	Scheduler = sched.Scheduler
+
+	// Network is the policy neural network.
+	Network = nn.Network
+	// Features describes how environment states are encoded for the
+	// network.
+	Features = drl.Features
+	// EpochStats is one point of an RL learning curve.
+	EpochStats = drl.EpochStats
+
+	// SpearConfig parameterizes the Spear scheduler (search budgets, rollout
+	// mode, seed).
+	SpearConfig = core.Config
+	// MCTSConfig parameterizes the pure MCTS scheduler.
+	MCTSConfig = mcts.Config
+	// ModelConfig parameterizes end-to-end policy training.
+	ModelConfig = core.ModelConfig
+	// PretrainConfig parameterizes supervised warm-start training.
+	PretrainConfig = drl.PretrainConfig
+	// ReinforceConfig parameterizes REINFORCE training.
+	ReinforceConfig = drl.TrainConfig
+
+	// RandomJobConfig parameterizes the random layered DAG generator used
+	// in the paper's simulations.
+	RandomJobConfig = workload.RandomDAGConfig
+	// Trace is a synthetic production MapReduce trace.
+	Trace = workload.Trace
+	// TraceConfig parameterizes trace generation.
+	TraceConfig = workload.TraceConfig
+	// TopologyConfig sizes the structured-topology generators.
+	TopologyConfig = workload.TopologyConfig
+)
+
+// NewJobBuilder returns a builder for jobs whose task demands have the
+// given number of resource dimensions.
+func NewJobBuilder(dims int) *JobBuilder { return dag.NewBuilder(dims) }
+
+// Resources builds a resource vector from per-dimension values.
+func Resources(values ...int64) Vector { return resource.Of(values...) }
+
+// Validate checks a schedule against the two correctness invariants:
+// dependency order and per-slot cluster capacity.
+func Validate(job *Job, capacity Vector, s *Schedule) error {
+	return sched.Validate(job, capacity, s)
+}
+
+// DefaultFeatures returns the paper's featurization: a window of 15 ready
+// tasks, a 20-slot occupancy horizon and 2 resource dimensions.
+func DefaultFeatures() Features { return drl.DefaultFeatures() }
+
+// NewSpear builds the DRL-guided MCTS scheduler around a trained network.
+func NewSpear(net *Network, feat Features, cfg SpearConfig) (Scheduler, error) {
+	return core.New(net, feat, cfg)
+}
+
+// NewMCTS builds the pure Monte Carlo Tree Search scheduler with random
+// expansion and rollouts (the paper's "MCTS" arm).
+func NewMCTS(cfg MCTSConfig) Scheduler { return mcts.New(cfg) }
+
+// NewTetris builds the multi-resource packing baseline.
+func NewTetris() Scheduler { return baselines.NewTetrisScheduler() }
+
+// NewSJF builds the shortest-job-first baseline.
+func NewSJF() Scheduler { return baselines.NewSJFScheduler() }
+
+// NewCP builds the largest-critical-path-first baseline.
+func NewCP() Scheduler { return baselines.NewCPScheduler() }
+
+// NewGraphene builds the Graphene baseline (troublesome-tasks-first with
+// forward/backward virtual placement over four thresholds).
+func NewGraphene() Scheduler { return baselines.NewGrapheneScheduler() }
+
+// NewRandom builds the uniformly random scheduler (the classic-MCTS
+// rollout policy run standalone).
+func NewRandom(seed int64) Scheduler { return baselines.NewRandomScheduler(seed) }
+
+// NewLevelByLevel builds the level-by-level scheduler the paper's related
+// work critiques: levels never overlap, which wastes capacity.
+func NewLevelByLevel() Scheduler { return baselines.NewLevelByLevelScheduler() }
+
+// NewTetrisSRPT builds the original Tetris scoring rule: packing alignment
+// combined with a shortest-remaining-time term under the given weight.
+func NewTetrisSRPT(weight float64) Scheduler { return baselines.NewTetrisSRPTScheduler(weight) }
+
+// NewOptimal builds the exact branch-and-bound solver. It proves optimal
+// makespans for small jobs (roughly a dozen tasks); Schedule returns
+// exact.ErrBudgetExceeded alongside its best incumbent when maxNodes (0 =
+// default) runs out first.
+func NewOptimal(maxNodes int64) Scheduler { return exact.New(maxNodes) }
+
+// NewHEFT builds the classic HEFT-style offline list scheduler (upward-rank
+// priority with insertion-based placement) — the "traditional DAG
+// scheduling" family the paper cites as dependency-aware but packing-blind.
+func NewHEFT() Scheduler { return listsched.NewHEFT() }
+
+// NewLPT builds longest-processing-time-first offline list scheduling.
+func NewLPT() Scheduler { return listsched.NewLPT() }
+
+// NewBLoadList builds a b-load-ranked offline list scheduler, the
+// list-scheduling analogue of the paper's b-load feature.
+func NewBLoadList() Scheduler { return listsched.NewBLoad() }
+
+// NewAnnealing builds a simulated-annealing search over task priority
+// orders — a classic local-search comparator. Being order-based and
+// work-conserving, it cannot express Spear's "decline a ready task"
+// decisions (see the motivating example).
+func NewAnnealing(iterations int, seed int64) Scheduler {
+	return anneal.New(anneal.Config{Iterations: iterations, Seed: seed})
+}
+
+// NewMachineHEFT builds HEFT in its original multi-processor form: tasks
+// are placed on individual machines (one capacity vector per machine) using
+// the earliest-finish-time rule. Its Schedule method requires the aggregate
+// capacity to equal the sum of machine capacities.
+func NewMachineHEFT(machines []Vector) (Scheduler, error) {
+	return listsched.NewMachineHEFT(machines)
+}
+
+// TrainModel runs the full training pipeline of the paper (§IV): generate
+// random training jobs, warm-start the policy by imitating the
+// critical-path heuristic, then improve it with REINFORCE using a
+// 20-rollout averaged baseline. progress may be nil.
+func TrainModel(cfg ModelConfig, progress func(EpochStats)) (*Network, []EpochStats, Vector, error) {
+	return core.BuildModel(cfg, progress)
+}
+
+// NewNetwork builds an untrained policy network with the paper's 256/32/32
+// architecture for the given featurization, seeded deterministically.
+func NewNetwork(feat Features, seed int64) (*Network, error) {
+	return drl.DefaultNetwork(feat, newRand(seed))
+}
+
+// SaveModel serializes a trained network.
+func SaveModel(w io.Writer, net *Network) error { return net.Save(w) }
+
+// WriteCurveCSV writes a learning curve as CSV (for plotting Fig. 8(b)).
+func WriteCurveCSV(w io.Writer, curve []EpochStats) error { return drl.WriteCurveCSV(w, curve) }
+
+// LoadModel reads a network previously written by SaveModel.
+func LoadModel(r io.Reader) (*Network, error) { return nn.Load(r) }
+
+// DefaultRandomJobConfig returns the paper's simulation workload settings:
+// 100 tasks, layer widths 2–5, normal runtimes/demands capped at 20, and a
+// 20-slot-per-dimension cluster.
+func DefaultRandomJobConfig() RandomJobConfig { return workload.DefaultRandomDAGConfig() }
+
+// RandomJob generates one random layered job.
+func RandomJob(seed int64, cfg RandomJobConfig) (*Job, error) {
+	return workload.RandomDAG(newRand(seed), cfg)
+}
+
+// RandomJobs generates n random jobs from one seed.
+func RandomJobs(seed int64, cfg RandomJobConfig, n int) ([]*Job, error) {
+	return workload.RandomBatch(newRand(seed), cfg, n)
+}
+
+// ForkJoinJob generates a multi-stage fork-join DAG (classic pipeline
+// benchmark from the DAG-scheduling literature).
+func ForkJoinJob(seed int64, cfg TopologyConfig, stages, width int) (*Job, error) {
+	return workload.ForkJoin(newRand(seed), cfg, stages, width)
+}
+
+// OutTreeJob generates a rooted fan-out tree.
+func OutTreeJob(seed int64, cfg TopologyConfig, depth, branching int) (*Job, error) {
+	return workload.OutTree(newRand(seed), cfg, depth, branching)
+}
+
+// InTreeJob generates an aggregation (reduction) tree.
+func InTreeJob(seed int64, cfg TopologyConfig, depth, branching int) (*Job, error) {
+	return workload.InTree(newRand(seed), cfg, depth, branching)
+}
+
+// GaussianEliminationJob generates the dependency DAG of Gaussian
+// elimination on an m x m matrix (the HEFT paper's structured benchmark).
+func GaussianEliminationJob(seed int64, cfg TopologyConfig, m int) (*Job, error) {
+	return workload.GaussianElimination(newRand(seed), cfg, m)
+}
+
+// MotivatingExample reconstructs the paper's Fig. 3 job: the optimum is
+// ~2T while every work-conserving heuristic lands at ~3T. T is the
+// long-task runtime.
+func MotivatingExample(longRuntime int64) (*Job, error) {
+	return workload.MotivatingExample(longRuntime)
+}
+
+// MotivatingCapacity is the cluster capacity of the motivating example.
+func MotivatingCapacity() Vector { return workload.MotivatingCapacity() }
+
+// DefaultTraceConfig returns the synthetic-trace calibration matching the
+// statistics the paper reports for its production trace.
+func DefaultTraceConfig() TraceConfig { return workload.DefaultTraceConfig() }
+
+// GenerateTrace produces the synthetic 99-job MapReduce trace.
+func GenerateTrace(seed int64, cfg TraceConfig) (*Trace, error) {
+	return workload.GenerateTrace(newRand(seed), cfg)
+}
+
+// LoadTrace reads a trace previously written with Trace.Save.
+func LoadTrace(r io.Reader) (*Trace, error) { return workload.LoadTrace(r) }
+
+// Gantt renders a schedule as an ASCII chart.
+func Gantt(s *Schedule, job *Job, width int) string { return s.Gantt(job, width) }
+
+// WriteScheduleSVG renders a schedule as a standalone SVG Gantt chart.
+func WriteScheduleSVG(w io.Writer, s *Schedule, job *Job, width, rowHeight int) error {
+	return s.WriteSVG(w, job, width, rowHeight)
+}
+
+// SaveJob writes a job DAG as portable JSON.
+func SaveJob(w io.Writer, job *Job, name string) error { return workload.SaveJob(w, job, name) }
+
+// LoadJob reads a job written by SaveJob (or hand-authored JSON) and
+// returns the validated DAG and its name.
+func LoadJob(r io.Reader) (*Job, string, error) { return workload.LoadJob(r) }
+
+// Utilization summarizes how densely a schedule packs the cluster.
+type Utilization = sched.Utilization
+
+// ComputeUtilization reports the per-dimension and mean resource
+// utilization of a validated schedule.
+func ComputeUtilization(job *Job, capacity Vector, s *Schedule) (Utilization, error) {
+	return sched.ComputeUtilization(job, capacity, s)
+}
+
+// CriticalPath returns the longest runtime path through a job — a lower
+// bound on any schedule's makespan.
+func CriticalPath(job *Job) int64 { return job.CriticalPath() }
+
+// MakespanLowerBound returns max(critical path, per-dimension total work /
+// capacity) — a simple lower bound on the optimal makespan.
+func MakespanLowerBound(job *Job, capacity Vector) (int64, error) {
+	return job.MakespanLowerBound(capacity)
+}
+
+// Ensure the facade's schedulers all satisfy the public interface.
+var (
+	_ Scheduler = (*core.Spear)(nil)
+	_ Scheduler = (*mcts.Scheduler)(nil)
+	_ Scheduler = (*baselines.PolicyScheduler)(nil)
+	_ Scheduler = (*baselines.Graphene)(nil)
+	_           = simenv.DefaultWindow
+)

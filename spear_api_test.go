@@ -1,0 +1,276 @@
+package spear_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"spear"
+)
+
+// tinyTrainedModel trains the smallest useful model once per test binary.
+var tinyModel *spear.Network
+
+const tinyWindow = 4
+
+func tinyFeatures() spear.Features {
+	return spear.Features{Window: tinyWindow, Horizon: 8, Dims: 2}
+}
+
+func trainTinyModel(t *testing.T) *spear.Network {
+	t.Helper()
+	if tinyModel != nil {
+		return tinyModel
+	}
+	net, curve, _, err := spear.TrainModel(spear.ModelConfig{
+		Feat:         tinyFeatures(),
+		TrainJobs:    2,
+		TasksPerJob:  8,
+		PretrainCfg:  spear.PretrainConfig{Epochs: 3},
+		ReinforceCfg: spear.ReinforceConfig{Epochs: 2, Rollouts: 2},
+		Seed:         1,
+	}, nil)
+	if err != nil {
+		t.Fatalf("TrainModel: %v", err)
+	}
+	if len(curve) != 2 {
+		t.Fatalf("curve len = %d", len(curve))
+	}
+	tinyModel = net
+	return net
+}
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	// Build a job through the public API only.
+	b := spear.NewJobBuilder(2)
+	fetch := b.AddTask("fetch", 4, spear.Resources(300, 100))
+	parse := b.AddTask("parse", 6, spear.Resources(500, 700))
+	index := b.AddTask("index", 3, spear.Resources(400, 400))
+	b.AddDep(fetch, parse)
+	b.AddDep(fetch, index)
+	job, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	capacity := spear.Resources(1000, 1000)
+
+	net := trainTinyModel(t)
+	scheduler, err := spear.NewSpear(net, tinyFeatures(), spear.SpearConfig{InitialBudget: 20, MinBudget: 5, Seed: 1})
+	if err != nil {
+		t.Fatalf("NewSpear: %v", err)
+	}
+	schedule, err := scheduler.Schedule(job, capacity)
+	if err != nil {
+		t.Fatalf("Schedule: %v", err)
+	}
+	if err := spear.Validate(job, capacity, schedule); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	if cp := spear.CriticalPath(job); schedule.Makespan < cp {
+		t.Errorf("makespan %d below critical path %d", schedule.Makespan, cp)
+	}
+	if g := spear.Gantt(schedule, job, 40); !strings.Contains(g, "fetch") {
+		t.Errorf("Gantt missing task name:\n%s", g)
+	}
+}
+
+func TestAllPublicSchedulersAgreeOnChain(t *testing.T) {
+	b := spear.NewJobBuilder(1)
+	prev := b.AddTask("t0", 2, spear.Resources(5))
+	for i := 1; i < 5; i++ {
+		cur := b.AddTask("t", 2, spear.Resources(5))
+		b.AddDep(prev, cur)
+		prev = cur
+	}
+	job, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	capacity := spear.Resources(10)
+
+	schedulers := []spear.Scheduler{
+		spear.NewMCTS(spear.MCTSConfig{InitialBudget: 10, MinBudget: 2}),
+		spear.NewTetris(),
+		spear.NewSJF(),
+		spear.NewCP(),
+		spear.NewGraphene(),
+		spear.NewRandom(1),
+	}
+	for _, s := range schedulers {
+		out, err := s.Schedule(job, capacity)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if out.Makespan != 10 {
+			t.Errorf("%s makespan = %d, want 10 (pure chain)", s.Name(), out.Makespan)
+		}
+	}
+}
+
+func TestModelSaveLoadThroughAPI(t *testing.T) {
+	net := trainTinyModel(t)
+	var buf bytes.Buffer
+	if err := spear.SaveModel(&buf, net); err != nil {
+		t.Fatalf("SaveModel: %v", err)
+	}
+	loaded, err := spear.LoadModel(&buf)
+	if err != nil {
+		t.Fatalf("LoadModel: %v", err)
+	}
+	if _, err := spear.NewSpear(loaded, tinyFeatures(), spear.SpearConfig{InitialBudget: 5, MinBudget: 2}); err != nil {
+		t.Errorf("NewSpear with loaded model: %v", err)
+	}
+}
+
+func TestWorkloadHelpers(t *testing.T) {
+	cfg := spear.DefaultRandomJobConfig()
+	cfg.NumTasks = 12
+	job, err := spear.RandomJob(3, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.NumTasks() != 12 {
+		t.Errorf("NumTasks = %d", job.NumTasks())
+	}
+	jobs, err := spear.RandomJobs(3, cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 3 {
+		t.Errorf("len = %d", len(jobs))
+	}
+	lb, err := spear.MakespanLowerBound(job, cfg.Capacity())
+	if err != nil || lb <= 0 {
+		t.Errorf("lower bound = %d, %v", lb, err)
+	}
+
+	mot, err := spear.MotivatingExample(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mot.NumTasks() != 8 {
+		t.Errorf("motivating tasks = %d", mot.NumTasks())
+	}
+
+	tr, err := spear.GenerateTrace(5, spear.DefaultTraceConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := spear.LoadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Jobs) != 99 {
+		t.Errorf("trace jobs = %d", len(back.Jobs))
+	}
+}
+
+func TestOptimalSolverThroughAPI(t *testing.T) {
+	b := spear.NewJobBuilder(1)
+	x := b.AddTask("x", 4, spear.Resources(1))
+	y := b.AddTask("y", 4, spear.Resources(1))
+	z := b.AddTask("z", 4, spear.Resources(1))
+	_ = x
+	_ = y
+	_ = z
+	job, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three independent unit tasks on capacity 2: optimal is 8.
+	out, err := spear.NewOptimal(0).Schedule(job, spear.Resources(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Makespan != 8 {
+		t.Errorf("optimal = %d, want 8", out.Makespan)
+	}
+}
+
+func TestExtendedSchedulerFamily(t *testing.T) {
+	cfg := spear.DefaultRandomJobConfig()
+	cfg.NumTasks = 20
+	job, err := spear.RandomJob(21, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	capacity := cfg.Capacity()
+	for _, s := range []spear.Scheduler{
+		spear.NewHEFT(),
+		spear.NewLPT(),
+		spear.NewBLoadList(),
+		spear.NewLevelByLevel(),
+		spear.NewTetrisSRPT(0.5),
+	} {
+		out, err := s.Schedule(job, capacity)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if err := spear.Validate(job, capacity, out); err != nil {
+			t.Errorf("%s: %v", s.Name(), err)
+		}
+	}
+}
+
+func TestJobJSONAndSVGThroughAPI(t *testing.T) {
+	b := spear.NewJobBuilder(1)
+	x := b.AddTask("x", 2, spear.Resources(4))
+	y := b.AddTask("y", 3, spear.Resources(4))
+	b.AddDep(x, y)
+	job, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := spear.SaveJob(&buf, job, "mini"); err != nil {
+		t.Fatal(err)
+	}
+	back, name, err := spear.LoadJob(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "mini" || back.NumTasks() != 2 {
+		t.Errorf("round trip: name=%q tasks=%d", name, back.NumTasks())
+	}
+
+	out, err := spear.NewCP().Schedule(job, spear.Resources(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var svg bytes.Buffer
+	if err := spear.WriteScheduleSVG(&svg, out, job, 400, 14); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(svg.String(), "<svg") {
+		t.Errorf("not an SVG")
+	}
+}
+
+func TestUntrainedNetworkIsUsable(t *testing.T) {
+	net, err := spear.NewNetwork(tinyFeatures(), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := spear.NewSpear(net, tinyFeatures(), spear.SpearConfig{InitialBudget: 10, MinBudget: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := spear.DefaultRandomJobConfig()
+	cfg.NumTasks = 10
+	job, err := spear.RandomJob(11, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := s.Schedule(job, cfg.Capacity())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := spear.Validate(job, cfg.Capacity(), out); err != nil {
+		t.Error(err)
+	}
+}
