@@ -58,24 +58,55 @@ func (s *Space) MaxBusy() int64 {
 }
 
 // Clone returns a deep copy of the space.
-func (s *Space) Clone() *Space {
-	c := &Space{
-		capacity: s.capacity.Clone(),
-		origin:   s.origin,
-		maxBusy:  s.maxBusy,
-		used:     make([]resource.Vector, len(s.used)),
+func (s *Space) Clone() *Space { return s.CloneInto(nil) }
+
+// CloneInto copies s into dst, reusing dst's slot storage where possible so
+// hot loops (MCTS rollouts) can recycle one scratch space instead of
+// allocating a fresh grid per simulation. A nil dst allocates. Returns dst.
+func (s *Space) CloneInto(dst *Space) *Space {
+	if dst == nil {
+		dst = &Space{}
+	}
+	dst.capacity = append(dst.capacity[:0], s.capacity...)
+	dst.origin = s.origin
+	dst.maxBusy = s.maxBusy
+	if cap(dst.used) >= len(s.used) {
+		// Recover previously truncated slots so their vectors get reused.
+		dst.used = dst.used[:len(s.used)]
+	} else {
+		grown := make([]resource.Vector, len(s.used))
+		copy(grown, dst.used[:cap(dst.used)])
+		dst.used = grown
 	}
 	for i, u := range s.used {
-		c.used[i] = u.Clone()
+		dst.used[i] = append(dst.used[i][:0], u...)
 	}
-	return c
+	return dst
 }
 
+// CapacityDim returns the capacity of one dimension without copying the
+// whole vector.
+func (s *Space) CapacityDim(d int) int64 { return s.capacity[d] }
+
 // slot returns the index of absolute time t, growing the grid if needed.
+// Growth within the slice's capacity recycles the vectors parked there by
+// Advance (zeroing them) instead of allocating, so a warm space places
+// tasks without touching the heap.
 func (s *Space) slot(t int64) int {
 	i := t - s.origin
 	for int64(len(s.used)) <= i {
-		s.used = append(s.used, resource.New(s.capacity.Dims()))
+		if n := len(s.used); n < cap(s.used) {
+			s.used = s.used[:n+1]
+			if v := s.used[n]; len(v) == s.capacity.Dims() {
+				for d := range v {
+					v[d] = 0
+				}
+			} else {
+				s.used[n] = resource.New(s.capacity.Dims())
+			}
+		} else {
+			s.used = append(s.used, resource.New(s.capacity.Dims()))
+		}
 	}
 	return int(i)
 }
@@ -252,9 +283,35 @@ func (s *Space) OccupancyImage(from int64, horizon int) [][]float64 {
 	return img
 }
 
+// FillOccupancy writes the normalized occupancy of horizon slots starting
+// at absolute time from into out, laid out out[d*horizon+k] for dimension d
+// and slot k — the allocation-free core of OccupancyImage. At most dims
+// dimensions are written (clamped to the space's dimensionality); out must
+// hold at least dims*horizon entries and is fully overwritten.
+func (s *Space) FillOccupancy(from int64, horizon, dims int, out []float64) {
+	if d := s.capacity.Dims(); dims > d {
+		dims = d
+	}
+	region := out[:dims*horizon]
+	for i := range region {
+		region[i] = 0
+	}
+	for k := 0; k < horizon; k++ {
+		i := from + int64(k) - s.origin
+		if i < 0 || i >= int64(len(s.used)) {
+			continue
+		}
+		for d := 0; d < dims; d++ {
+			region[d*horizon+k] = float64(s.used[i][d]) / float64(s.capacity[d])
+		}
+	}
+}
+
 // Advance discards all occupancy strictly before absolute time to. The
 // origin moves forward; placements may no longer start before it. Advancing
-// backwards is a no-op.
+// backwards is a no-op. Dropped slots are rotated to the tail of the
+// backing array (not copied over), keeping every header in the spare
+// region a distinct vector that slot can safely recycle.
 func (s *Space) Advance(to int64) {
 	if to <= s.origin {
 		return
@@ -263,8 +320,17 @@ func (s *Space) Advance(to int64) {
 	if drop >= int64(len(s.used)) {
 		s.used = s.used[:0]
 	} else {
-		n := copy(s.used, s.used[drop:])
-		s.used = s.used[:n]
+		d := int(drop)
+		reverseSlots(s.used[:d])
+		reverseSlots(s.used[d:])
+		reverseSlots(s.used)
+		s.used = s.used[:len(s.used)-d]
 	}
 	s.origin = to
+}
+
+func reverseSlots(v []resource.Vector) {
+	for i, j := 0, len(v)-1; i < j; i, j = i+1, j-1 {
+		v[i], v[j] = v[j], v[i]
+	}
 }

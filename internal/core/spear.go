@@ -57,7 +57,11 @@ type Spear struct {
 var _ sched.Scheduler = (*Spear)(nil)
 
 // New builds Spear around a trained policy network. The same network guides
-// both expansion ordering and rollouts.
+// both expansion ordering and rollouts. The rollout agent implements
+// simenv.ContextPolicy, so the search automatically runs rollouts through
+// the allocation-free inference fast path (per-worker rollout contexts
+// owning the feature, mask and activation buffers); the expander carries its
+// own private context.
 func New(net *nn.Network, feat drl.Features, cfg Config) (*Spear, error) {
 	cfg = cfg.normalized()
 	rolloutAgent, err := drl.NewAgent(net, feat, cfg.GreedyRollout)

@@ -35,6 +35,12 @@ type Graph struct {
 	blevel []int64   // longest runtime path from task to an exit, inclusive
 	bload  [][]int64 // accumulated load along the b-level path, per dimension
 	dims   int
+
+	// Graph-level scalars cached at Build time; the graph is immutable, and
+	// these sit on the per-step DRL featurization hot path.
+	criticalPath int64
+	maxRuntime   int64
+	totalWork    []int64 // per dimension
 }
 
 // Errors reported by Builder.Build.
@@ -208,6 +214,22 @@ func (g *Graph) computeFeatures() {
 		}
 		g.bload[v] = load
 	}
+
+	g.totalWork = make([]int64, g.dims)
+	for i := range g.tasks {
+		t := &g.tasks[i]
+		if t.Runtime > g.maxRuntime {
+			g.maxRuntime = t.Runtime
+		}
+		for d := 0; d < g.dims; d++ {
+			g.totalWork[d] += t.Runtime * t.Demand[d]
+		}
+	}
+	for id := range g.tasks {
+		if g.pred[id] == nil && g.blevel[id] > g.criticalPath {
+			g.criticalPath = g.blevel[id]
+		}
+	}
 }
 
 func sum64(xs []int64) int64 {
@@ -256,16 +278,8 @@ func (g *Graph) BLevel(id TaskID) int64 { return g.blevel[id] }
 func (g *Graph) BLoad(id TaskID, dim int) int64 { return g.bload[id][dim] }
 
 // CriticalPath returns the length of the longest runtime path through the
-// graph — a lower bound on any schedule's makespan.
-func (g *Graph) CriticalPath() int64 {
-	var m int64
-	for id := range g.tasks {
-		if g.pred[id] == nil && g.blevel[id] > m {
-			m = g.blevel[id]
-		}
-	}
-	return m
-}
+// graph — a lower bound on any schedule's makespan. Cached at Build time.
+func (g *Graph) CriticalPath() int64 { return g.criticalPath }
 
 // Entries returns the tasks with no predecessors, in ID order.
 func (g *Graph) Entries() []TaskID {
@@ -291,13 +305,8 @@ func (g *Graph) Exits() []TaskID {
 
 // TotalWork returns the sum over tasks of runtime x demand for the given
 // dimension: the total area the job occupies in the resource-time space.
-func (g *Graph) TotalWork(dim int) int64 {
-	var s int64
-	for i := range g.tasks {
-		s += g.tasks[i].Runtime * g.tasks[i].Demand[dim]
-	}
-	return s
-}
+// Cached at Build time.
+func (g *Graph) TotalWork(dim int) int64 { return g.totalWork[dim] }
 
 // MakespanLowerBound returns a simple lower bound on the makespan of any
 // valid schedule: the maximum of the critical path and, per dimension, the
@@ -335,13 +344,6 @@ func (g *Graph) MaxDemand() resource.Vector {
 	return out
 }
 
-// MaxRuntime returns the largest runtime of any single task.
-func (g *Graph) MaxRuntime() int64 {
-	var m int64
-	for i := range g.tasks {
-		if g.tasks[i].Runtime > m {
-			m = g.tasks[i].Runtime
-		}
-	}
-	return m
-}
+// MaxRuntime returns the largest runtime of any single task. Cached at
+// Build time.
+func (g *Graph) MaxRuntime() int64 { return g.maxRuntime }

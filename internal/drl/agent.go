@@ -20,7 +20,10 @@ type Agent struct {
 	name   string
 }
 
-var _ simenv.Policy = (*Agent)(nil)
+var (
+	_ simenv.Policy        = (*Agent)(nil)
+	_ simenv.ContextPolicy = (*Agent)(nil)
+)
 
 // Agent errors.
 var (
@@ -66,19 +69,48 @@ func (a *Agent) Network() *nn.Network { return a.net }
 // Features returns the featurization the agent encodes states with.
 func (a *Agent) Features() Features { return a.feat }
 
-// probs evaluates the masked action distribution at the current state.
+// AgentContext owns one goroutine's inference buffers — the encoded feature
+// vector, the legality mask, and the network's scratch activations. The
+// Agent itself is stateless and safe to share across goroutines; all
+// per-call mutable state lives here, so MCTS leaf-parallel rollouts and
+// REINFORCE sampling workers each carry their own context.
+type AgentContext struct {
+	x       []float64
+	mask    []bool
+	scratch *nn.Scratch
+}
+
+// newContext allocates a context sized for the agent's network.
+func (a *Agent) newContext() *AgentContext {
+	return &AgentContext{
+		x:       make([]float64, a.feat.InputSize()),
+		mask:    make([]bool, a.feat.OutputSize()),
+		scratch: a.net.NewScratch(),
+	}
+}
+
+// NewContext implements simenv.ContextPolicy.
+func (a *Agent) NewContext() simenv.PolicyContext { return a.newContext() }
+
+// probs evaluates the masked action distribution at the current state,
+// allocating fresh buffers. The fast path is probsCtx.
 func (a *Agent) probs(e *simenv.Env, legal []simenv.Action) ([]float64, error) {
 	x := a.feat.Encode(e, nil)
 	mask := a.feat.Mask(legal, nil)
 	return a.net.Probs(x, mask)
 }
 
-// Choose implements simenv.Policy.
-func (a *Agent) Choose(e *simenv.Env, legal []simenv.Action, rng *rand.Rand) (simenv.Action, error) {
-	probs, err := a.probs(e, legal)
-	if err != nil {
-		return 0, err
-	}
+// probsCtx evaluates the masked action distribution into ctx's buffers with
+// zero heap allocations. The returned slice is owned by ctx.
+func (a *Agent) probsCtx(ctx *AgentContext, e *simenv.Env, legal []simenv.Action) ([]float64, error) {
+	ctx.x = a.feat.Encode(e, ctx.x)
+	ctx.mask = a.feat.Mask(legal, ctx.mask)
+	return a.net.ProbsInto(ctx.scratch, ctx.x, ctx.mask)
+}
+
+// selectAction turns the action distribution into a decision: argmax in
+// greedy mode, a sample otherwise.
+func (a *Agent) selectAction(probs []float64, rng *rand.Rand) (simenv.Action, error) {
 	if a.greedy {
 		best, bestP := -1, -1.0
 		for i, p := range probs {
@@ -92,6 +124,30 @@ func (a *Agent) Choose(e *simenv.Env, legal []simenv.Action, rng *rand.Rand) (si
 		return 0, errors.New("drl: sampling agent requires an rng")
 	}
 	return a.feat.ActionFor(sampleIndex(probs, rng)), nil
+}
+
+// Choose implements simenv.Policy.
+func (a *Agent) Choose(e *simenv.Env, legal []simenv.Action, rng *rand.Rand) (simenv.Action, error) {
+	probs, err := a.probs(e, legal)
+	if err != nil {
+		return 0, err
+	}
+	return a.selectAction(probs, rng)
+}
+
+// ChooseCtx implements simenv.ContextPolicy: Choose with reusable buffers.
+// After warm-up the whole per-step inference path (Encode, forward pass,
+// masked softmax, action selection) performs zero heap allocations.
+func (a *Agent) ChooseCtx(pc simenv.PolicyContext, e *simenv.Env, legal []simenv.Action, rng *rand.Rand) (simenv.Action, error) {
+	ctx, ok := pc.(*AgentContext)
+	if !ok {
+		return 0, fmt.Errorf("drl: foreign policy context %T", pc)
+	}
+	probs, err := a.probsCtx(ctx, e, legal)
+	if err != nil {
+		return 0, err
+	}
+	return a.selectAction(probs, rng)
 }
 
 // sampleIndex draws an index proportional to probs (which sum to 1 over the
@@ -116,19 +172,25 @@ func sampleIndex(probs []float64, rng *rand.Rand) int {
 // Expander adapts the agent as an MCTS expansion strategy: among the
 // untried actions it picks the one the policy network assigns the highest
 // probability, so the search expands "the best unexplored node" (§III-C).
+// The Expander owns a private inference context (expansion runs on the
+// single search goroutine), so it is NOT safe to share one Expander across
+// concurrently running searches — build one per search, as core.New does.
 type Expander struct {
 	agent *Agent
+	ctx   *AgentContext
 }
 
 // NewExpander wraps the agent for MCTS expansion.
-func NewExpander(agent *Agent) *Expander { return &Expander{agent: agent} }
+func NewExpander(agent *Agent) *Expander {
+	return &Expander{agent: agent, ctx: agent.newContext()}
+}
 
 // Name implements mcts.Expander.
 func (x *Expander) Name() string { return "drl" }
 
 // Next implements mcts.Expander.
 func (x *Expander) Next(e *simenv.Env, untried []simenv.Action, _ *rand.Rand) (int, error) {
-	probs, err := x.agent.probs(e, untried)
+	probs, err := x.agent.probsCtx(x.ctx, e, untried)
 	if err != nil {
 		return 0, err
 	}

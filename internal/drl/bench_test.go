@@ -55,3 +55,26 @@ func BenchmarkAgentChoose(b *testing.B) {
 		}
 	}
 }
+
+func BenchmarkAgentChooseCtx(b *testing.B) {
+	feat := DefaultFeatures()
+	net, err := DefaultNetwork(feat, rand.New(rand.NewSource(2)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	agent, err := NewAgent(net, feat, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := benchEnv(b, feat)
+	legal := e.LegalActions()
+	rng := rand.New(rand.NewSource(3))
+	ctx := agent.NewContext()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := agent.ChooseCtx(ctx, e, legal, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

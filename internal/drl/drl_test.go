@@ -462,9 +462,10 @@ func TestEntropyBonusPushesTowardUniform(t *testing.T) {
 
 	before := entropyOf()
 	opt := nn.RMSProp{LR: 1e-3, Rho: 0.9, Eps: 1e-8}
+	tc := &trainContext{scratch: net.NewScratch(), d: make([]float64, net.OutputSize())}
 	for i := 0; i < 50; i++ {
 		grads := net.NewGrads()
-		if err := backpropTrajectory(net, tr, baseline, grads, 1.0); err != nil {
+		if err := backpropTrajectory(net, tr, baseline, grads, tc, 1.0); err != nil {
 			t.Fatal(err)
 		}
 		if err := net.Apply(grads, opt); err != nil {
@@ -476,13 +477,15 @@ func TestEntropyBonusPushesTowardUniform(t *testing.T) {
 		t.Errorf("entropy did not increase: %.4f -> %.4f", before, after)
 	}
 
-	// With bonus 0 and zero advantage the step is skipped entirely.
+	// With bonus 0 and zero advantage the backward pass is skipped, but the
+	// step still counts as a sample so Apply averages over the true batch
+	// size (a skipped step must not inflate the effective learning rate).
 	grads := net.NewGrads()
-	if err := backpropTrajectory(net, tr, baseline, grads, 0); err != nil {
+	if err := backpropTrajectory(net, tr, baseline, grads, tc, 0); err != nil {
 		t.Fatal(err)
 	}
-	if grads.Samples() != 0 {
-		t.Errorf("zero-advantage zero-bonus step produced %d samples", grads.Samples())
+	if grads.Samples() != 1 {
+		t.Errorf("zero-advantage zero-bonus step counted %d samples, want 1", grads.Samples())
 	}
 }
 

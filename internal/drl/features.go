@@ -62,7 +62,9 @@ func (f Features) Validate() error {
 // Encode writes the state of e as a feature vector. All features are
 // normalized to roughly [0, 1] using per-job scales (critical path, total
 // work, max runtime) so one trained network generalizes across jobs.
-// The buf slice is reused when it has the right length.
+// The buf slice is reused when it has the right length, in which case the
+// call performs zero heap allocations — this is the first stage of the
+// per-step inference fast path.
 func (f Features) Encode(e *simenv.Env, buf []float64) []float64 {
 	size := f.InputSize()
 	if len(buf) != size {
@@ -74,24 +76,18 @@ func (f Features) Encode(e *simenv.Env, buf []float64) []float64 {
 	}
 	g := e.Graph()
 
-	// Cluster occupancy image.
-	img := e.OccupancyImage(f.Horizon)
-	pos := 0
-	for d := 0; d < f.Dims && d < len(img); d++ {
-		copy(buf[pos:pos+f.Horizon], img[d])
-		pos += f.Horizon
-	}
-	pos = f.Dims * f.Horizon
+	// Cluster occupancy image, written in place.
+	e.FillOccupancy(f.Horizon, f.Dims, buf[:f.Dims*f.Horizon])
+	pos := f.Dims * f.Horizon
 
 	// Per-job normalizers. Every graph has at least one task with positive
 	// runtime, so these are never zero.
 	cp := float64(g.CriticalPath())
 	maxRT := float64(g.MaxRuntime())
-	capacity := e.Capacity()
 
-	visible := e.VisibleReady()
-	for slot := 0; slot < f.Window && slot < len(visible); slot++ {
-		task := g.Task(visible[slot])
+	visible := e.NumVisible()
+	for slot := 0; slot < f.Window && slot < visible; slot++ {
+		task := g.Task(e.VisibleTask(slot))
 		base := pos + slot*f.perTaskFeatures()
 		buf[base] = float64(task.Runtime) / maxRT
 		if !f.DisableGraphFeatures {
@@ -99,7 +95,7 @@ func (f Features) Encode(e *simenv.Env, buf []float64) []float64 {
 			buf[base+2] = float64(g.NumChildren(task.ID)) / 8.0
 		}
 		for d := 0; d < f.Dims; d++ {
-			buf[base+3+d] = float64(task.Demand[d]) / float64(capacity[d])
+			buf[base+3+d] = float64(task.Demand[d]) / float64(e.CapacityDim(d))
 			work := g.TotalWork(d)
 			if !f.DisableGraphFeatures && work > 0 {
 				buf[base+3+f.Dims+d] = float64(g.BLoad(task.ID, d)) / float64(work)

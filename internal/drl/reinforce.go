@@ -183,9 +183,25 @@ func WriteCurveCSV(w io.Writer, curve []EpochStats) error {
 	return cw.Error()
 }
 
+// samplerContext bundles the reusable per-worker buffers of trajectory
+// sampling: the agent's inference context, the legal-action buffer and a
+// scratch episode recycled across rollouts. One per worker goroutine; the
+// Agent itself is shared and stateless.
+type samplerContext struct {
+	agent *AgentContext
+	legal []simenv.Action
+	env   *simenv.Env
+}
+
 // sampleTrajectories runs cfg.Rollouts sampled episodes of the agent on one
-// job, in parallel.
+// job, spread over a pool of cfg.Workers goroutines that each own a
+// samplerContext. Per-rollout seeds are drawn from rng up front and applied
+// by index, so results are identical regardless of worker interleaving.
 func sampleTrajectories(agent *Agent, g *dag.Graph, capacity resource.Vector, cfg TrainConfig, rng *rand.Rand) ([]trajectory, error) {
+	base, err := simenv.New(g, capacity, simenv.Config{Window: agent.Features().Window, Mode: cfg.Mode})
+	if err != nil {
+		return nil, err
+	}
 	trajs := make([]trajectory, cfg.Rollouts)
 	errs := make([]error, cfg.Rollouts)
 	seeds := make([]int64, cfg.Rollouts)
@@ -193,17 +209,26 @@ func sampleTrajectories(agent *Agent, g *dag.Graph, capacity resource.Vector, cf
 		seeds[i] = rng.Int63()
 	}
 
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, cfg.Workers)
-	for i := 0; i < cfg.Rollouts; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			trajs[i], errs[i] = sampleOne(agent, g, capacity, cfg.Mode, rand.New(rand.NewSource(seeds[i])))
-		}(i)
+	workers := cfg.Workers
+	if workers > cfg.Rollouts {
+		workers = cfg.Rollouts
 	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sc := &samplerContext{agent: agent.newContext()}
+			for i := range next {
+				trajs[i], errs[i] = sampleOne(agent, sc, base, rand.New(rand.NewSource(seeds[i])))
+			}
+		}()
+	}
+	for i := 0; i < cfg.Rollouts; i++ {
+		next <- i
+	}
+	close(next)
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
@@ -214,26 +239,30 @@ func sampleTrajectories(agent *Agent, g *dag.Graph, capacity resource.Vector, cf
 }
 
 // sampleOne plays a single episode with the sampling agent, recording every
-// decision.
-func sampleOne(agent *Agent, g *dag.Graph, capacity resource.Vector, mode simenv.ProcessMode, rng *rand.Rand) (trajectory, error) {
+// decision. The episode runs in sc's scratch Env (cloned from base) and the
+// state is encoded once per step into sc's buffers, then snapshotted into
+// the trajectory — the snapshot is the only per-step allocation left.
+func sampleOne(agent *Agent, sc *samplerContext, base *simenv.Env, rng *rand.Rand) (trajectory, error) {
 	feat := agent.Features()
-	e, err := simenv.New(g, capacity, simenv.Config{Window: feat.Window, Mode: mode})
-	if err != nil {
-		return trajectory{}, err
-	}
+	e := base.CloneInto(sc.env)
+	sc.env = e
 	var tr trajectory
 	for !e.Done() {
-		legal := e.LegalActions()
-		if len(legal) == 0 {
+		sc.legal = e.LegalActionsInto(sc.legal[:0])
+		if len(sc.legal) == 0 {
 			return trajectory{}, fmt.Errorf("drl: stuck episode")
 		}
-		a, err := agent.Choose(e, legal, rng)
+		probs, err := agent.probsCtx(sc.agent, e, sc.legal)
+		if err != nil {
+			return trajectory{}, err
+		}
+		a, err := agent.selectAction(probs, rng)
 		if err != nil {
 			return trajectory{}, err
 		}
 		tr.steps = append(tr.steps, step{
-			x:      feat.Encode(e, nil),
-			mask:   feat.Mask(legal, nil),
+			x:      append([]float64(nil), sc.agent.x...),
+			mask:   append([]bool(nil), sc.agent.mask...),
 			action: feat.IndexFor(a),
 			now:    e.Now(),
 		})
@@ -274,20 +303,35 @@ func accumulatePolicyGradient(net *nn.Network, trajs []trajectory, grads *nn.Gra
 		}
 	}
 
+	// One gradient buffer per trajectory, merged in trajectory order below:
+	// the result is bit-identical regardless of worker count or scheduling
+	// interleave. The expensive per-pass buffers (activations, deltas) live
+	// in one trainContext per worker and are reused across trajectories.
+	if workers > len(trajs) {
+		workers = len(trajs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
 	local := make([]*nn.Grads, len(trajs))
 	errs := make([]error, len(trajs))
 	var wg sync.WaitGroup
-	sem := make(chan struct{}, workers)
-	for i := range trajs {
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(i int) {
+		go func() {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			local[i] = net.NewGrads()
-			errs[i] = backpropTrajectory(net, trajs[i], baseline, local[i], entropyBonus)
-		}(i)
+			tc := &trainContext{scratch: net.NewScratch(), d: make([]float64, net.OutputSize())}
+			for i := range next {
+				local[i] = net.NewGrads()
+				errs[i] = backpropTrajectory(net, trajs[i], baseline, local[i], tc, entropyBonus)
+			}
+		}()
 	}
+	for i := range trajs {
+		next <- i
+	}
+	close(next)
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
@@ -300,27 +344,34 @@ func accumulatePolicyGradient(net *nn.Network, trajs []trajectory, grads *nn.Gra
 	return nil
 }
 
+// trainContext holds one backprop worker's reusable buffers: the network
+// scratch (activations + deltas) and the logit-gradient vector.
+type trainContext struct {
+	scratch *nn.Scratch
+	d       []float64
+}
+
 // backpropTrajectory accumulates (probs - onehot) * advantage plus the
 // entropy-bonus term for every step of one trajectory. The gradient of
 // -β·H with respect to logit i under a (masked) softmax is
 // β·p_i·(log p_i + H).
-func backpropTrajectory(net *nn.Network, tr trajectory, baseline []float64, grads *nn.Grads, entropyBonus float64) error {
+func backpropTrajectory(net *nn.Network, tr trajectory, baseline []float64, grads *nn.Grads, tc *trainContext, entropyBonus float64) error {
 	for t, st := range tr.steps {
 		g := float64(st.now - tr.makespan)
 		advantage := g - baseline[t]
 		if advantage == 0 && entropyBonus == 0 {
-			// Zero-gradient step; skip the forward/backward pass.
+			// Zero-gradient step: the backward pass would add nothing, but
+			// the step is still a sample of the batch. Count it so that
+			// Apply's 1/n scaling averages over the true batch size instead
+			// of silently inflating the effective learning rate.
+			grads.AddSamples(1)
 			continue
 		}
-		cache, err := net.Forward(st.x)
+		probs, err := net.ProbsInto(tc.scratch, st.x, st.mask)
 		if err != nil {
 			return err
 		}
-		probs, err := nn.Softmax(cache.Logits(), st.mask)
-		if err != nil {
-			return err
-		}
-		d := make([]float64, len(probs))
+		d := tc.d
 		for i := range probs {
 			d[i] = probs[i] * advantage
 		}
@@ -338,7 +389,7 @@ func backpropTrajectory(net *nn.Network, tr trajectory, baseline []float64, grad
 				}
 			}
 		}
-		if err := net.Backward(cache, d, grads); err != nil {
+		if err := net.BackwardInto(tc.scratch, d, grads); err != nil {
 			return err
 		}
 	}

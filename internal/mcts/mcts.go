@@ -128,11 +128,23 @@ type Stats struct {
 }
 
 // Scheduler runs MCTS to schedule whole jobs. It implements
-// sched.Scheduler.
+// sched.Scheduler. A Scheduler is not safe for concurrent Schedule calls:
+// besides the stats counters it owns per-worker rollout contexts and
+// simulation buffers that are reused across iterations.
 type Scheduler struct {
 	name  string
 	cfg   Config
 	stats Stats
+
+	// rctx holds one rollout context per rollout worker; rctx[i] is only
+	// ever used by worker i, so leaf-parallel simulations never share
+	// buffers. Contexts persist across Schedule calls.
+	rctx []*simenv.RolloutContext
+	// simulate's reusable result/seed/error buffers (the search loop is
+	// sequential, so one set suffices).
+	simValues []float64
+	simSeeds  []int64
+	simErrs   []error
 }
 
 var _ sched.Scheduler = (*Scheduler)(nil)
@@ -180,26 +192,35 @@ func (n *node) terminal() bool { return n.env.Done() }
 
 func (n *node) fullyExpanded() bool { return len(n.untried) == 0 }
 
+// mean returns the node's average value, or -Inf for an unvisited node:
+// 0/0 would be NaN, and NaN compares false against everything, which would
+// silently mis-order UCB selection and the committed-move choice.
+func (n *node) mean() float64 {
+	if n.visits == 0 {
+		return math.Inf(-1)
+	}
+	return n.sum / float64(n.visits)
+}
+
 // ucb is Eq. 5: max value plus the scaled exploration bonus, with the mean
 // as an implicit tiebreak via a tiny epsilon weight.
 func (n *node) ucb(c float64) float64 {
 	if n.visits == 0 {
 		return math.Inf(1)
 	}
-	mean := n.sum / float64(n.visits)
-	exploit := n.max + 1e-6*mean
+	exploit := n.max + 1e-6*n.mean()
 	explore := c * math.Sqrt(math.Log(float64(n.parent.visits+1))/float64(n.visits))
 	return exploit + explore
 }
 
 // better reports whether n is a strictly better committed move than m,
-// using max value with mean tiebreak (§IV).
+// using max value with mean tiebreak (§IV). Zero-visit nodes carry
+// max = -Inf and mean() = -Inf, so they can never beat a visited sibling.
 func (n *node) better(m *node) bool {
 	if n.max != m.max {
 		return n.max > m.max
 	}
-	nm, mm := n.sum/float64(n.visits), m.sum/float64(m.visits)
-	return nm > mm
+	return n.mean() > m.mean()
 }
 
 // Schedule implements sched.Scheduler.
@@ -230,8 +251,9 @@ func (s *Scheduler) Schedule(g *dag.Graph, capacity resource.Vector) (*sched.Sch
 		}
 		var next *node
 		if len(legal) == 1 {
-			// Forced move: skip the search entirely.
-			child, err := s.childFor(root, legal[0])
+			// Forced move: skip the search entirely. Creating the child here
+			// is bookkeeping, not an expansion, so it is not counted.
+			child, _, err := s.childFor(root, legal[0])
 			if err != nil {
 				return nil, err
 			}
@@ -280,20 +302,22 @@ func (s *Scheduler) explorationConstant(g *dag.Graph, capacity resource.Vector) 
 	return s.cfg.ExplorationScale * float64(est.Makespan), nil
 }
 
-// childFor returns the existing child of n for the action, creating it (and
-// counting an expansion) if absent.
-func (s *Scheduler) childFor(n *node, a simenv.Action) (*node, error) {
+// childFor returns the existing child of n for the action, creating it if
+// absent; created reports whether a new node was built. Expansion counting
+// is the caller's concern: only nodes created inside search are expansions
+// in the §III-C sense — the forced-move path of Schedule skips the search
+// entirely and must not skew Stats.Expansions.
+func (s *Scheduler) childFor(n *node, a simenv.Action) (child *node, created bool, err error) {
 	for _, ch := range n.children {
 		if ch.action == a {
-			return ch, nil
+			return ch, false, nil
 		}
 	}
 	env := n.env.Clone()
 	if err := env.Step(a); err != nil {
-		return nil, err
+		return nil, false, err
 	}
-	s.stats.Expansions++
-	child := newNode(env, n, a)
+	child = newNode(env, n, a)
 	n.children = append(n.children, child)
 	// Drop a from untried if present.
 	for i, u := range n.untried {
@@ -302,49 +326,92 @@ func (s *Scheduler) childFor(n *node, a simenv.Action) (*node, error) {
 			break
 		}
 	}
-	return child, nil
+	return child, true, nil
 }
 
-// simulate estimates node n's value with one or more rollouts, returning
-// one negative-makespan value per simulation. Terminal nodes report their
-// exact makespan. Parallel rollouts draw their seeds from rng sequentially
-// and return values in seed order, so results stay deterministic.
-func (s *Scheduler) simulate(n *node, rng *rand.Rand) ([]float64, error) {
-	if n.terminal() {
-		return []float64{-float64(n.env.Makespan())}, nil
+// rolloutContext returns the persistent rollout context for worker i,
+// growing the pool as needed. Must only be called from the search goroutine
+// (contexts are created serially, before rollout workers are spawned).
+func (s *Scheduler) rolloutContext(i int) *simenv.RolloutContext {
+	for len(s.rctx) <= i {
+		s.rctx = append(s.rctx, simenv.NewRolloutContext(s.cfg.Rollout))
 	}
+	return s.rctx[i]
+}
+
+// simBuffers returns the reusable value/seed/error slices sized for k
+// simulations, zeroing the error slots.
+func (s *Scheduler) simBuffers(k int) ([]float64, []int64, []error) {
+	if cap(s.simValues) < k {
+		s.simValues = make([]float64, k)
+		s.simSeeds = make([]int64, k)
+		s.simErrs = make([]error, k)
+	}
+	values, seeds, errs := s.simValues[:k], s.simSeeds[:k], s.simErrs[:k]
+	for i := range errs {
+		errs[i] = nil
+	}
+	return values, seeds, errs
+}
+
+// simulate estimates node n's value with one or more rollouts, returning one
+// negative-makespan value per simulation. The returned slice is owned by the
+// scheduler and valid until the next simulate call. A terminal node's
+// makespan is exact, so it is reported once per configured simulation — with
+// RolloutsPerExpansion = k, a terminal leaf must carry the same backup
+// weight (k visits) as an expanded leaf, or terminal values are diluted
+// k-fold in every ancestor's mean. Parallel rollouts draw their seeds from
+// rng sequentially, run on per-worker rollout contexts over a static
+// partition, and return values in seed order, so results are deterministic
+// and independent of scheduling interleave.
+func (s *Scheduler) simulate(n *node, rng *rand.Rand) ([]float64, error) {
 	k := s.cfg.RolloutsPerExpansion
+	if n.terminal() {
+		values, _, _ := s.simBuffers(k)
+		exact := -float64(n.env.Makespan())
+		for i := range values {
+			values[i] = exact
+		}
+		return values, nil
+	}
 	if k == 1 {
-		sim := n.env.Clone()
-		makespan, err := simenv.Rollout(sim, s.cfg.Rollout, rng)
+		makespan, err := s.rolloutContext(0).RolloutFrom(n.env, rng)
 		if err != nil {
 			return nil, fmt.Errorf("mcts: rollout %s: %w", s.cfg.Rollout.Name(), err)
 		}
-		return []float64{-float64(makespan)}, nil
+		values, _, _ := s.simBuffers(1)
+		values[0] = -float64(makespan)
+		return values, nil
 	}
 
-	values := make([]float64, k)
-	errs := make([]error, k)
-	seeds := make([]int64, k)
+	values, seeds, errs := s.simBuffers(k)
 	for i := range seeds {
 		seeds[i] = rng.Int63()
 	}
+	workers := s.cfg.Parallelism
+	if workers > k {
+		workers = k
+	}
+	// Create the contexts serially before spawning: rolloutContext grows
+	// s.rctx and must not race with itself.
+	for w := 0; w < workers; w++ {
+		s.rolloutContext(w)
+	}
 	var wg sync.WaitGroup
-	sem := make(chan struct{}, s.cfg.Parallelism)
-	for i := 0; i < k; i++ {
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(i int) {
+		go func(w int) {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			sim := n.env.Clone()
-			makespan, err := simenv.Rollout(sim, s.cfg.Rollout, rand.New(rand.NewSource(seeds[i])))
-			if err != nil {
-				errs[i] = err
-				return
+			rc := s.rctx[w]
+			for i := w; i < k; i += workers {
+				makespan, err := rc.RolloutFrom(n.env, rand.New(rand.NewSource(seeds[i])))
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				values[i] = -float64(makespan)
 			}
-			values[i] = -float64(makespan)
-		}(i)
+		}(w)
 	}
 	wg.Wait()
 	for _, err := range errs {
@@ -381,9 +448,12 @@ func (s *Scheduler) search(root *node, budget int, c float64, rng *rand.Rand) er
 			if idx < 0 || idx >= len(n.untried) {
 				return fmt.Errorf("mcts: expander %s returned index %d of %d", s.cfg.Expand.Name(), idx, len(n.untried))
 			}
-			child, err := s.childFor(n, n.untried[idx])
+			child, created, err := s.childFor(n, n.untried[idx])
 			if err != nil {
 				return err
+			}
+			if created {
+				s.stats.Expansions++
 			}
 			n = child
 		}

@@ -1,6 +1,7 @@
 package mcts
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 
@@ -195,6 +196,91 @@ func TestForcedMovesSkipSearch(t *testing.T) {
 	}
 	if got := s.LastStats().Iterations; got != 0 {
 		t.Errorf("Iterations = %d, want 0 (all moves forced)", got)
+	}
+	// Forced-move children are bookkeeping, not expansions: a run with zero
+	// search iterations must report zero expansions.
+	if got := s.LastStats().Expansions; got != 0 {
+		t.Errorf("Expansions = %d, want 0 (all moves forced)", got)
+	}
+}
+
+func TestTerminalNodeBackpropagatesFullWeight(t *testing.T) {
+	// With RolloutsPerExpansion = k, an expanded leaf backpropagates k
+	// values. A terminal leaf's makespan is exact, so it must carry the same
+	// weight: simulate has to report the exact value k times, not once —
+	// otherwise terminal (fully known) outcomes are diluted k-fold in every
+	// ancestor's visit-weighted mean.
+	b := dag.NewBuilder(1)
+	t0 := b.AddTask("t0", 2, resource.Of(1))
+	t1 := b.AddTask("t1", 3, resource.Of(1))
+	b.AddDep(t0, t1)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := simenv.New(g, resource.Of(1), simenv.Config{Mode: simenv.NextCompletion})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for !env.Done() {
+		legal := env.LegalActions()
+		if err := env.Step(legal[0]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const k = 4
+	s := New(Config{InitialBudget: 10, MinBudget: 2, RolloutsPerExpansion: k})
+	n := newNode(env, nil, 0)
+	values, err := s.simulate(n, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(values) != k {
+		t.Fatalf("terminal simulate returned %d values, want %d", len(values), k)
+	}
+	want := -float64(env.Makespan())
+	for i, v := range values {
+		if v != want {
+			t.Errorf("value %d = %v, want exact %v", i, v, want)
+		}
+	}
+}
+
+func TestZeroVisitNodeOrdering(t *testing.T) {
+	// A zero-visit node has sum/visits = 0/0; mean() must report -Inf, not
+	// NaN — NaN compares false against everything, which would let an
+	// unvisited child silently win (or lose) better() and corrupt ucb's
+	// tiebreak. Construct the degenerate pair directly.
+	visited := &node{visits: 2, sum: -20, max: -8}
+	unvisited := &node{max: math.Inf(-1)}
+
+	if m := unvisited.mean(); !math.IsInf(m, -1) {
+		t.Errorf("zero-visit mean = %v, want -Inf", m)
+	}
+	if unvisited.better(visited) {
+		t.Error("unvisited node beat a visited sibling")
+	}
+	if !visited.better(unvisited) {
+		t.Error("visited node did not beat an unvisited sibling")
+	}
+
+	// Two zero-visit nodes: neither is strictly better, and the comparison
+	// must not be NaN-poisoned into an arbitrary true.
+	other := &node{max: math.Inf(-1)}
+	if unvisited.better(other) || other.better(unvisited) {
+		t.Error("two unvisited nodes ordered strictly")
+	}
+
+	// ucb of a visited node must stay finite even when its sibling is
+	// unvisited, and an unvisited node keeps its +Inf first-visit priority.
+	parent := &node{visits: 3}
+	visited.parent = parent
+	unvisited.parent = parent
+	if u := visited.ucb(1.0); math.IsNaN(u) || math.IsInf(u, 0) {
+		t.Errorf("visited ucb = %v, want finite", u)
+	}
+	if u := unvisited.ucb(1.0); !math.IsInf(u, 1) {
+		t.Errorf("unvisited ucb = %v, want +Inf", u)
 	}
 }
 

@@ -52,6 +52,36 @@ func BenchmarkProbsMasked(b *testing.B) {
 	}
 }
 
+func BenchmarkForwardInto(b *testing.B) {
+	n := paperNet(b)
+	x := benchInput(n)
+	s := n.NewScratch()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := n.ForwardInto(s, x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkProbsIntoMasked(b *testing.B) {
+	n := paperNet(b)
+	x := benchInput(n)
+	s := n.NewScratch()
+	mask := make([]bool, n.OutputSize())
+	for i := 0; i < len(mask); i += 2 {
+		mask[i] = true
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := n.ProbsInto(s, x, mask); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkBackward(b *testing.B) {
 	n := paperNet(b)
 	x := benchInput(n)
@@ -70,6 +100,29 @@ func BenchmarkBackward(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := n.Backward(cache, d, g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBackwardInto(b *testing.B) {
+	n := paperNet(b)
+	x := benchInput(n)
+	s := n.NewScratch()
+	if _, err := n.ForwardInto(s, x); err != nil {
+		b.Fatal(err)
+	}
+	probs, err := Softmax(s.Logits(), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := append([]float64(nil), probs...)
+	d[3] -= 1
+	g := n.NewGrads()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := n.BackwardInto(s, d, g); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -156,6 +156,185 @@ func (n *Network) Probs(x []float64, mask []bool) ([]float64, error) {
 	return Softmax(cache.Logits(), mask)
 }
 
+// Scratch holds reusable per-layer buffers for the allocation-free inference
+// and backprop fast path (ForwardInto / ProbsInto / BackwardInto). A Scratch
+// is shaped for the network that created it and must not be shared across
+// goroutines; give every worker its own via NewScratch.
+type Scratch struct {
+	// acts mirrors Cache.acts: acts[0] is the input copy, acts[l+1] the
+	// post-ReLU activation of layer l (raw logits for the last layer).
+	acts  [][]float64
+	probs []float64
+	// deltaA/deltaB are ping-pong backprop buffers sized to the widest layer.
+	deltaA []float64
+	deltaB []float64
+}
+
+// NewScratch allocates a scratch buffer set shaped like the network.
+func (n *Network) NewScratch() *Scratch {
+	s := &Scratch{acts: make([][]float64, len(n.sizes))}
+	widest := 0
+	for l, size := range n.sizes {
+		s.acts[l] = make([]float64, size)
+		if size > widest {
+			widest = size
+		}
+	}
+	s.probs = make([]float64, n.OutputSize())
+	s.deltaA = make([]float64, widest)
+	s.deltaB = make([]float64, widest)
+	return s
+}
+
+// Logits returns the output-layer logits of the most recent ForwardInto.
+func (s *Scratch) Logits() []float64 { return s.acts[len(s.acts)-1] }
+
+// checkScratch verifies that s was built for a network of n's shape.
+func (n *Network) checkScratch(s *Scratch) error {
+	if s == nil || len(s.acts) != len(n.sizes) {
+		return fmt.Errorf("%w: scratch does not match network", ErrBadShape)
+	}
+	for l, size := range n.sizes {
+		if len(s.acts[l]) != size {
+			return fmt.Errorf("%w: scratch layer %d has %d units, want %d", ErrBadShape, l, len(s.acts[l]), size)
+		}
+	}
+	return nil
+}
+
+// ForwardInto computes logits for input x into the scratch buffers, with
+// zero heap allocations. The returned slice is owned by the scratch and
+// valid until the next ForwardInto/ProbsInto call on it. The arithmetic is
+// identical to Forward, so results match bit for bit.
+func (n *Network) ForwardInto(s *Scratch, x []float64) ([]float64, error) {
+	if len(x) != n.sizes[0] {
+		return nil, fmt.Errorf("%w: got %d, want %d", ErrBadInput, len(x), n.sizes[0])
+	}
+	if err := n.checkScratch(s); err != nil {
+		return nil, err
+	}
+	copy(s.acts[0], x)
+	cur := s.acts[0]
+	last := len(n.weights) - 1
+	for l, w := range n.weights {
+		in := n.sizes[l]
+		next := s.acts[l+1]
+		for j := range next {
+			sum := n.biases[l][j]
+			row := w[j*in : (j+1)*in]
+			for i, xi := range cur {
+				sum += row[i] * xi
+			}
+			if l != last && sum < 0 {
+				sum = 0 // ReLU on hidden layers
+			}
+			next[j] = sum
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// SoftmaxInto is Softmax writing into out, reused when it has the right
+// length. Masked entries are set to probability zero.
+func SoftmaxInto(logits []float64, mask []bool, out []float64) ([]float64, error) {
+	if mask != nil && len(mask) != len(logits) {
+		return nil, fmt.Errorf("%w: mask size %d, logits %d", ErrBadInput, len(mask), len(logits))
+	}
+	if len(out) != len(logits) {
+		out = make([]float64, len(logits))
+	}
+	max := math.Inf(-1)
+	any := false
+	for i, v := range logits {
+		if mask != nil && !mask[i] {
+			continue
+		}
+		any = true
+		if v > max {
+			max = v
+		}
+	}
+	if !any {
+		return nil, ErrAllMasked
+	}
+	var sum float64
+	for i, v := range logits {
+		if mask != nil && !mask[i] {
+			out[i] = 0
+			continue
+		}
+		e := math.Exp(v - max)
+		out[i] = e
+		sum += e
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out, nil
+}
+
+// ProbsInto is ForwardInto followed by SoftmaxInto on the scratch's
+// probability buffer: one full inference with zero heap allocations. The
+// returned slice is owned by the scratch.
+func (n *Network) ProbsInto(s *Scratch, x []float64, mask []bool) ([]float64, error) {
+	logits, err := n.ForwardInto(s, x)
+	if err != nil {
+		return nil, err
+	}
+	return SoftmaxInto(logits, mask, s.probs)
+}
+
+// BackwardInto is Backward using the activations of the scratch's most
+// recent ForwardInto and the scratch's delta buffers, so one training step
+// allocates nothing beyond the trajectory itself.
+func (n *Network) BackwardInto(s *Scratch, dLogits []float64, g *Grads) error {
+	if len(dLogits) != n.OutputSize() {
+		return fmt.Errorf("%w: dLogits %d, want %d", ErrBadInput, len(dLogits), n.OutputSize())
+	}
+	if err := n.checkScratch(s); err != nil {
+		return err
+	}
+	delta := s.deltaA[:len(dLogits)]
+	spare := s.deltaB
+	copy(delta, dLogits)
+	for l := len(n.weights) - 1; l >= 0; l-- {
+		in := n.sizes[l]
+		prev := s.acts[l]
+		// Parameter gradients.
+		for j, dj := range delta {
+			g.b[l][j] += dj
+			row := g.w[l][j*in : (j+1)*in]
+			for i, pi := range prev {
+				row[i] += dj * pi
+			}
+		}
+		if l == 0 {
+			break
+		}
+		// Propagate to the previous layer through W and the ReLU.
+		nextDelta := spare[:in]
+		for i := range nextDelta {
+			nextDelta[i] = 0
+		}
+		w := n.weights[l]
+		for j, dj := range delta {
+			row := w[j*in : (j+1)*in]
+			for i := range nextDelta {
+				nextDelta[i] += dj * row[i]
+			}
+		}
+		for i := range nextDelta {
+			if s.acts[l][i] <= 0 { // ReLU derivative
+				nextDelta[i] = 0
+			}
+		}
+		delta, spare = nextDelta, delta[:cap(delta)]
+	}
+	g.n++
+	return nil
+}
+
 // Grads accumulates parameter gradients across a mini-batch.
 type Grads struct {
 	w [][]float64
@@ -188,6 +367,13 @@ func (g *Grads) Add(other *Grads) {
 
 // Samples returns how many samples were accumulated.
 func (g *Grads) Samples() int { return g.n }
+
+// AddSamples counts k additional samples that contributed zero gradient
+// (for example zero-advantage REINFORCE steps whose backward pass is
+// skipped). They still belong to the batch, so Apply's 1/n scaling must
+// average over them; omitting them silently inflates the effective
+// learning rate.
+func (g *Grads) AddSamples(k int) { g.n += k }
 
 // Backward accumulates gradients for one sample given dLogits, the gradient
 // of the loss with respect to the output logits (for policy-gradient /

@@ -1,0 +1,215 @@
+package nn
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestForwardIntoMatchesForward(t *testing.T) {
+	n := newNet(t, 4, 6, 5, 3)
+	s := n.NewScratch()
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 10; trial++ {
+		x := make([]float64, 4)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		cache, err := n.Forward(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		logits, err := n.ForwardInto(s, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range logits {
+			if logits[i] != cache.Logits()[i] {
+				t.Fatalf("trial %d logit %d: ForwardInto %g, Forward %g",
+					trial, i, logits[i], cache.Logits()[i])
+			}
+		}
+	}
+	if _, err := n.ForwardInto(s, []float64{1}); !errors.Is(err, ErrBadInput) {
+		t.Errorf("bad input err = %v", err)
+	}
+}
+
+func TestProbsIntoMatchesProbs(t *testing.T) {
+	n := newNet(t, 3, 5, 4)
+	s := n.NewScratch()
+	x := []float64{0.3, -0.7, 1.1}
+	mask := []bool{true, false, true, true}
+	want, err := n.Probs(x, mask)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := n.ProbsInto(s, x, mask)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("prob %d: ProbsInto %g, Probs %g", i, got[i], want[i])
+		}
+	}
+	// The returned slice is the scratch's own buffer, reused on every call.
+	again, err := n.ProbsInto(s, x, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &again[0] != &got[0] {
+		t.Error("ProbsInto did not reuse the scratch probs buffer")
+	}
+}
+
+func TestBackwardIntoMatchesBackward(t *testing.T) {
+	n := newNet(t, 4, 6, 5, 3)
+	s := n.NewScratch()
+	rng := rand.New(rand.NewSource(23))
+	x := make([]float64, 4)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+
+	cache, err := n.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probs, err := Softmax(cache.Logits(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dLogits := append([]float64(nil), probs...)
+	dLogits[1] -= 1
+
+	want := n.NewGrads()
+	if err := n.Backward(cache, dLogits, want); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := n.ForwardInto(s, x); err != nil {
+		t.Fatal(err)
+	}
+	got := n.NewGrads()
+	if err := n.BackwardInto(s, dLogits, got); err != nil {
+		t.Fatal(err)
+	}
+
+	if got.Samples() != want.Samples() {
+		t.Errorf("Samples: BackwardInto %d, Backward %d", got.Samples(), want.Samples())
+	}
+	for l := range want.w {
+		for i := range want.w[l] {
+			if math.Abs(got.w[l][i]-want.w[l][i]) > 1e-15 {
+				t.Fatalf("layer %d weight %d: BackwardInto %g, Backward %g",
+					l, i, got.w[l][i], want.w[l][i])
+			}
+		}
+		for i := range want.b[l] {
+			if math.Abs(got.b[l][i]-want.b[l][i]) > 1e-15 {
+				t.Fatalf("layer %d bias %d: BackwardInto %g, Backward %g",
+					l, i, got.b[l][i], want.b[l][i])
+			}
+		}
+	}
+}
+
+func TestScratchRejectsForeignNetwork(t *testing.T) {
+	a := newNet(t, 3, 5, 2)
+	b := newNet(t, 3, 4, 2)
+	s := b.NewScratch()
+	if _, err := a.ForwardInto(s, []float64{1, 2, 3}); err == nil {
+		t.Error("scratch from a different topology accepted")
+	}
+}
+
+func TestSoftmaxIntoMatchesSoftmax(t *testing.T) {
+	logits := []float64{1.5, -0.5, 0.25, 3}
+	mask := []bool{true, true, false, true}
+	want, err := Softmax(logits, mask)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]float64, len(logits))
+	for i := range out {
+		out[i] = 99 // stale garbage the call must overwrite, including masked slots
+	}
+	got, err := SoftmaxInto(logits, mask, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &got[0] != &out[0] {
+		t.Error("SoftmaxInto did not reuse the provided buffer")
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("prob %d: SoftmaxInto %g, Softmax %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestAddSamples(t *testing.T) {
+	n := newNet(t, 2, 2)
+	g := n.NewGrads()
+	g.AddSamples(3)
+	if g.Samples() != 3 {
+		t.Errorf("Samples = %d, want 3", g.Samples())
+	}
+	g.AddSamples(1)
+	if g.Samples() != 4 {
+		t.Errorf("Samples = %d, want 4", g.Samples())
+	}
+}
+
+// TestForwardIntoZeroAllocs gates the tentpole: after warm-up, the scratch
+// forward pass and masked softmax must not touch the heap.
+func TestForwardIntoZeroAllocs(t *testing.T) {
+	n := newNet(t, 10, 16, 8, 4)
+	s := n.NewScratch()
+	x := make([]float64, 10)
+	mask := make([]bool, 4)
+	for i := range mask {
+		mask[i] = true
+	}
+	if _, err := n.ProbsInto(s, x, mask); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := n.ForwardInto(s, x); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("ForwardInto allocates %.1f times per run, want 0", allocs)
+	}
+	allocs = testing.AllocsPerRun(100, func() {
+		if _, err := n.ProbsInto(s, x, mask); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("ProbsInto allocates %.1f times per run, want 0", allocs)
+	}
+}
+
+func TestBackwardIntoZeroAllocs(t *testing.T) {
+	n := newNet(t, 10, 16, 8, 4)
+	s := n.NewScratch()
+	g := n.NewGrads()
+	x := make([]float64, 10)
+	d := make([]float64, 4)
+	d[0] = 1
+	if _, err := n.ForwardInto(s, x); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := n.BackwardInto(s, d, g); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("BackwardInto allocates %.1f times per run, want 0", allocs)
+	}
+}

@@ -64,6 +64,23 @@ func BenchmarkRolloutRandom(b *testing.B) {
 	}
 }
 
+func BenchmarkRolloutRandomCtx(b *testing.B) {
+	g := benchGraph(b, 100)
+	base, err := New(g, resource.Of(20, 20), Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rc := NewRolloutContext(randomPolicy{})
+	rng := rand.New(rand.NewSource(7))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rc.RolloutFrom(base, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkLegalActions(b *testing.B) {
 	g := benchGraph(b, 100)
 	e, err := New(g, resource.Of(20, 20), Config{})

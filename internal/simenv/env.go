@@ -14,7 +14,6 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
-	"sort"
 	"time"
 
 	"spear/internal/cluster"
@@ -83,6 +82,12 @@ type Env struct {
 	running        int
 	done           int
 	processSteps   int64 // number of Process actions taken (== -reward)
+
+	// Scratch buffers reused by advanceTo so a Process step allocates
+	// nothing once warm. They carry no episode state and are deliberately
+	// not copied by CloneInto.
+	completedBuf []dag.TaskID
+	readyBuf     []dag.TaskID
 }
 
 // Env construction and stepping errors.
@@ -134,22 +139,29 @@ func New(g *dag.Graph, capacity resource.Vector, cfg Config) (*Env, error) {
 }
 
 // Clone returns an independent deep copy of the episode.
-func (e *Env) Clone() *Env {
-	c := &Env{
-		g:              e.g, // immutable, shared
-		space:          e.space.Clone(),
-		cfg:            e.cfg,
-		now:            e.now,
-		status:         append([]status(nil), e.status...),
-		missingParents: append([]int32(nil), e.missingParents...),
-		start:          append([]int64(nil), e.start...),
-		finish:         append([]int64(nil), e.finish...),
-		ready:          append([]dag.TaskID(nil), e.ready...),
-		running:        e.running,
-		done:           e.done,
-		processSteps:   e.processSteps,
+func (e *Env) Clone() *Env { return e.CloneInto(nil) }
+
+// CloneInto copies the episode into dst, reusing dst's slices so rollout
+// workers can recycle one scratch Env instead of allocating a deep copy per
+// simulation. A nil dst allocates a fresh Env. The receiver is not
+// modified; dst must not be in use by another goroutine. Returns dst.
+func (e *Env) CloneInto(dst *Env) *Env {
+	if dst == nil {
+		dst = &Env{}
 	}
-	return c
+	dst.g = e.g // immutable, shared
+	dst.space = e.space.CloneInto(dst.space)
+	dst.cfg = e.cfg
+	dst.now = e.now
+	dst.status = append(dst.status[:0], e.status...)
+	dst.missingParents = append(dst.missingParents[:0], e.missingParents...)
+	dst.start = append(dst.start[:0], e.start...)
+	dst.finish = append(dst.finish[:0], e.finish...)
+	dst.ready = append(dst.ready[:0], e.ready...)
+	dst.running = e.running
+	dst.done = e.done
+	dst.processSteps = e.processSteps
+	return dst
 }
 
 // Graph returns the job DAG being scheduled.
@@ -200,14 +212,22 @@ func (e *Env) Backlog() int {
 // VisibleReady returns a copy of the ready tasks exposed to the agent, in
 // FIFO order. Schedule actions index into this slice.
 func (e *Env) VisibleReady() []dag.TaskID {
-	w := len(e.ready)
-	if e.cfg.Window > 0 && w > e.cfg.Window {
-		w = e.cfg.Window
-	}
-	out := make([]dag.TaskID, w)
-	copy(out, e.ready[:w])
-	return out
+	return e.VisibleReadyInto(make([]dag.TaskID, 0, e.visibleLen()))
 }
+
+// VisibleReadyInto appends the visible ready tasks to buf (typically
+// buf[:0]) and returns the extended slice — the allocation-free variant of
+// VisibleReady.
+func (e *Env) VisibleReadyInto(buf []dag.TaskID) []dag.TaskID {
+	return append(buf, e.ready[:e.visibleLen()]...)
+}
+
+// NumVisible reports how many ready tasks are inside the window.
+func (e *Env) NumVisible() int { return e.visibleLen() }
+
+// VisibleTask returns the i-th visible ready task without copying the
+// window; i must be in [0, NumVisible()).
+func (e *Env) VisibleTask(i int) dag.TaskID { return e.ready[i] }
 
 // visibleLen returns the window size without copying.
 func (e *Env) visibleLen() int {
@@ -238,17 +258,26 @@ func (e *Env) LegalActions() []Action {
 	if e.Done() {
 		return nil
 	}
+	return e.LegalActionsInto(make([]Action, 0, e.visibleLen()+1))
+}
+
+// LegalActionsInto appends the legal actions to buf (typically buf[:0]) and
+// returns the extended slice — the allocation-free variant of LegalActions.
+// A finished episode appends nothing.
+func (e *Env) LegalActionsInto(buf []Action) []Action {
+	if e.Done() {
+		return buf
+	}
 	w := e.visibleLen()
-	out := make([]Action, 0, w+1)
 	for i := 0; i < w; i++ {
 		if e.FitsNow(i) {
-			out = append(out, Action(i))
+			buf = append(buf, Action(i))
 		}
 	}
 	if e.running > 0 {
-		out = append(out, Process)
+		buf = append(buf, Process)
 	}
-	return out
+	return buf
 }
 
 // Step applies action a. Scheduling actions leave the clock unchanged;
@@ -328,39 +357,47 @@ func (e *Env) EarliestRunningFinish() (int64, bool) {
 // advanceTo moves the clock to target and completes every running task with
 // finish <= target. Newly ready tasks are appended to the ready queue in
 // (finish time, task ID) order, which keeps episodes fully deterministic.
+// The completion lists live in Env-owned scratch buffers and are ordered
+// with insertion sorts (bursts are small), so this path does not allocate
+// once warm.
 func (e *Env) advanceTo(target int64) {
 	e.now = target
 
-	var completed []dag.TaskID
+	completed := e.completedBuf[:0]
 	for id, st := range e.status {
 		if st == statusRunning && e.finish[id] <= target {
 			completed = append(completed, dag.TaskID(id))
 		}
 	}
-	sort.Slice(completed, func(i, j int) bool {
-		fi, fj := e.finish[completed[i]], e.finish[completed[j]]
-		if fi != fj {
-			return fi < fj
+	// Sort by (finish, ID); the scan above yields ascending IDs already.
+	for i := 1; i < len(completed); i++ {
+		for j := i; j > 0 && e.finish[completed[j]] < e.finish[completed[j-1]]; j-- {
+			completed[j], completed[j-1] = completed[j-1], completed[j]
 		}
-		return completed[i] < completed[j]
-	})
+	}
 	for _, id := range completed {
 		e.status[id] = statusDone
 		e.running--
 		e.done++
-		var newlyReady []dag.TaskID
+		newlyReady := e.readyBuf[:0]
 		for _, child := range e.g.Succ(id) {
 			e.missingParents[child]--
 			if e.missingParents[child] == 0 {
 				newlyReady = append(newlyReady, child)
 			}
 		}
-		sort.Slice(newlyReady, func(i, j int) bool { return newlyReady[i] < newlyReady[j] })
+		for i := 1; i < len(newlyReady); i++ {
+			for j := i; j > 0 && newlyReady[j] < newlyReady[j-1]; j-- {
+				newlyReady[j], newlyReady[j-1] = newlyReady[j-1], newlyReady[j]
+			}
+		}
 		for _, child := range newlyReady {
 			e.status[child] = statusReady
 			e.ready = append(e.ready, child)
 		}
+		e.readyBuf = newlyReady[:0]
 	}
+	e.completedBuf = completed[:0]
 	e.space.Advance(target)
 }
 
@@ -401,6 +438,18 @@ func (e *Env) Schedule(algorithm string) (*sched.Schedule, error) {
 func (e *Env) OccupancyImage(horizon int) [][]float64 {
 	return e.space.OccupancyImage(e.now, horizon)
 }
+
+// FillOccupancy writes the normalized occupancy for the next horizon slots
+// into out, laid out out[d*horizon+k] — the allocation-free variant of
+// OccupancyImage. At most dims dimensions are written (clamped to the
+// cluster's dimensionality); out must hold at least dims*horizon entries.
+func (e *Env) FillOccupancy(horizon, dims int, out []float64) {
+	e.space.FillOccupancy(e.now, horizon, dims, out)
+}
+
+// CapacityDim returns one dimension of the cluster capacity without copying
+// the vector.
+func (e *Env) CapacityDim(d int) int64 { return e.space.CapacityDim(d) }
 
 // AvailableNow returns the free capacity at the current time.
 func (e *Env) AvailableNow() resource.Vector {
@@ -451,6 +500,80 @@ func Rollout(e *Env, p Policy, rng *rand.Rand) (int64, error) {
 			return 0, fmt.Errorf("simenv: no legal actions with %d/%d tasks done", e.done, e.g.NumTasks())
 		}
 		a, err := p.Choose(e, legal, rng)
+		if err != nil {
+			return 0, err
+		}
+		if err := e.Step(a); err != nil {
+			return 0, err
+		}
+	}
+	return e.Makespan(), nil
+}
+
+// PolicyContext is an opaque bundle of per-goroutine buffers owned by a
+// policy that implements ContextPolicy.
+type PolicyContext interface{}
+
+// ContextPolicy is an optional Policy extension for the allocation-free
+// rollout fast path. ChooseCtx must pick exactly the same action as Choose
+// given the same state and rng, but may write into the buffers of ctx. A
+// context is never shared across goroutines; the policy itself still is,
+// so all per-call mutable state must live in the context.
+type ContextPolicy interface {
+	Policy
+	// NewContext allocates a private context for one goroutine.
+	NewContext() PolicyContext
+	// ChooseCtx is Choose reusing the buffers of ctx, which was produced by
+	// this policy's NewContext.
+	ChooseCtx(ctx PolicyContext, e *Env, legal []Action, rng *rand.Rand) (Action, error)
+}
+
+// RolloutContext owns the reusable per-goroutine state of the rollout fast
+// path: a scratch episode recycled across simulations, the legal-action
+// buffer, and the policy's own context when the policy supports one. It is
+// not safe for concurrent use — give every rollout worker its own.
+type RolloutContext struct {
+	policy Policy
+	cp     ContextPolicy // non-nil when policy implements the fast path
+	pctx   PolicyContext
+	env    *Env
+	legal  []Action
+}
+
+// NewRolloutContext returns a rollout context for simulations played by p.
+func NewRolloutContext(p Policy) *RolloutContext {
+	rc := &RolloutContext{policy: p}
+	if cp, ok := p.(ContextPolicy); ok {
+		rc.cp = cp
+		rc.pctx = cp.NewContext()
+	}
+	return rc
+}
+
+// RolloutFrom copies base into the context's scratch episode and plays the
+// policy to completion, returning the makespan. base is not modified. It is
+// the allocation-free equivalent of Rollout(base.Clone(), p, rng).
+func (rc *RolloutContext) RolloutFrom(base *Env, rng *rand.Rand) (int64, error) {
+	rc.env = base.CloneInto(rc.env)
+	return rc.Rollout(rc.env, rng)
+}
+
+// Rollout drives e in place to completion like the package-level Rollout,
+// reusing the context's buffers. Results are identical for the same policy,
+// state and rng.
+func (rc *RolloutContext) Rollout(e *Env, rng *rand.Rand) (int64, error) {
+	for !e.Done() {
+		rc.legal = e.LegalActionsInto(rc.legal[:0])
+		if len(rc.legal) == 0 {
+			return 0, fmt.Errorf("simenv: no legal actions with %d/%d tasks done", e.done, e.g.NumTasks())
+		}
+		var a Action
+		var err error
+		if rc.cp != nil {
+			a, err = rc.cp.ChooseCtx(rc.pctx, e, rc.legal, rng)
+		} else {
+			a, err = rc.policy.Choose(e, rc.legal, rng)
+		}
 		if err != nil {
 			return 0, err
 		}
