@@ -35,6 +35,7 @@ func run() error {
 		modelPath = flag.String("model", "", "trained model (trains one on demand when empty)")
 		verbose   = flag.Bool("v", false, "log per-job progress")
 		csvDir    = flag.String("csv-dir", "", "also write each experiment's raw data as CSV into this directory")
+		metrics   = flag.Bool("metrics", false, "print a Prometheus-format metrics snapshot after the run")
 	)
 	flag.Parse()
 
@@ -49,6 +50,11 @@ func run() error {
 	suite.Full = *full
 	if *verbose {
 		suite.Log = os.Stderr
+	}
+	if *metrics {
+		// One shared registry: every scheduler the suite builds aggregates
+		// into it, and the snapshot below covers the whole run.
+		suite.Obs = spear.NewMetricsRegistry()
 	}
 	if *modelPath != "" {
 		f, err := os.Open(*modelPath)
@@ -91,10 +97,22 @@ func run() error {
 		return f.Close()
 	}
 
+	dumpMetrics := func() {
+		if suite.Obs == nil {
+			return
+		}
+		fmt.Println("==== metrics ====")
+		suite.Obs.Snapshot().WritePrometheus(os.Stdout)
+	}
+
 	if *runName != "all" {
 		for _, r := range experiments.Registry() {
 			if r.Name == *runName {
-				return runOne(r)
+				if err := runOne(r); err != nil {
+					return err
+				}
+				dumpMetrics()
+				return nil
 			}
 		}
 		return fmt.Errorf("unknown experiment %q", *runName)
@@ -106,5 +124,6 @@ func run() error {
 		}
 		fmt.Println()
 	}
+	dumpMetrics()
 	return nil
 }

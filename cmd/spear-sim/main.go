@@ -40,6 +40,7 @@ func run() error {
 		jobPath    = flag.String("job", "", "schedule a job described by this JSON file instead of random jobs")
 		capFlag    = flag.String("capacity", "", "cluster capacity for -job, comma-separated (e.g. 1000,1000)")
 		svgPath    = flag.String("svg", "", "write the first scheduler's first schedule as SVG to this path")
+		metrics    = flag.Bool("metrics", false, "print a Prometheus-format metrics snapshot after the run")
 	)
 	flag.Parse()
 
@@ -48,10 +49,16 @@ func run() error {
 		return err
 	}
 
+	var reg *spear.MetricsRegistry
+	if *metrics {
+		// One shared registry: every search-based scheduler aggregates into
+		// it, and the snapshot below covers the whole run.
+		reg = spear.NewMetricsRegistry()
+	}
 	names := strings.Split(*algos, ",")
 	schedulers := make([]spear.Scheduler, 0, len(names))
 	for _, name := range names {
-		s, err := buildScheduler(strings.TrimSpace(name), *budget, *minBudget, *seed, *modelPath)
+		s, err := buildScheduler(strings.TrimSpace(name), *budget, *minBudget, *seed, *modelPath, reg)
 		if err != nil {
 			return err
 		}
@@ -93,7 +100,16 @@ func run() error {
 		fmt.Fprintf(w, "\t%.1f", float64(total)/float64(len(jobs)))
 	}
 	fmt.Fprintln(w)
-	return w.Flush()
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	if reg != nil {
+		fmt.Println()
+		if err := reg.Snapshot().WritePrometheus(os.Stdout); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func buildJobs(motivating bool, jobPath, capFlag string, n, tasks int, seed int64) ([]*spear.Job, spear.Vector, error) {
@@ -167,16 +183,16 @@ func parseCapacity(s string, dims int) (spear.Vector, error) {
 	return out, nil
 }
 
-func buildScheduler(name string, budget, minBudget int, seed int64, modelPath string) (spear.Scheduler, error) {
+func buildScheduler(name string, budget, minBudget int, seed int64, modelPath string, reg *spear.MetricsRegistry) (spear.Scheduler, error) {
 	switch name {
 	case "spear":
 		net, feat, err := loadOrTrainModel(modelPath, seed)
 		if err != nil {
 			return nil, err
 		}
-		return spear.NewSpear(net, feat, spear.SpearConfig{InitialBudget: budget, MinBudget: minBudget, Seed: seed})
+		return spear.NewSpear(net, feat, spear.SpearConfig{InitialBudget: budget, MinBudget: minBudget, Seed: seed, Obs: reg})
 	case "mcts":
-		return spear.NewMCTS(spear.MCTSConfig{InitialBudget: budget, MinBudget: minBudget, Seed: seed}), nil
+		return spear.NewMCTS(spear.MCTSConfig{InitialBudget: budget, MinBudget: minBudget, Seed: seed, Obs: reg}), nil
 	case "graphene":
 		return spear.NewGraphene(), nil
 	case "tetris":
@@ -200,7 +216,9 @@ func buildScheduler(name string, budget, minBudget int, seed int64, modelPath st
 	case "anneal":
 		return spear.NewAnnealing(500, seed), nil
 	case "optimal":
-		return spear.NewOptimal(0), nil
+		s := spear.NewOptimal(0)
+		s.Obs = reg
+		return s, nil
 	default:
 		return nil, fmt.Errorf("unknown algorithm %q", name)
 	}

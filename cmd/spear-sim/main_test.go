@@ -36,7 +36,7 @@ func TestParseCapacity(t *testing.T) {
 
 func TestBuildSchedulerNames(t *testing.T) {
 	for _, name := range []string{"mcts", "graphene", "tetris", "cp", "sjf", "random", "heft", "lpt", "bload", "level", "tetris-srpt", "anneal", "optimal"} {
-		s, err := buildScheduler(name, 10, 2, 1, "")
+		s, err := buildScheduler(name, 10, 2, 1, "", nil)
 		if err != nil {
 			t.Errorf("%s: %v", name, err)
 			continue
@@ -45,7 +45,7 @@ func TestBuildSchedulerNames(t *testing.T) {
 			t.Errorf("%s: bad scheduler", name)
 		}
 	}
-	if _, err := buildScheduler("bogus", 10, 2, 1, ""); err == nil {
+	if _, err := buildScheduler("bogus", 10, 2, 1, "", nil); err == nil {
 		t.Error("bogus algorithm accepted")
 	}
 }

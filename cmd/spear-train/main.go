@@ -37,6 +37,7 @@ func run() error {
 		quiet          = flag.Bool("q", false, "suppress per-epoch progress")
 		curvePath      = flag.String("curve", "", "write the learning curve as CSV to this path")
 		ckptEvery      = flag.Int("checkpoint-every", 0, "save the model to -out every N epochs (0 = only at the end)")
+		metrics        = flag.Bool("metrics", false, "print a Prometheus-format training metrics snapshot after the run")
 	)
 	flag.Parse()
 
@@ -61,6 +62,11 @@ func run() error {
 		PretrainCfg:  spear.PretrainConfig{Epochs: *pretrainEpochs},
 		ReinforceCfg: reinforce,
 		Seed:         *seed,
+	}
+	var tm *spear.TrainMetrics
+	if *metrics {
+		tm = spear.NewTrainMetrics(nil)
+		cfg.Metrics = tm
 	}
 	progress := func(st spear.EpochStats) {
 		if !*quiet {
@@ -96,6 +102,14 @@ func run() error {
 		return err
 	}
 	fmt.Printf("model written to %s (window=%d horizon=%d)\n", *out, *window, *horizon)
+	if tm != nil {
+		st := tm.Stats()
+		fmt.Printf("training: %d trajectories, %d steps, %d updates, mean grad norm %.4g, mean baseline spread %.1f\n",
+			st.Trajectories, st.Steps, st.GradUpdates, st.MeanGradNorm, st.MeanBaselineSpread)
+		if err := tm.Snapshot().WritePrometheus(os.Stdout); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 

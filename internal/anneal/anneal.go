@@ -11,6 +11,7 @@
 package anneal
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -57,7 +58,7 @@ type Scheduler struct {
 	cfg Config
 }
 
-var _ sched.Scheduler = (*Scheduler)(nil)
+var _ sched.ContextScheduler = (*Scheduler)(nil)
 
 // New returns an annealing scheduler.
 func New(cfg Config) *Scheduler { return &Scheduler{cfg: cfg.normalized()} }
@@ -65,8 +66,16 @@ func New(cfg Config) *Scheduler { return &Scheduler{cfg: cfg.normalized()} }
 // Name implements sched.Scheduler.
 func (s *Scheduler) Name() string { return "Annealing" }
 
-// Schedule implements sched.Scheduler.
+// Schedule implements sched.Scheduler. It is ScheduleContext with an
+// uncancellable background context.
 func (s *Scheduler) Schedule(g *dag.Graph, capacity resource.Vector) (*sched.Schedule, error) {
+	return s.ScheduleContext(context.Background(), g, capacity)
+}
+
+// ScheduleContext implements sched.ContextScheduler. The context is checked
+// once per annealing iteration; on cancellation the best order found so far
+// is executed and returned together with an error wrapping ctx.Err().
+func (s *Scheduler) ScheduleContext(ctx context.Context, g *dag.Graph, capacity resource.Vector) (*sched.Schedule, error) {
 	began := time.Now()
 	rng := rand.New(rand.NewSource(s.cfg.Seed))
 	n := g.NumTasks()
@@ -90,7 +99,12 @@ func (s *Scheduler) Schedule(g *dag.Graph, capacity resource.Vector) (*sched.Sch
 	if temp < 1 {
 		temp = 1
 	}
+	cancelledAt := -1
 	for iter := 0; iter < s.cfg.Iterations; iter++ {
+		if ctx.Err() != nil {
+			cancelledAt = iter
+			break
+		}
 		i, j := rng.Intn(n), rng.Intn(n)
 		if i == j {
 			continue
@@ -119,6 +133,9 @@ func (s *Scheduler) Schedule(g *dag.Graph, capacity resource.Vector) (*sched.Sch
 	}
 	out.Algorithm = s.Name()
 	out.Elapsed = time.Since(began)
+	if cancelledAt >= 0 {
+		return out, fmt.Errorf("anneal: search cancelled at iteration %d: %w", cancelledAt, ctx.Err())
+	}
 	return out, nil
 }
 

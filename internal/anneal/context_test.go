@@ -1,0 +1,57 @@
+package anneal
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"spear/internal/sched"
+	"spear/internal/workload"
+)
+
+func TestCancelledContextReturnsBestOrderSoFar(t *testing.T) {
+	cfg := workload.DefaultRandomDAGConfig()
+	cfg.NumTasks = 25
+	g, err := workload.RandomDAG(rand.New(rand.NewSource(11)), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	capacity := cfg.Capacity()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s := New(Config{Iterations: 100, Seed: 11})
+	out, err := s.ScheduleContext(ctx, g, capacity)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want wrapping context.Canceled", err)
+	}
+	if out == nil {
+		t.Fatal("no schedule returned on cancellation")
+	}
+	// Even a pre-cancelled run executes the CP starting order, so the
+	// result must be a complete, valid schedule.
+	if err := sched.Validate(g, capacity, out); err != nil {
+		t.Errorf("cancelled schedule is invalid: %v", err)
+	}
+}
+
+func TestBackgroundContextMatchesSchedule(t *testing.T) {
+	cfg := workload.DefaultRandomDAGConfig()
+	cfg.NumTasks = 20
+	g, err := workload.RandomDAG(rand.New(rand.NewSource(13)), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	capacity := cfg.Capacity()
+	want, err := New(Config{Iterations: 80, Seed: 13}).Schedule(g, capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := New(Config{Iterations: 80, Seed: 13}).ScheduleContext(context.Background(), g, capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Makespan != want.Makespan {
+		t.Errorf("ScheduleContext makespan %d, Schedule %d", got.Makespan, want.Makespan)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"errors"
 	"fmt"
 
+	"spear/internal/obs"
 	"spear/internal/resource"
 )
 
@@ -29,6 +30,12 @@ type Space struct {
 	origin   int64
 	used     []resource.Vector // used[i] = occupancy at time origin+i
 	maxBusy  int64             // absolute time after which the space is empty
+
+	// Optional instrumentation (nil = off): slotReuse counts grid slots
+	// recycled from the parked pool, slotGrow freshly allocated ones. Both
+	// are shared atomics, safe across the clones of one episode.
+	slotReuse *obs.Counter
+	slotGrow  *obs.Counter
 }
 
 // NewSpace returns an empty Space with the given capacity.
@@ -57,6 +64,13 @@ func (s *Space) MaxBusy() int64 {
 	return s.maxBusy
 }
 
+// Instrument attaches pool-reuse counters to the space (nil disables).
+// Clones made from the space share the counters.
+func (s *Space) Instrument(slotReuse, slotGrow *obs.Counter) {
+	s.slotReuse = slotReuse
+	s.slotGrow = slotGrow
+}
+
 // Clone returns a deep copy of the space.
 func (s *Space) Clone() *Space { return s.CloneInto(nil) }
 
@@ -70,6 +84,8 @@ func (s *Space) CloneInto(dst *Space) *Space {
 	dst.capacity = append(dst.capacity[:0], s.capacity...)
 	dst.origin = s.origin
 	dst.maxBusy = s.maxBusy
+	dst.slotReuse = s.slotReuse
+	dst.slotGrow = s.slotGrow
 	if cap(dst.used) >= len(s.used) {
 		// Recover previously truncated slots so their vectors get reused.
 		dst.used = dst.used[:len(s.used)]
@@ -101,11 +117,20 @@ func (s *Space) slot(t int64) int {
 				for d := range v {
 					v[d] = 0
 				}
+				if s.slotReuse != nil {
+					s.slotReuse.Inc()
+				}
 			} else {
 				s.used[n] = resource.New(s.capacity.Dims())
+				if s.slotGrow != nil {
+					s.slotGrow.Inc()
+				}
 			}
 		} else {
 			s.used = append(s.used, resource.New(s.capacity.Dims()))
+			if s.slotGrow != nil {
+				s.slotGrow.Inc()
+			}
 		}
 	}
 	return int(i)

@@ -7,13 +7,16 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+	"time"
 
 	"spear/internal/dag"
 	"spear/internal/drl"
 	"spear/internal/mcts"
 	"spear/internal/nn"
+	"spear/internal/obs"
 	"spear/internal/resource"
 	"spear/internal/sched"
 	"spear/internal/workload"
@@ -36,6 +39,10 @@ type Config struct {
 	GreedyRollout bool
 	// Seed feeds the search's random source.
 	Seed int64
+	// Obs, when non-nil, is the metrics registry the underlying search
+	// registers its counters in (shared registries aggregate across
+	// schedulers). Nil means a private registry.
+	Obs *obs.Registry
 }
 
 func (c Config) normalized() Config {
@@ -54,7 +61,7 @@ type Spear struct {
 	agent  *drl.Agent
 }
 
-var _ sched.Scheduler = (*Spear)(nil)
+var _ sched.ContextScheduler = (*Spear)(nil)
 
 // New builds Spear around a trained policy network. The same network guides
 // both expansion ordering and rollouts. The rollout agent implements
@@ -80,6 +87,7 @@ func New(net *nn.Network, feat drl.Features, cfg Config) (*Spear, error) {
 		Expand:           drl.NewExpander(expandAgent),
 		Window:           feat.Window,
 		Seed:             cfg.Seed,
+		Obs:              cfg.Obs,
 	})
 	return &Spear{search: search, agent: rolloutAgent}, nil
 }
@@ -92,8 +100,18 @@ func (s *Spear) Schedule(g *dag.Graph, capacity resource.Vector) (*sched.Schedul
 	return s.search.Schedule(g, capacity)
 }
 
+// ScheduleContext implements sched.ContextScheduler, delegating to the
+// underlying search: on cancellation it returns the best incumbent schedule
+// together with an error wrapping ctx.Err().
+func (s *Spear) ScheduleContext(ctx context.Context, g *dag.Graph, capacity resource.Vector) (*sched.Schedule, error) {
+	return s.search.ScheduleContext(ctx, g, capacity)
+}
+
 // LastStats exposes the underlying search counters.
 func (s *Spear) LastStats() mcts.Stats { return s.search.LastStats() }
+
+// Metrics renders the scheduler's cumulative metrics snapshot.
+func (s *Spear) Metrics() obs.Snapshot { return s.search.Metrics() }
 
 // ModelConfig controls BuildModel, the end-to-end training pipeline
 // (supervised warm start, then REINFORCE) on randomly generated jobs — the
@@ -112,6 +130,10 @@ type ModelConfig struct {
 	ReinforceCfg drl.TrainConfig
 	// Seed makes the whole pipeline reproducible.
 	Seed int64
+	// Metrics, when non-nil, instruments the pipeline: phase wall-clock
+	// (pretrain, REINFORCE and the sample/backprop/apply split), trajectory
+	// and gradient counters, and rollout-baseline spreads.
+	Metrics *obs.TrainMetrics
 }
 
 // Normalized returns the config with defaults filled in.
@@ -149,12 +171,24 @@ func BuildModel(cfg ModelConfig, progress func(drl.EpochStats)) (*nn.Network, []
 	if err != nil {
 		return nil, nil, nil, err
 	}
+	pretrainStart := time.Now()
 	if _, err := drl.Pretrain(net, cfg.Feat, jobs, capacity, cfg.PretrainCfg, rng); err != nil {
 		return nil, nil, nil, fmt.Errorf("core: pretrain: %w", err)
 	}
-	curve, err := drl.Train(net, cfg.Feat, jobs, capacity, cfg.ReinforceCfg, rng, progress)
+	if cfg.Metrics != nil {
+		cfg.Metrics.PretrainTime.ObserveSince(pretrainStart)
+	}
+	rcfg := cfg.ReinforceCfg
+	if rcfg.Metrics == nil {
+		rcfg.Metrics = cfg.Metrics
+	}
+	reinforceStart := time.Now()
+	curve, err := drl.Train(net, cfg.Feat, jobs, capacity, rcfg, rng, progress)
 	if err != nil {
 		return nil, nil, nil, fmt.Errorf("core: reinforce: %w", err)
+	}
+	if cfg.Metrics != nil {
+		cfg.Metrics.ReinforceTime.ObserveSince(reinforceStart)
 	}
 	return net, curve, capacity, nil
 }

@@ -9,9 +9,11 @@ import (
 	"runtime"
 	"strconv"
 	"sync"
+	"time"
 
 	"spear/internal/dag"
 	"spear/internal/nn"
+	"spear/internal/obs"
 	"spear/internal/resource"
 	"spear/internal/simenv"
 )
@@ -46,6 +48,11 @@ type TrainConfig struct {
 	// Checkpoint receives the epoch index and the live network. A non-nil
 	// error aborts training. The network must not be mutated.
 	Checkpoint func(epoch int, net *nn.Network) error
+	// Metrics, when non-nil, instruments the training loop: trajectory and
+	// step counters, per-phase wall-clock (sample/backprop/apply), applied
+	// gradient norms and rollout-baseline spreads. Nil disables all
+	// instrumentation at zero cost.
+	Metrics *obs.TrainMetrics
 }
 
 func (c TrainConfig) normalized() TrainConfig {
@@ -121,13 +128,23 @@ func Train(net *nn.Network, feat Features, jobs []*dag.Graph, capacity resource.
 			}
 			grads := net.NewGrads()
 			for _, g := range jobs[start:end] {
+				sampleStart := time.Now()
 				trajs, err := sampleTrajectories(agent, g, capacity, cfg, rng)
 				if err != nil {
 					return nil, err
 				}
+				var exMin, exMax int64 = -1, 0
+				var exSteps int64
 				for _, tr := range trajs {
 					totalMakespan += float64(tr.makespan)
 					rolloutCount++
+					exSteps += int64(len(tr.steps))
+					if exMin < 0 || tr.makespan < exMin {
+						exMin = tr.makespan
+					}
+					if tr.makespan > exMax {
+						exMax = tr.makespan
+					}
 					if stats.MinMakespan < 0 || tr.makespan < stats.MinMakespan {
 						stats.MinMakespan = tr.makespan
 					}
@@ -135,13 +152,35 @@ func Train(net *nn.Network, feat Features, jobs []*dag.Graph, capacity resource.
 						stats.MaxMakespan = tr.makespan
 					}
 				}
+				if m := cfg.Metrics; m != nil {
+					m.SampleTime.ObserveSince(sampleStart)
+					m.Trajectories.Add(int64(len(trajs)))
+					m.Steps.Add(exSteps)
+					if exMin >= 0 {
+						m.BaselineSpreadSum.Add(float64(exMax - exMin))
+						m.BaselineSpreadCount.Inc()
+					}
+				}
+				backpropStart := time.Now()
 				if err := accumulatePolicyGradient(net, trajs, grads, cfg.Workers, cfg.EntropyBonus); err != nil {
 					return nil, err
 				}
+				if m := cfg.Metrics; m != nil {
+					m.BackpropTime.ObserveSince(backpropStart)
+				}
 			}
 			if grads.Samples() > 0 {
+				applyStart := time.Now()
+				if m := cfg.Metrics; m != nil {
+					// Norm walks every weight, so compute it only when asked.
+					m.GradNormSum.Add(grads.Norm())
+				}
 				if err := net.Apply(grads, cfg.Opt); err != nil {
 					return nil, err
+				}
+				if m := cfg.Metrics; m != nil {
+					m.ApplyTime.ObserveSince(applyStart)
+					m.GradUpdates.Inc()
 				}
 			}
 		}

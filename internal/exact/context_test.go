@@ -1,0 +1,75 @@
+package exact
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"spear/internal/obs"
+	"spear/internal/sched"
+	"spear/internal/workload"
+)
+
+func TestPreCancelledContextFailsFast(t *testing.T) {
+	g, err := workload.MotivatingExample(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s := New(0)
+	if _, err := s.ScheduleContext(ctx, g, workload.MotivatingCapacity()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want wrapping context.Canceled", err)
+	}
+}
+
+func TestMidSolveCancellationReturnsIncumbent(t *testing.T) {
+	cfg := workload.DefaultRandomDAGConfig()
+	cfg.NumTasks = 30
+	g, err := workload.RandomDAG(rand.New(rand.NewSource(7)), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	capacity := cfg.Capacity()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	s := New(0)
+	out, err := s.ScheduleContext(ctx, g, capacity)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want wrapping context.DeadlineExceeded", err)
+	}
+	if out == nil {
+		t.Fatal("no incumbent schedule returned on cancellation")
+	}
+	if err := sched.Validate(g, capacity, out); err != nil {
+		t.Errorf("cancelled incumbent is invalid: %v", err)
+	}
+	if s.Optimal() {
+		t.Error("claimed optimality despite cancellation")
+	}
+}
+
+func TestSolverMetricsPopulated(t *testing.T) {
+	g, err := workload.MotivatingExample(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	s := New(0)
+	s.Obs = reg
+	if _, err := s.Schedule(g, workload.MotivatingCapacity()); err != nil {
+		t.Fatal(err)
+	}
+	snap := s.Metrics()
+	if got, _ := snap.Value("spear_exact_nodes_explored_total"); got != float64(s.Explored()) {
+		t.Errorf("nodes explored metric = %g, want %d", got, s.Explored())
+	}
+	if got, _ := snap.Value("spear_exact_incumbent_improvements_total"); got == 0 {
+		t.Error("incumbent improvements = 0, want > 0 (optimal 202 beats Tetris's 301)")
+	}
+	if got, _ := snap.Value("spear_exact_solve_time_count"); got != 1 {
+		t.Errorf("solve time count = %g, want 1", got)
+	}
+}

@@ -7,12 +7,14 @@
 package exact
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
 
 	"spear/internal/baselines"
 	"spear/internal/dag"
+	"spear/internal/obs"
 	"spear/internal/resource"
 	"spear/internal/sched"
 	"spear/internal/simenv"
@@ -25,9 +27,15 @@ type Solver struct {
 	// MaxNodes caps the number of explored search nodes. Zero means
 	// DefaultMaxNodes.
 	MaxNodes int64
+	// Obs, when non-nil, is the registry the solver's metrics are registered
+	// in (shared registries aggregate across schedulers). Nil means a
+	// private registry. Set before the first Schedule call.
+	Obs *obs.Registry
 
 	explored int64
 	optimal  bool
+	sm       *obs.SolverMetrics
+	reg      *obs.Registry
 }
 
 // DefaultMaxNodes bounds the search effort (~a few seconds for 10-12 task
@@ -38,7 +46,7 @@ const DefaultMaxNodes = 5_000_000
 // space was exhausted.
 var ErrBudgetExceeded = errors.New("exact: node budget exceeded before proving optimality")
 
-var _ sched.Scheduler = (*Solver)(nil)
+var _ sched.ContextScheduler = (*Solver)(nil)
 
 // New returns a Solver with the given node budget (0 = DefaultMaxNodes).
 func New(maxNodes int64) *Solver { return &Solver{MaxNodes: maxNodes} }
@@ -52,20 +60,61 @@ func (s *Solver) Explored() int64 { return s.explored }
 // Optimal reports whether the last Schedule call proved optimality.
 func (s *Solver) Optimal() bool { return s.optimal }
 
+// metrics lazily builds the solver's metric bundle, honoring Obs.
+func (s *Solver) metrics() *obs.SolverMetrics {
+	if s.sm == nil {
+		s.reg = s.Obs
+		if s.reg == nil {
+			s.reg = obs.NewRegistry()
+		}
+		s.sm = obs.NewSolverMetrics(s.reg)
+	}
+	return s.sm
+}
+
+// Metrics renders the solver's cumulative metrics snapshot.
+func (s *Solver) Metrics() obs.Snapshot {
+	s.metrics()
+	return s.reg.Snapshot()
+}
+
+// ctxCheckInterval is how many dfs nodes are explored between ctx.Err()
+// polls — the dfs hot loop stays free of per-node synchronization.
+const ctxCheckInterval = 2048
+
 type searchState struct {
+	ctx          context.Context
 	bestMakespan int64
 	bestEnv      *simenv.Env
 	limit        int64
 	explored     int64
+	improvements int64
+	nextCtxCheck int64
+	cancelled    bool
 	g            *dag.Graph
 	capacity     resource.Vector
 }
 
-// Schedule implements sched.Scheduler.
+// Schedule implements sched.Scheduler. It is ScheduleContext with an
+// uncancellable background context.
 func (s *Solver) Schedule(g *dag.Graph, capacity resource.Vector) (*sched.Schedule, error) {
+	return s.ScheduleContext(context.Background(), g, capacity)
+}
+
+// ScheduleContext implements sched.ContextScheduler. The context is checked
+// on entry and every ctxCheckInterval explored nodes; on cancellation the
+// best incumbent schedule found so far is returned together with an error
+// wrapping ctx.Err().
+func (s *Solver) ScheduleContext(ctx context.Context, g *dag.Graph, capacity resource.Vector) (*sched.Schedule, error) {
 	began := time.Now()
 	s.explored = 0
 	s.optimal = false
+	sm := s.metrics()
+	defer sm.SolveTime.ObserveSince(began)
+
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("exact: %w", err)
+	}
 
 	limit := s.MaxNodes
 	if limit <= 0 {
@@ -84,13 +133,18 @@ func (s *Solver) Schedule(g *dag.Graph, capacity resource.Vector) (*sched.Schedu
 		return nil, err
 	}
 	st := &searchState{
+		ctx:          ctx,
 		bestMakespan: incumbent.Makespan,
 		limit:        limit,
+		nextCtxCheck: ctxCheckInterval,
 		g:            g,
 		capacity:     capacity,
 	}
 	exhausted := st.dfs(root, -1)
 	s.explored = st.explored
+	// The dfs loop accumulates locally and flushes here, once per call.
+	sm.NodesExplored.Add(st.explored)
+	sm.IncumbentImprovements.Add(st.improvements)
 
 	var out *sched.Schedule
 	if st.bestEnv != nil {
@@ -105,6 +159,9 @@ func (s *Solver) Schedule(g *dag.Graph, capacity resource.Vector) (*sched.Schedu
 		out.Algorithm = s.Name()
 	}
 	out.Elapsed = time.Since(began)
+	if st.cancelled {
+		return out, fmt.Errorf("exact: search cancelled, best found %d after %d nodes: %w", out.Makespan, st.explored, ctx.Err())
+	}
 	if !exhausted {
 		return out, fmt.Errorf("%w: best found %d after %d nodes", ErrBudgetExceeded, out.Makespan, st.explored)
 	}
@@ -115,16 +172,26 @@ func (s *Solver) Schedule(g *dag.Graph, capacity resource.Vector) (*sched.Schedu
 // dfs explores the subtree under e. minTaskID implements a symmetry
 // reduction: schedule actions taken back-to-back at the same instant
 // commute, so only ID-increasing sequences are explored. It reports false
-// when the node budget ran out.
+// when the node budget ran out or the context was cancelled.
 func (st *searchState) dfs(e *simenv.Env, minTaskID dag.TaskID) bool {
 	st.explored++
 	if st.explored > st.limit {
+		return false
+	}
+	if st.explored >= st.nextCtxCheck {
+		st.nextCtxCheck += ctxCheckInterval
+		if st.ctx.Err() != nil {
+			st.cancelled = true
+		}
+	}
+	if st.cancelled {
 		return false
 	}
 	if e.Done() {
 		if m := e.Makespan(); m < st.bestMakespan {
 			st.bestMakespan = m
 			st.bestEnv = e.Clone()
+			st.improvements++
 		}
 		return true
 	}
@@ -135,6 +202,9 @@ func (st *searchState) dfs(e *simenv.Env, minTaskID dag.TaskID) bool {
 	visible := e.VisibleReady()
 	exhausted := true
 	for _, a := range e.LegalActions() {
+		if st.cancelled {
+			return false
+		}
 		var nextMin dag.TaskID
 		if a != simenv.Process {
 			id := visible[a]

@@ -37,6 +37,7 @@ func (s *Suite) Gap() (*GapResult, error) {
 	}
 
 	solver := exact.New(0)
+	solver.Obs = s.Obs
 	optimal := make([]int64, len(graphs))
 	for i, g := range graphs {
 		out, err := solver.Schedule(g, capacity)
@@ -52,7 +53,7 @@ func (s *Suite) Gap() (*GapResult, error) {
 		return nil, err
 	}
 	schedulers := append([]sched.Scheduler{
-		mcts.New(mcts.Config{InitialBudget: 500, MinBudget: 100, Seed: s.Seed}),
+		mcts.New(mcts.Config{InitialBudget: 500, MinBudget: 100, Seed: s.Seed, Obs: s.Obs}),
 		spear,
 	}, baselineSet()...)
 	results, err := runAll(graphs, capacity, schedulers, s.logf)

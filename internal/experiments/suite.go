@@ -20,6 +20,7 @@ import (
 	"spear/internal/dag"
 	"spear/internal/drl"
 	"spear/internal/nn"
+	"spear/internal/obs"
 	"spear/internal/resource"
 	"spear/internal/sched"
 	"spear/internal/workload"
@@ -43,6 +44,10 @@ type Suite struct {
 	ModelCfg *core.ModelConfig
 	// Log, when non-nil, receives progress lines during long experiments.
 	Log io.Writer
+	// Obs, when non-nil, is the shared metrics registry every scheduler the
+	// suite constructs registers into, so one snapshot aggregates the whole
+	// run (the -metrics flag of cmd/spear-experiments).
+	Obs *obs.Registry
 
 	curve []drl.EpochStats
 
@@ -109,7 +114,11 @@ func (s *Suite) TrainModel() ([]drl.EpochStats, error) {
 	}
 	s.logf("training policy model (full=%v)...\n", s.Full)
 	began := time.Now()
-	net, curve, _, err := core.BuildModel(s.modelConfig(), func(st drl.EpochStats) {
+	cfg := s.modelConfig()
+	if cfg.Metrics == nil && s.Obs != nil {
+		cfg.Metrics = obs.NewTrainMetrics(s.Obs)
+	}
+	net, curve, _, err := core.BuildModel(cfg, func(st drl.EpochStats) {
 		if st.Epoch%10 == 0 {
 			s.logf("  epoch %d: mean makespan %.1f\n", st.Epoch, st.MeanMakespan)
 		}
@@ -132,6 +141,7 @@ func (s *Suite) spear(initialBudget, minBudget int) (*core.Spear, error) {
 		InitialBudget: initialBudget,
 		MinBudget:     minBudget,
 		Seed:          s.Seed,
+		Obs:           s.Obs,
 	})
 }
 

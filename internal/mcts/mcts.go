@@ -8,6 +8,7 @@
 package mcts
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -18,6 +19,7 @@ import (
 
 	"spear/internal/baselines"
 	"spear/internal/dag"
+	"spear/internal/obs"
 	"spear/internal/resource"
 	"spear/internal/sched"
 	"spear/internal/simenv"
@@ -90,6 +92,12 @@ type Config struct {
 	// Parallelism bounds concurrent rollouts when RolloutsPerExpansion > 1.
 	// Default GOMAXPROCS.
 	Parallelism int
+	// Obs, when non-nil, is the registry the scheduler's metrics are
+	// registered in, so several schedulers can share (and aggregate into)
+	// one exposition endpoint. Nil means a private registry; either way
+	// the counters are pre-allocated at construction and updated with
+	// single lock-free atomic operations.
+	Obs *obs.Registry
 }
 
 func (c Config) normalized() Config {
@@ -122,9 +130,26 @@ func (c Config) normalized() Config {
 
 // Stats reports what one Schedule call did, for tests and benchmarks.
 type Stats struct {
-	Decisions  int
+	// Decisions is the number of committed scheduling decisions.
+	Decisions int
+	// Iterations is the number of search iterations run.
 	Iterations int
+	// Expansions is the number of nodes added to the search tree.
 	Expansions int
+	// Rollouts is the number of simulations played to termination.
+	Rollouts int64
+	// ForcedMoves counts decisions with exactly one legal action, committed
+	// without searching.
+	ForcedMoves int
+	// MaxDepth is the deepest tree position reached, measured from the
+	// first decision (committed decisions plus selection descent).
+	MaxDepth int
+	// Elapsed is the wall-clock time of the Schedule call.
+	Elapsed time.Duration
+	// SimsPerSec is Rollouts divided by Elapsed.
+	SimsPerSec float64
+	// Cancelled reports whether the call was cut short by its context.
+	Cancelled bool
 }
 
 // Scheduler runs MCTS to schedule whole jobs. It implements
@@ -135,6 +160,13 @@ type Scheduler struct {
 	name  string
 	cfg   Config
 	stats Stats
+
+	// reg holds the scheduler's cumulative metrics; sm and sim are the
+	// pre-allocated counter bundles updated on the search and rollout hot
+	// paths (lock-free atomics, shared with every env clone).
+	reg *obs.Registry
+	sm  *obs.SearchMetrics
+	sim *obs.SimMetrics
 
 	// rctx holds one rollout context per rollout worker; rctx[i] is only
 	// ever used by worker i, so leaf-parallel simulations never share
@@ -147,16 +179,25 @@ type Scheduler struct {
 	simErrs   []error
 }
 
-var _ sched.Scheduler = (*Scheduler)(nil)
+var _ sched.ContextScheduler = (*Scheduler)(nil)
 
 // New returns an MCTS scheduler with the given configuration.
-func New(cfg Config) *Scheduler {
-	return &Scheduler{name: "MCTS", cfg: cfg.normalized()}
-}
+func New(cfg Config) *Scheduler { return NewNamed("MCTS", cfg) }
 
 // NewNamed is New with a custom display name (used by Spear).
 func NewNamed(name string, cfg Config) *Scheduler {
-	return &Scheduler{name: name, cfg: cfg.normalized()}
+	cfg = cfg.normalized()
+	reg := cfg.Obs
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	return &Scheduler{
+		name: name,
+		cfg:  cfg,
+		reg:  reg,
+		sm:   obs.NewSearchMetrics(reg),
+		sim:  obs.NewSimMetrics(reg),
+	}
 }
 
 // Name implements sched.Scheduler.
@@ -164,6 +205,10 @@ func (s *Scheduler) Name() string { return s.name }
 
 // LastStats returns counters from the most recent Schedule call.
 func (s *Scheduler) LastStats() Stats { return s.stats }
+
+// Metrics renders the scheduler's cumulative metrics (search, simulator and
+// cluster counters, accumulated across every Schedule call).
+func (s *Scheduler) Metrics() obs.Snapshot { return s.reg.Snapshot() }
 
 // node is one state in the search tree, reached by applying action to the
 // parent's state. Values are negative makespans, so larger is better.
@@ -223,13 +268,31 @@ func (n *node) better(m *node) bool {
 	return n.mean() > m.mean()
 }
 
-// Schedule implements sched.Scheduler.
+// Schedule implements sched.Scheduler. It is ScheduleContext with an
+// uncancellable background context.
 func (s *Scheduler) Schedule(g *dag.Graph, capacity resource.Vector) (*sched.Schedule, error) {
+	return s.ScheduleContext(context.Background(), g, capacity)
+}
+
+// ScheduleContext implements sched.ContextScheduler. The context is checked
+// at every decision and search-iteration boundary; on cancellation the
+// search stops within one iteration, the partially committed episode is
+// completed with the rollout policy, and the resulting incumbent schedule
+// is returned together with an error wrapping ctx.Err().
+func (s *Scheduler) ScheduleContext(ctx context.Context, g *dag.Graph, capacity resource.Vector) (*sched.Schedule, error) {
 	began := time.Now()
 	s.stats = Stats{}
+	defer func() {
+		s.stats.Elapsed = time.Since(began)
+		if secs := s.stats.Elapsed.Seconds(); secs > 0 {
+			s.stats.SimsPerSec = float64(s.stats.Rollouts) / secs
+		}
+		s.sm.SearchTime.Observe(s.stats.Elapsed)
+		s.sm.TreeDepth.Set(int64(s.stats.MaxDepth))
+	}()
 	rng := rand.New(rand.NewSource(s.cfg.Seed))
 
-	env, err := simenv.New(g, capacity, simenv.Config{Window: s.cfg.Window, Mode: simenv.NextCompletion})
+	env, err := simenv.New(g, capacity, simenv.Config{Window: s.cfg.Window, Mode: simenv.NextCompletion, Metrics: s.sim})
 	if err != nil {
 		return nil, fmt.Errorf("mcts: %w", err)
 	}
@@ -242,8 +305,15 @@ func (s *Scheduler) Schedule(g *dag.Graph, capacity resource.Vector) (*sched.Sch
 	root := newNode(env, nil, 0)
 	depth := 0
 	for !root.terminal() {
+		if ctx.Err() != nil {
+			return s.finishCancelled(ctx, root, rng, began)
+		}
 		depth++
 		s.stats.Decisions++
+		s.sm.Decisions.Inc()
+		if depth > s.stats.MaxDepth {
+			s.stats.MaxDepth = depth
+		}
 
 		legal := root.env.LegalActions()
 		if len(legal) == 0 {
@@ -257,6 +327,8 @@ func (s *Scheduler) Schedule(g *dag.Graph, capacity resource.Vector) (*sched.Sch
 			if err != nil {
 				return nil, err
 			}
+			s.stats.ForcedMoves++
+			s.sm.ForcedMoves.Inc()
 			next = child
 		} else {
 			budget := s.cfg.InitialBudget
@@ -266,8 +338,12 @@ func (s *Scheduler) Schedule(g *dag.Graph, capacity resource.Vector) (*sched.Sch
 					budget = s.cfg.MinBudget
 				}
 			}
-			if err := s.search(root, budget, c, rng); err != nil {
+			if err := s.search(ctx, root, budget, depth, c, rng); err != nil {
 				return nil, err
+			}
+			if len(root.children) == 0 {
+				// Cancelled before the first expansion of this decision.
+				return s.finishCancelled(ctx, root, rng, began)
 			}
 			next = root.children[0]
 			for _, ch := range root.children[1:] {
@@ -290,6 +366,26 @@ func (s *Scheduler) Schedule(g *dag.Graph, capacity resource.Vector) (*sched.Sch
 	}
 	out.Elapsed = time.Since(began)
 	return out, nil
+}
+
+// finishCancelled completes a cancelled search: the episode committed so
+// far is played to termination with the rollout policy, yielding the best
+// incumbent schedule reachable without further search, and the schedule is
+// returned together with an error wrapping ctx.Err().
+func (s *Scheduler) finishCancelled(ctx context.Context, root *node, rng *rand.Rand, began time.Time) (*sched.Schedule, error) {
+	s.stats.Cancelled = true
+	e := root.env.Clone()
+	if !e.Done() {
+		if _, err := simenv.Rollout(e, s.cfg.Rollout, rng); err != nil {
+			return nil, fmt.Errorf("mcts: completing cancelled search: %w", err)
+		}
+	}
+	out, err := e.Schedule(s.name)
+	if err != nil {
+		return nil, err
+	}
+	out.Elapsed = time.Since(began)
+	return out, fmt.Errorf("mcts: search cancelled after %d decisions: %w", s.stats.Decisions, ctx.Err())
 }
 
 // explorationConstant estimates the job makespan with a greedy packing run
@@ -423,11 +519,19 @@ func (s *Scheduler) simulate(n *node, rng *rand.Rand) ([]float64, error) {
 }
 
 // search runs budget iterations of selection, expansion, simulation and
-// backpropagation from the root.
-func (s *Scheduler) search(root *node, budget int, c float64, rng *rand.Rand) error {
+// backpropagation from the root. rootDepth is the number of decisions
+// already committed, so selection descents contribute to Stats.MaxDepth.
+// ctx is checked once per iteration; on cancellation search stops early and
+// returns nil, leaving whatever tree was built for the caller to harvest.
+func (s *Scheduler) search(ctx context.Context, root *node, budget, rootDepth int, c float64, rng *rand.Rand) error {
 	for iter := 0; iter < budget; iter++ {
+		if ctx.Err() != nil {
+			return nil
+		}
 		s.stats.Iterations++
+		s.sm.Iterations.Inc()
 		n := root
+		depth := rootDepth
 		// Selection: descend through fully expanded nodes.
 		for !n.terminal() && n.fullyExpanded() && len(n.children) > 0 {
 			best := n.children[0]
@@ -438,6 +542,7 @@ func (s *Scheduler) search(root *node, budget int, c float64, rng *rand.Rand) er
 				}
 			}
 			n = best
+			depth++
 		}
 		// Expansion: add one new child unless terminal.
 		if !n.terminal() && !n.fullyExpanded() {
@@ -454,14 +559,24 @@ func (s *Scheduler) search(root *node, budget int, c float64, rng *rand.Rand) er
 			}
 			if created {
 				s.stats.Expansions++
+				s.sm.Expansions.Inc()
 			}
 			n = child
+			depth++
+		}
+		if depth > s.stats.MaxDepth {
+			s.stats.MaxDepth = depth
 		}
 		// Simulation: roll out to termination with the configured policy
 		// (leaf-parallel when RolloutsPerExpansion > 1).
 		values, err := s.simulate(n, rng)
 		if err != nil {
 			return err
+		}
+		if !n.terminal() {
+			k := int64(len(values))
+			s.stats.Rollouts += k
+			s.sm.Rollouts.Add(k)
 		}
 		// Backpropagation: update max and mean up to the root.
 		for _, value := range values {

@@ -375,6 +375,24 @@ func (g *Grads) Samples() int { return g.n }
 // learning rate.
 func (g *Grads) AddSamples(k int) { g.n += k }
 
+// Norm returns the L2 norm of the mean gradient — the same 1/n-scaled
+// gradient Apply feeds to the optimizer. Zero for an empty batch.
+func (g *Grads) Norm() float64 {
+	if g.n == 0 {
+		return 0
+	}
+	var sum float64
+	for l := range g.w {
+		for _, v := range g.w[l] {
+			sum += v * v
+		}
+		for _, v := range g.b[l] {
+			sum += v * v
+		}
+	}
+	return math.Sqrt(sum) / float64(g.n)
+}
+
 // Backward accumulates gradients for one sample given dLogits, the gradient
 // of the loss with respect to the output logits (for policy-gradient /
 // cross-entropy losses with softmax this is (probs - onehot) * scale).

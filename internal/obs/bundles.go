@@ -1,0 +1,193 @@
+package obs
+
+import "time"
+
+// SimMetrics is the instrumentation bundle of the simulation substrate
+// (simenv.Env and cluster.Space). One bundle is shared by an episode and
+// every clone made from it, so leaf-parallel rollout workers update the
+// same counters concurrently — all fields are lock-free atomics.
+type SimMetrics struct {
+	// SlotAdvances counts clock advances (Process steps).
+	SlotAdvances *Counter
+	// TasksPlaced counts schedule actions committed into the cluster.
+	TasksPlaced *Counter
+	// EnvClones counts episode clones (one per rollout on the fast path).
+	EnvClones *Counter
+	// EnvCloneReuse counts clones that recycled an existing scratch episode
+	// instead of allocating a fresh one (pool reuse hits).
+	EnvCloneReuse *Counter
+	// SlotReuse counts cluster grid slots recycled from the parked pool.
+	SlotReuse *Counter
+	// SlotGrow counts cluster grid slots that had to be freshly allocated.
+	SlotGrow *Counter
+}
+
+// NewSimMetrics registers the simulation metrics in r (a nil r gets a
+// private registry) and returns the bundle.
+func NewSimMetrics(r *Registry) *SimMetrics {
+	if r == nil {
+		r = NewRegistry()
+	}
+	return &SimMetrics{
+		SlotAdvances:  r.Counter("spear_sim_slot_advances_total", "Clock advances (Process steps) across all episodes"),
+		TasksPlaced:   r.Counter("spear_sim_tasks_placed_total", "Schedule actions committed into the cluster"),
+		EnvClones:     r.Counter("spear_sim_env_clones_total", "Episode clones (one per rollout on the fast path)"),
+		EnvCloneReuse: r.Counter("spear_sim_env_clone_reuse_total", "Episode clones that recycled a scratch env (pool reuse hits)"),
+		SlotReuse:     r.Counter("spear_cluster_slot_reuse_total", "Cluster grid slots recycled from the parked pool"),
+		SlotGrow:      r.Counter("spear_cluster_slot_grow_total", "Cluster grid slots freshly allocated"),
+	}
+}
+
+// SearchMetrics is the instrumentation bundle of the MCTS search loop.
+type SearchMetrics struct {
+	// Decisions counts committed scheduling decisions.
+	Decisions *Counter
+	// Iterations counts search iterations (selection+expansion+simulation).
+	Iterations *Counter
+	// Expansions counts nodes added to the search tree.
+	Expansions *Counter
+	// Rollouts counts simulations played to termination.
+	Rollouts *Counter
+	// ForcedMoves counts decisions with exactly one legal action, committed
+	// without searching.
+	ForcedMoves *Counter
+	// TreeDepth is the maximum tree depth reached by the latest Schedule
+	// call (committed decisions + selection descent).
+	TreeDepth *Gauge
+	// SearchTime accumulates the wall-clock time of Schedule calls.
+	SearchTime *Timer
+}
+
+// NewSearchMetrics registers the search metrics in r (a nil r gets a
+// private registry) and returns the bundle.
+func NewSearchMetrics(r *Registry) *SearchMetrics {
+	if r == nil {
+		r = NewRegistry()
+	}
+	return &SearchMetrics{
+		Decisions:   r.Counter("spear_search_decisions_total", "Committed scheduling decisions"),
+		Iterations:  r.Counter("spear_search_iterations_total", "MCTS iterations (selection, expansion, simulation, backprop)"),
+		Expansions:  r.Counter("spear_search_expansions_total", "Nodes expanded into the search tree"),
+		Rollouts:    r.Counter("spear_search_rollouts_total", "Simulations played to termination"),
+		ForcedMoves: r.Counter("spear_search_forced_moves_total", "Single-legal-action decisions committed without search"),
+		TreeDepth:   r.Gauge("spear_search_tree_depth", "Maximum tree depth of the latest Schedule call"),
+		SearchTime:  r.Timer("spear_search_time", "Wall-clock time spent inside Schedule"),
+	}
+}
+
+// SolverMetrics is the instrumentation bundle of the exact branch-and-bound
+// solver. The solver is single-goroutine, so it accumulates locally and
+// flushes once per Schedule call — the dfs hot loop carries no atomics.
+type SolverMetrics struct {
+	// NodesExplored counts visited branch-and-bound nodes.
+	NodesExplored *Counter
+	// IncumbentImprovements counts strict improvements over the incumbent.
+	IncumbentImprovements *Counter
+	// SolveTime accumulates the wall-clock time of Schedule calls.
+	SolveTime *Timer
+}
+
+// NewSolverMetrics registers the solver metrics in r (a nil r gets a
+// private registry) and returns the bundle.
+func NewSolverMetrics(r *Registry) *SolverMetrics {
+	if r == nil {
+		r = NewRegistry()
+	}
+	return &SolverMetrics{
+		NodesExplored:         r.Counter("spear_exact_nodes_explored_total", "Branch-and-bound nodes visited"),
+		IncumbentImprovements: r.Counter("spear_exact_incumbent_improvements_total", "Strict improvements over the incumbent schedule"),
+		SolveTime:             r.Timer("spear_exact_solve_time", "Wall-clock time spent inside Schedule"),
+	}
+}
+
+// TrainMetrics is the instrumentation bundle of the DRL training pipeline.
+type TrainMetrics struct {
+	// Trajectories counts sampled episodes.
+	Trajectories *Counter
+	// Steps counts recorded decisions across all trajectories.
+	Steps *Counter
+	// GradUpdates counts optimizer steps.
+	GradUpdates *Counter
+	// GradNormSum accumulates the L2 norm of each applied mean gradient.
+	GradNormSum *FloatCounter
+	// BaselineSpreadSum accumulates, per example batch, the spread
+	// (max - min makespan) across the rollouts that form the baseline.
+	BaselineSpreadSum *FloatCounter
+	// BaselineSpreadCount counts the batches contributing to the spread sum.
+	BaselineSpreadCount *Counter
+	// SampleTime, BackpropTime and ApplyTime split the REINFORCE inner loop
+	// into its three phases; PretrainTime and ReinforceTime time the two
+	// pipeline stages end to end.
+	SampleTime    *Timer
+	BackpropTime  *Timer
+	ApplyTime     *Timer
+	PretrainTime  *Timer
+	ReinforceTime *Timer
+
+	reg *Registry
+}
+
+// NewTrainMetrics registers the training metrics in r (a nil r gets a
+// private registry) and returns the bundle.
+func NewTrainMetrics(r *Registry) *TrainMetrics {
+	if r == nil {
+		r = NewRegistry()
+	}
+	return &TrainMetrics{
+		Trajectories:        r.Counter("spear_train_trajectories_total", "Sampled training episodes"),
+		Steps:               r.Counter("spear_train_steps_total", "Recorded decisions across all trajectories"),
+		GradUpdates:         r.Counter("spear_train_grad_updates_total", "Optimizer steps applied"),
+		GradNormSum:         r.Float("spear_train_grad_norm_sum", "Accumulated L2 norms of applied mean gradients"),
+		BaselineSpreadSum:   r.Float("spear_train_baseline_spread_sum", "Accumulated rollout-baseline makespan spreads (max - min)"),
+		BaselineSpreadCount: r.Counter("spear_train_baseline_spread_count", "Example batches contributing to the spread sum"),
+		SampleTime:          r.Timer("spear_train_sample_time", "Wall-clock time sampling trajectories"),
+		BackpropTime:        r.Timer("spear_train_backprop_time", "Wall-clock time in backpropagation"),
+		ApplyTime:           r.Timer("spear_train_apply_time", "Wall-clock time applying optimizer updates"),
+		PretrainTime:        r.Timer("spear_train_pretrain_time", "Wall-clock time of the supervised warm start"),
+		ReinforceTime:       r.Timer("spear_train_reinforce_time", "Wall-clock time of REINFORCE training"),
+		reg:                 r,
+	}
+}
+
+// Snapshot renders the bundle's registry.
+func (m *TrainMetrics) Snapshot() Snapshot { return m.reg.Snapshot() }
+
+// TrainStats is the Go-struct rendering of TrainMetrics.
+type TrainStats struct {
+	// Trajectories, Steps and GradUpdates mirror the counters.
+	Trajectories int64
+	Steps        int64
+	GradUpdates  int64
+	// MeanGradNorm is the mean L2 norm of the applied mean gradients.
+	MeanGradNorm float64
+	// MeanBaselineSpread is the mean per-batch makespan spread across the
+	// rollouts that form the REINFORCE baseline.
+	MeanBaselineSpread float64
+	// Phase wall-clock totals.
+	SampleTime    time.Duration
+	BackpropTime  time.Duration
+	ApplyTime     time.Duration
+	PretrainTime  time.Duration
+	ReinforceTime time.Duration
+}
+
+// Stats renders the bundle as a TrainStats value.
+func (m *TrainMetrics) Stats() TrainStats {
+	st := TrainStats{
+		Trajectories:  m.Trajectories.Load(),
+		Steps:         m.Steps.Load(),
+		GradUpdates:   m.GradUpdates.Load(),
+		SampleTime:    m.SampleTime.Total(),
+		BackpropTime:  m.BackpropTime.Total(),
+		ApplyTime:     m.ApplyTime.Total(),
+		PretrainTime:  m.PretrainTime.Total(),
+		ReinforceTime: m.ReinforceTime.Total(),
+	}
+	if n := st.GradUpdates; n > 0 {
+		st.MeanGradNorm = m.GradNormSum.Load() / float64(n)
+	}
+	if n := m.BaselineSpreadCount.Load(); n > 0 {
+		st.MeanBaselineSpread = m.BaselineSpreadSum.Load() / float64(n)
+	}
+	return st
+}

@@ -5,6 +5,7 @@
 package sched
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -48,6 +49,31 @@ type Scheduler interface {
 	// Schedule computes a full schedule for the job on a cluster with the
 	// given capacity.
 	Schedule(g *dag.Graph, capacity resource.Vector) (*Schedule, error)
+}
+
+// ContextScheduler is a Scheduler whose search can be cancelled or
+// deadline-bounded. Implementations check ctx at iteration or expansion
+// boundaries; on cancellation they return the best incumbent schedule
+// found so far together with an error wrapping ctx.Err(), so callers can
+// both use the partial result and detect the cancellation with errors.Is.
+// Plain Schedule is equivalent to ScheduleContext(context.Background(), ...).
+type ContextScheduler interface {
+	Scheduler
+	// ScheduleContext computes a schedule, honoring ctx.
+	ScheduleContext(ctx context.Context, g *dag.Graph, capacity resource.Vector) (*Schedule, error)
+}
+
+// ScheduleContext schedules with s honoring ctx when s supports
+// cancellation, and falls back to a plain (uncancellable) Schedule call
+// otherwise — after a fast-path check that ctx is still live.
+func ScheduleContext(ctx context.Context, s Scheduler, g *dag.Graph, capacity resource.Vector) (*Schedule, error) {
+	if cs, ok := s.(ContextScheduler); ok {
+		return cs.ScheduleContext(ctx, g, capacity)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return s.Schedule(g, capacity)
 }
 
 // Validation errors.

@@ -18,6 +18,7 @@ import (
 
 	"spear/internal/cluster"
 	"spear/internal/dag"
+	"spear/internal/obs"
 	"spear/internal/resource"
 	"spear/internal/sched"
 )
@@ -54,6 +55,11 @@ type Config struct {
 	Window int
 	// Mode selects the Process semantics. Zero value means NextCompletion.
 	Mode ProcessMode
+	// Metrics, when non-nil, receives step and clone counts. The bundle is
+	// shared by every clone of the episode, so the counters aggregate
+	// across leaf-parallel rollout workers; updates are single atomic
+	// operations and never allocate.
+	Metrics *obs.SimMetrics
 }
 
 type status int8
@@ -114,6 +120,9 @@ func New(g *dag.Graph, capacity resource.Vector, cfg Config) (*Env, error) {
 	if !g.MaxDemand().FitsWithin(capacity) {
 		return nil, fmt.Errorf("%w: max demand %v, capacity %v", ErrInfeasible, g.MaxDemand(), capacity)
 	}
+	if m := cfg.Metrics; m != nil {
+		space.Instrument(m.SlotReuse, m.SlotGrow)
+	}
 
 	n := g.NumTasks()
 	e := &Env{
@@ -146,6 +155,12 @@ func (e *Env) Clone() *Env { return e.CloneInto(nil) }
 // simulation. A nil dst allocates a fresh Env. The receiver is not
 // modified; dst must not be in use by another goroutine. Returns dst.
 func (e *Env) CloneInto(dst *Env) *Env {
+	if m := e.cfg.Metrics; m != nil {
+		m.EnvClones.Inc()
+		if dst != nil {
+			m.EnvCloneReuse.Inc()
+		}
+	}
 	if dst == nil {
 		dst = &Env{}
 	}
@@ -307,6 +322,9 @@ func (e *Env) stepSchedule(i int) error {
 	e.start[id] = e.now
 	e.finish[id] = e.now + task.Runtime
 	e.running++
+	if m := e.cfg.Metrics; m != nil {
+		m.TasksPlaced.Inc()
+	}
 	return nil
 }
 
@@ -324,6 +342,9 @@ func (e *Env) stepProcess() error {
 		return fmt.Errorf("simenv: unknown process mode %d", e.cfg.Mode)
 	}
 	e.processSteps++
+	if m := e.cfg.Metrics; m != nil {
+		m.SlotAdvances.Inc()
+	}
 	e.advanceTo(target)
 	return nil
 }

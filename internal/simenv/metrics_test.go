@@ -1,0 +1,78 @@
+package simenv
+
+import (
+	"math/rand"
+	"testing"
+
+	"spear/internal/obs"
+	"spear/internal/resource"
+)
+
+func TestMetricsCountPlacementsAndAdvances(t *testing.T) {
+	g := fanout(t)
+	m := obs.NewSimMetrics(nil)
+	e := mustEnv(t, g, resource.Of(8, 8), Config{Metrics: m})
+	rng := rand.New(rand.NewSource(41))
+	for !e.Done() {
+		playSteps(t, e, 1, rng)
+	}
+	if got := m.TasksPlaced.Load(); got != int64(g.NumTasks()) {
+		t.Errorf("TasksPlaced = %d, want %d", got, g.NumTasks())
+	}
+	if got := m.SlotAdvances.Load(); got != int64(e.ProcessSteps()) {
+		t.Errorf("SlotAdvances = %d, want %d (ProcessSteps)", got, e.ProcessSteps())
+	}
+	if m.SlotGrow.Load() == 0 {
+		t.Error("SlotGrow = 0, want > 0 (slots were allocated)")
+	}
+}
+
+func TestMetricsCountClonesAndReuse(t *testing.T) {
+	g := fanout(t)
+	m := obs.NewSimMetrics(nil)
+	base := mustEnv(t, g, resource.Of(8, 8), Config{Metrics: m})
+
+	fresh := base.Clone()
+	if got := m.EnvClones.Load(); got != 1 {
+		t.Errorf("EnvClones after Clone = %d, want 1", got)
+	}
+	if got := m.EnvCloneReuse.Load(); got != 0 {
+		t.Errorf("EnvCloneReuse after fresh Clone = %d, want 0", got)
+	}
+	base.CloneInto(fresh)
+	if got := m.EnvClones.Load(); got != 2 {
+		t.Errorf("EnvClones after CloneInto = %d, want 2", got)
+	}
+	if got := m.EnvCloneReuse.Load(); got != 1 {
+		t.Errorf("EnvCloneReuse after CloneInto = %d, want 1", got)
+	}
+}
+
+// TestRolloutAllocFreeWithMetrics is TestStepAllocFree with instrumentation
+// enabled: the zero-allocation promise of the rollout fast path must hold
+// with metrics on, since updates are plain atomic adds on pre-allocated
+// counters.
+func TestRolloutAllocFreeWithMetrics(t *testing.T) {
+	g := fanout(t)
+	m := obs.NewSimMetrics(nil)
+	base := mustEnv(t, g, resource.Of(8, 8), Config{Metrics: m})
+	rc := NewRolloutContext(randomPolicy{})
+	rng := rand.New(rand.NewSource(43))
+	if _, err := rc.RolloutFrom(base, rng); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := rc.RolloutFrom(base, rng); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("RolloutFrom with metrics allocates %.1f times per run, want 0", allocs)
+	}
+	if m.EnvClones.Load() == 0 || m.TasksPlaced.Load() == 0 {
+		t.Error("metrics stayed zero during instrumented rollouts")
+	}
+	if m.EnvCloneReuse.Load() == 0 {
+		t.Error("EnvCloneReuse = 0, want > 0 (warm rollouts must recycle the scratch env)")
+	}
+}

@@ -30,6 +30,7 @@
 package spear
 
 import (
+	"context"
 	"io"
 
 	"spear/internal/anneal"
@@ -41,6 +42,7 @@ import (
 	"spear/internal/listsched"
 	"spear/internal/mcts"
 	"spear/internal/nn"
+	"spear/internal/obs"
 	"spear/internal/resource"
 	"spear/internal/sched"
 	"spear/internal/simenv"
@@ -66,6 +68,44 @@ type (
 	Placement = sched.Placement
 	// Scheduler is any scheduling algorithm in this library.
 	Scheduler = sched.Scheduler
+	// ContextScheduler is a Scheduler whose search honors a context: on
+	// cancellation it returns the best incumbent schedule found so far
+	// together with an error wrapping ctx.Err(). The Spear, MCTS, Optimal
+	// and Annealing schedulers all implement it.
+	ContextScheduler = sched.ContextScheduler
+
+	// SpearScheduler is the DRL-guided MCTS scheduler (the paper's
+	// contribution), as returned by NewSpear.
+	SpearScheduler = core.Spear
+	// MCTSScheduler is the pure Monte Carlo Tree Search scheduler, as
+	// returned by NewMCTS.
+	MCTSScheduler = mcts.Scheduler
+	// OptimalScheduler is the exact branch-and-bound solver, as returned by
+	// NewOptimal.
+	OptimalScheduler = exact.Solver
+	// AnnealingScheduler is the simulated-annealing order search, as
+	// returned by NewAnnealing.
+	AnnealingScheduler = anneal.Scheduler
+
+	// SearchStats reports what one MCTS/Spear Schedule call did: decisions,
+	// iterations, expansions, rollouts, forced moves, tree depth, elapsed
+	// wall-clock and simulations per second.
+	SearchStats = mcts.Stats
+	// TrainStats summarizes an instrumented training run.
+	TrainStats = obs.TrainStats
+	// TrainMetrics instruments the training pipeline; build one with
+	// NewTrainMetrics and set it on ModelConfig.Metrics or
+	// ReinforceConfig.Metrics.
+	TrainMetrics = obs.TrainMetrics
+	// MetricsRegistry collects metrics from the schedulers that share it;
+	// build one with NewMetricsRegistry and set it on SpearConfig.Obs,
+	// MCTSConfig.Obs or OptimalScheduler.Obs.
+	MetricsRegistry = obs.Registry
+	// MetricSnapshot is a point-in-time rendering of a registry, exposable
+	// as Go values or Prometheus text format (WritePrometheus).
+	MetricSnapshot = obs.Snapshot
+	// MetricSample is one metric inside a MetricSnapshot.
+	MetricSample = obs.Sample
 
 	// Network is the policy neural network.
 	Network = nn.Network
@@ -98,6 +138,24 @@ type (
 	TopologyConfig = workload.TopologyConfig
 )
 
+// Sentinel errors re-exported from the internal packages, so callers can
+// classify failures with errors.Is without importing internals.
+var (
+	// ErrBudgetExceeded reports that NewOptimal's node budget ran out
+	// before optimality was proven; the returned schedule is still the best
+	// incumbent found.
+	ErrBudgetExceeded = exact.ErrBudgetExceeded
+
+	// Validation errors returned by Validate.
+	ErrNilSchedule     = sched.ErrNilSchedule
+	ErrMissingTask     = sched.ErrMissingTask
+	ErrDuplicateTask   = sched.ErrDuplicateTask
+	ErrNegativeStart   = sched.ErrNegativeStart
+	ErrDependencyOrder = sched.ErrDependencyOrder
+	ErrOverCapacity    = sched.ErrOverCapacity
+	ErrWrongMakespan   = sched.ErrWrongMakespan
+)
+
 // NewJobBuilder returns a builder for jobs whose task demands have the
 // given number of resource dimensions.
 func NewJobBuilder(dims int) *JobBuilder { return dag.NewBuilder(dims) }
@@ -116,13 +174,16 @@ func Validate(job *Job, capacity Vector, s *Schedule) error {
 func DefaultFeatures() Features { return drl.DefaultFeatures() }
 
 // NewSpear builds the DRL-guided MCTS scheduler around a trained network.
-func NewSpear(net *Network, feat Features, cfg SpearConfig) (Scheduler, error) {
+// The result also implements ContextScheduler and exposes cumulative
+// metrics via Metrics().
+func NewSpear(net *Network, feat Features, cfg SpearConfig) (*SpearScheduler, error) {
 	return core.New(net, feat, cfg)
 }
 
 // NewMCTS builds the pure Monte Carlo Tree Search scheduler with random
-// expansion and rollouts (the paper's "MCTS" arm).
-func NewMCTS(cfg MCTSConfig) Scheduler { return mcts.New(cfg) }
+// expansion and rollouts (the paper's "MCTS" arm). The result also
+// implements ContextScheduler and exposes cumulative metrics via Metrics().
+func NewMCTS(cfg MCTSConfig) *MCTSScheduler { return mcts.New(cfg) }
 
 // NewTetris builds the multi-resource packing baseline.
 func NewTetris() Scheduler { return baselines.NewTetrisScheduler() }
@@ -151,9 +212,9 @@ func NewTetrisSRPT(weight float64) Scheduler { return baselines.NewTetrisSRPTSch
 
 // NewOptimal builds the exact branch-and-bound solver. It proves optimal
 // makespans for small jobs (roughly a dozen tasks); Schedule returns
-// exact.ErrBudgetExceeded alongside its best incumbent when maxNodes (0 =
-// default) runs out first.
-func NewOptimal(maxNodes int64) Scheduler { return exact.New(maxNodes) }
+// ErrBudgetExceeded alongside its best incumbent when maxNodes (0 =
+// default) runs out first. The result also implements ContextScheduler.
+func NewOptimal(maxNodes int64) *OptimalScheduler { return exact.New(maxNodes) }
 
 // NewHEFT builds the classic HEFT-style offline list scheduler (upward-rank
 // priority with insertion-based placement) — the "traditional DAG
@@ -170,10 +231,26 @@ func NewBLoadList() Scheduler { return listsched.NewBLoad() }
 // NewAnnealing builds a simulated-annealing search over task priority
 // orders — a classic local-search comparator. Being order-based and
 // work-conserving, it cannot express Spear's "decline a ready task"
-// decisions (see the motivating example).
-func NewAnnealing(iterations int, seed int64) Scheduler {
+// decisions (see the motivating example). The result also implements
+// ContextScheduler.
+func NewAnnealing(iterations int, seed int64) *AnnealingScheduler {
 	return anneal.New(anneal.Config{Iterations: iterations, Seed: seed})
 }
+
+// ScheduleContext schedules with s honoring ctx when s supports
+// cancellation (see ContextScheduler) and falls back to a plain Schedule
+// call otherwise, after a fast-path liveness check on ctx.
+func ScheduleContext(ctx context.Context, s Scheduler, job *Job, capacity Vector) (*Schedule, error) {
+	return sched.ScheduleContext(ctx, s, job, capacity)
+}
+
+// NewMetricsRegistry returns an empty metrics registry. Pass it to several
+// scheduler configs to aggregate their counters into one snapshot.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewTrainMetrics builds a training-metrics bundle registered in r (nil
+// means a private registry).
+func NewTrainMetrics(r *MetricsRegistry) *TrainMetrics { return obs.NewTrainMetrics(r) }
 
 // NewMachineHEFT builds HEFT in its original multi-processor form: tasks
 // are placed on individual machines (one capacity vector per machine) using
@@ -299,11 +376,13 @@ func MakespanLowerBound(job *Job, capacity Vector) (int64, error) {
 	return job.MakespanLowerBound(capacity)
 }
 
-// Ensure the facade's schedulers all satisfy the public interface.
+// Ensure the facade's schedulers all satisfy the public interfaces.
 var (
-	_ Scheduler = (*core.Spear)(nil)
-	_ Scheduler = (*mcts.Scheduler)(nil)
-	_ Scheduler = (*baselines.PolicyScheduler)(nil)
-	_ Scheduler = (*baselines.Graphene)(nil)
-	_           = simenv.DefaultWindow
+	_ ContextScheduler = (*SpearScheduler)(nil)
+	_ ContextScheduler = (*MCTSScheduler)(nil)
+	_ ContextScheduler = (*OptimalScheduler)(nil)
+	_ ContextScheduler = (*AnnealingScheduler)(nil)
+	_ Scheduler        = (*baselines.PolicyScheduler)(nil)
+	_ Scheduler        = (*baselines.Graphene)(nil)
+	_                  = simenv.DefaultWindow
 )
