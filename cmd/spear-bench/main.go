@@ -1,0 +1,238 @@
+// Command spear-bench runs the repository's performance trajectory suite —
+// the hot paths whose regressions matter: single-row and batched network
+// inference, batched REINFORCE backprop, and the MCTS decision loop at
+// several root-parallelism degrees — and writes the results as one JSON
+// document (BENCH_spear.json in CI) so successive commits can be compared.
+//
+// Usage:
+//
+//	spear-bench                      # full sizes, writes BENCH_spear.json
+//	spear-bench -quick -out bench.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"spear/internal/drl"
+	"spear/internal/mcts"
+	"spear/internal/workload"
+)
+
+// Result is one benchmark measurement.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	// SimsPerSec is the rollout throughput for search benchmarks (zero
+	// elsewhere) — the metric the root-parallel acceptance target is
+	// phrased in.
+	SimsPerSec float64 `json:"sims_per_sec,omitempty"`
+	// RowsPerSec is the row throughput for batched-inference benchmarks.
+	RowsPerSec float64 `json:"rows_per_sec,omitempty"`
+}
+
+// Report is the whole run, with enough machine context to make cross-commit
+// comparisons honest.
+type Report struct {
+	GoVersion  string    `json:"go_version"`
+	GOOS       string    `json:"goos"`
+	GOARCH     string    `json:"goarch"`
+	GOMAXPROCS int       `json:"gomaxprocs"`
+	Quick      bool      `json:"quick"`
+	Timestamp  time.Time `json:"timestamp"`
+	Results    []Result  `json:"results"`
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "spear-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		out   = flag.String("out", "BENCH_spear.json", "path to write the JSON report")
+		quick = flag.Bool("quick", false, "shrink problem sizes for a smoke run (CI)")
+	)
+	flag.Parse()
+
+	feat := drl.Features{Window: 5, Horizon: 10, Dims: 2}
+	net, err := drl.DefaultNetwork(feat, rand.New(rand.NewSource(1)))
+	if err != nil {
+		return err
+	}
+	agent, err := drl.NewAgent(net, feat, false)
+	if err != nil {
+		return err
+	}
+
+	tasks, budget, minBudget := 30, 40, 10
+	batchRows := 16
+	if *quick {
+		tasks, budget, minBudget = 15, 10, 5
+		batchRows = 8
+	}
+	g, err := workload.RandomBatch(rand.New(rand.NewSource(1)), workload.RandomDAGConfig{
+		NumTasks: tasks, MinWidth: 2, MaxWidth: 5, Dims: 2,
+		MaxRuntime: 20, MaxDemand: 20, MaxParents: 3,
+	}, 1)
+	if err != nil {
+		return err
+	}
+	graph := g[0]
+	capacity := workload.DefaultRandomDAGConfig().Capacity()
+
+	report := Report{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Quick:      *quick,
+		Timestamp:  time.Now().UTC(),
+	}
+
+	// Single-row inference: the per-step cost of every rollout action.
+	{
+		scratch := net.NewScratch()
+		in := net.InputSize()
+		x := make([]float64, in)
+		for i := range x {
+			x[i] = float64(i%7) * 0.1
+		}
+		report.Results = append(report.Results, measure("nn_forward_single", 1, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := net.ForwardInto(scratch, x); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}))
+	}
+
+	// Batched inference: the root-parallel / lock-step rollout fast path.
+	{
+		scratch := net.NewScratch()
+		in := net.InputSize()
+		x := make([]float64, batchRows*in)
+		for i := range x {
+			x[i] = float64(i%11) * 0.05
+		}
+		report.Results = append(report.Results, measure("nn_forward_batch", batchRows, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := net.ForwardBatchInto(scratch, x, batchRows); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}))
+	}
+
+	// Batched backprop: the REINFORCE gradient chunk.
+	{
+		scratch := net.NewScratch()
+		in, out := net.InputSize(), net.OutputSize()
+		x := make([]float64, batchRows*in)
+		d := make([]float64, batchRows*out)
+		for i := range x {
+			x[i] = float64(i%11) * 0.05
+		}
+		for i := range d {
+			d[i] = float64(i%5-2) * 0.01
+		}
+		grads := net.NewGrads()
+		report.Results = append(report.Results, measure("nn_backward_batch", batchRows, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := net.ForwardBatchInto(scratch, x, batchRows); err != nil {
+					b.Fatal(err)
+				}
+				if err := net.BackwardBatchInto(scratch, d, batchRows, grads); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}))
+	}
+
+	// The MCTS decision loop with DRL rollouts at increasing root
+	// parallelism. SimsPerSec here is the acceptance metric: on a >=4-core
+	// machine K=4 should reach >=1.8x the K=1 rate.
+	for _, k := range []int{1, 2, 4} {
+		s := mcts.New(mcts.Config{
+			InitialBudget: budget, MinBudget: minBudget, Seed: 1,
+			Rollout: agent, Window: feat.Window,
+			RootParallelism: k,
+		})
+		var rollouts int64
+		var elapsed float64
+		r := measure(fmt.Sprintf("mcts_schedule_root_k%d", k), 0, func(b *testing.B) {
+			rollouts, elapsed = 0, 0
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Schedule(graph, capacity); err != nil {
+					b.Fatal(err)
+				}
+				st := s.LastStats()
+				rollouts += st.Rollouts
+				elapsed += st.Elapsed.Seconds()
+			}
+		})
+		if elapsed > 0 {
+			r.SimsPerSec = float64(rollouts) / elapsed
+		}
+		report.Results = append(report.Results, r)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+
+	for _, r := range report.Results {
+		fmt.Printf("%-28s %12.0f ns/op %6d allocs/op", r.Name, r.NsPerOp, r.AllocsPerOp)
+		if r.SimsPerSec > 0 {
+			fmt.Printf(" %10.0f sims/s", r.SimsPerSec)
+		}
+		if r.RowsPerSec > 0 {
+			fmt.Printf(" %10.0f rows/s", r.RowsPerSec)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("report written to %s\n", *out)
+	return nil
+}
+
+// measure runs one benchmark body through the standard library's timing
+// machinery and converts the result. rows > 0 derives RowsPerSec for batch
+// kernels.
+func measure(name string, rows int, body func(b *testing.B)) Result {
+	br := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		body(b)
+	})
+	r := Result{
+		Name:        name,
+		Iterations:  br.N,
+		NsPerOp:     float64(br.NsPerOp()),
+		AllocsPerOp: br.AllocsPerOp(),
+		BytesPerOp:  br.AllocedBytesPerOp(),
+	}
+	if rows > 0 && br.NsPerOp() > 0 {
+		r.RowsPerSec = float64(rows) / (float64(br.NsPerOp()) * 1e-9)
+	}
+	return r
+}

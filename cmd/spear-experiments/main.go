@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
@@ -36,6 +37,8 @@ func run() error {
 		verbose   = flag.Bool("v", false, "log per-job progress")
 		csvDir    = flag.String("csv-dir", "", "also write each experiment's raw data as CSV into this directory")
 		metrics   = flag.Bool("metrics", false, "print a Prometheus-format metrics snapshot after the run")
+		jobs      = flag.Int("j", 1, "run independent experiment cells on this many workers (reports still print in paper order)")
+		rootPar   = flag.Int("root-parallel", 1, "root-parallel MCTS trees per decision in every search-based scheduler")
 	)
 	flag.Parse()
 
@@ -48,6 +51,7 @@ func run() error {
 
 	suite := experiments.NewSuite(*seed)
 	suite.Full = *full
+	suite.RootParallelism = *rootPar
 	if *verbose {
 		suite.Log = os.Stderr
 	}
@@ -103,6 +107,28 @@ func run() error {
 		}
 		fmt.Println("==== metrics ====")
 		suite.Obs.Snapshot().WritePrometheus(os.Stdout)
+	}
+
+	if *jobs > 1 {
+		names := experiments.Names()
+		if *runName != "all" {
+			names = []string{*runName}
+		}
+		opt := experiments.ParallelOptions{Jobs: *jobs}
+		if *csvDir != "" {
+			opt.CSV = func(name string) (io.WriteCloser, error) {
+				return os.Create(filepath.Join(*csvDir, name+".csv"))
+			}
+		}
+		snap, err := suite.RunParallel(names, opt, os.Stdout)
+		if err != nil {
+			return err
+		}
+		if *metrics {
+			fmt.Println("==== metrics ====")
+			return snap.WritePrometheus(os.Stdout)
+		}
+		return nil
 	}
 
 	if *runName != "all" {

@@ -31,6 +31,7 @@ func run() error {
 		pretrainEpochs = flag.Int("pretrain-epochs", 12, "supervised warm-start epochs")
 		epochs         = flag.Int("epochs", 60, "REINFORCE epochs (paper: 7000)")
 		rollouts       = flag.Int("rollouts", 20, "rollouts per example for the baseline (paper: 20)")
+		workers        = flag.Int("workers", 0, "rollout/backprop worker goroutines (0 = GOMAXPROCS)")
 		seed           = flag.Int64("seed", 1, "random seed")
 		window         = flag.Int("window", 15, "ready-task window (paper: 15)")
 		horizon        = flag.Int("horizon", 20, "occupancy horizon in slots (paper: 20)")
@@ -42,7 +43,7 @@ func run() error {
 	flag.Parse()
 
 	feat := spear.Features{Window: *window, Horizon: *horizon, Dims: 2}
-	reinforce := spear.ReinforceConfig{Epochs: *epochs, Rollouts: *rollouts}
+	reinforce := spear.ReinforceConfig{Epochs: *epochs, Rollouts: *rollouts, Workers: *workers}
 	if *ckptEvery > 0 {
 		reinforce.CheckpointEvery = *ckptEvery
 		reinforce.Checkpoint = func(epoch int, net *spear.Network) error {

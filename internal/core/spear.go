@@ -37,6 +37,14 @@ type Config struct {
 	// from the policy distribution. Sampling (default) preserves rollout
 	// diversity across MCTS iterations.
 	GreedyRollout bool
+	// RootParallelism runs this many independent search trees per decision
+	// (root parallelization), splitting each decision's budget across them
+	// and merging their root statistics to pick the action. Default 1.
+	RootParallelism int
+	// RolloutsPerExpansion runs this many simulations from each expanded
+	// node. With the DRL rollout agent they are lock-stepped through batched
+	// network passes. Zero means the mcts default (1).
+	RolloutsPerExpansion int
 	// Seed feeds the search's random source.
 	Seed int64
 	// Obs, when non-nil, is the metrics registry the underlying search
@@ -65,10 +73,10 @@ var _ sched.ContextScheduler = (*Spear)(nil)
 
 // New builds Spear around a trained policy network. The same network guides
 // both expansion ordering and rollouts. The rollout agent implements
-// simenv.ContextPolicy, so the search automatically runs rollouts through
-// the allocation-free inference fast path (per-worker rollout contexts
-// owning the feature, mask and activation buffers); the expander carries its
-// own private context.
+// simenv.ContextPolicy and simenv.BatchPolicy, so the search automatically
+// runs rollouts through the allocation-free inference fast path (and, with
+// RolloutsPerExpansion > 1, lock-steps them through batched network passes);
+// each root-parallel tree worker gets a private expander from the factory.
 func New(net *nn.Network, feat drl.Features, cfg Config) (*Spear, error) {
 	cfg = cfg.normalized()
 	rolloutAgent, err := drl.NewAgent(net, feat, cfg.GreedyRollout)
@@ -85,9 +93,14 @@ func New(net *nn.Network, feat drl.Features, cfg Config) (*Spear, error) {
 		ExplorationScale: cfg.ExplorationScale,
 		Rollout:          rolloutAgent,
 		Expand:           drl.NewExpander(expandAgent),
-		Window:           feat.Window,
-		Seed:             cfg.Seed,
-		Obs:              cfg.Obs,
+		// The DRL expander carries private inference buffers, so every
+		// root-parallel tree worker builds its own from the factory.
+		NewExpander:          func() mcts.Expander { return drl.NewExpander(expandAgent) },
+		Window:               feat.Window,
+		Seed:                 cfg.Seed,
+		RootParallelism:      cfg.RootParallelism,
+		RolloutsPerExpansion: cfg.RolloutsPerExpansion,
+		Obs:                  cfg.Obs,
 	})
 	return &Spear{search: search, agent: rolloutAgent}, nil
 }

@@ -1,0 +1,79 @@
+// Batched inference: the Agent as a simenv.BatchPolicy. A lock-step batch
+// rollout hands the agent W states at once and the whole batch goes through
+// one matrix-matrix network pass (nn.ProbsBatchInto) instead of W
+// matrix-vector passes. Per-row results are bit-identical to ChooseCtx, so
+// batched and per-episode rollouts produce the same action sequences.
+package drl
+
+import (
+	"fmt"
+	"math/rand"
+
+	"spear/internal/nn"
+	"spear/internal/simenv"
+)
+
+var _ simenv.BatchPolicy = (*Agent)(nil)
+
+// AgentBatchContext owns one goroutine's batched inference buffers: the
+// row-major encoded states, the row-major legality masks and the network
+// scratch (whose batch buffers hold the activations).
+type AgentBatchContext struct {
+	x       []float64
+	masks   []bool
+	scratch *nn.Scratch
+	rows    int
+}
+
+// newBatchContext allocates a batch context for up to maxRows states.
+func (a *Agent) newBatchContext(maxRows int) *AgentBatchContext {
+	if maxRows < 1 {
+		maxRows = 1
+	}
+	return &AgentBatchContext{
+		x:       make([]float64, maxRows*a.feat.InputSize()),
+		masks:   make([]bool, maxRows*a.feat.OutputSize()),
+		scratch: a.net.NewScratch(),
+		rows:    maxRows,
+	}
+}
+
+// NewBatchContext implements simenv.BatchPolicy.
+func (a *Agent) NewBatchContext(maxRows int) simenv.BatchPolicyContext {
+	return a.newBatchContext(maxRows)
+}
+
+// ChooseBatch implements simenv.BatchPolicy: encode every state into one
+// row-major batch, run a single batched forward + masked softmax, then select
+// one action per row. Row i's choice equals ChooseCtx on envs[i] with
+// rngs[i], bit for bit.
+func (a *Agent) ChooseBatch(pc simenv.BatchPolicyContext, envs []*simenv.Env, legal [][]simenv.Action, rngs []*rand.Rand, out []simenv.Action) error {
+	ctx, ok := pc.(*AgentBatchContext)
+	if !ok {
+		return fmt.Errorf("drl: foreign batch context %T", pc)
+	}
+	rows := len(envs)
+	if rows == 0 {
+		return nil
+	}
+	if rows > ctx.rows {
+		return fmt.Errorf("drl: batch of %d rows exceeds context capacity %d", rows, ctx.rows)
+	}
+	in, width := a.feat.InputSize(), a.feat.OutputSize()
+	for i, e := range envs {
+		a.feat.Encode(e, ctx.x[i*in:(i+1)*in])
+		a.feat.Mask(legal[i], ctx.masks[i*width:(i+1)*width])
+	}
+	probs, err := a.net.ProbsBatchInto(ctx.scratch, ctx.x[:rows*in], rows, ctx.masks[:rows*width])
+	if err != nil {
+		return err
+	}
+	for i := range envs {
+		action, err := a.selectAction(probs[i*width:(i+1)*width], rngs[i])
+		if err != nil {
+			return err
+		}
+		out[i] = action
+	}
+	return nil
+}

@@ -1,0 +1,194 @@
+package drl
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"spear/internal/nn"
+	"spear/internal/simenv"
+)
+
+// TestChooseBatchMatchesChooseCtx pins the batched inference path to the
+// per-state fast path: for the same states and rngs, ChooseBatch must pick
+// exactly what ChooseCtx picks row by row, in both sampling and greedy mode.
+func TestChooseBatchMatchesChooseCtx(t *testing.T) {
+	feat := testFeatures()
+	jobs, capacity := testJobs(t, 3, 10, 71)
+	for _, greedy := range []bool{false, true} {
+		agent := testAgent(t, feat, greedy, 72)
+		ctx := agent.NewContext()
+		bctx := agent.NewBatchContext(len(jobs))
+		envs := make([]*simenv.Env, len(jobs))
+		for i, g := range jobs {
+			e, err := simenv.New(g, capacity, simenv.Config{Window: feat.Window})
+			if err != nil {
+				t.Fatal(err)
+			}
+			envs[i] = e
+		}
+		legal := make([][]simenv.Action, len(envs))
+		rngsA := make([]*rand.Rand, len(envs))
+		rngsB := make([]*rand.Rand, len(envs))
+		for i := range envs {
+			rngsA[i] = rand.New(rand.NewSource(int64(100 + i)))
+			rngsB[i] = rand.New(rand.NewSource(int64(100 + i)))
+		}
+		out := make([]simenv.Action, len(envs))
+		for step := 0; step < 20; step++ {
+			live := envs[:0:0]
+			var liveLegal [][]simenv.Action
+			var liveA, liveB []*rand.Rand
+			for i, e := range envs {
+				if e.Done() {
+					continue
+				}
+				live = append(live, e)
+				legal[i] = e.LegalActions()
+				liveLegal = append(liveLegal, legal[i])
+				liveA = append(liveA, rngsA[i])
+				liveB = append(liveB, rngsB[i])
+			}
+			if len(live) == 0 {
+				break
+			}
+			if err := agent.ChooseBatch(bctx, live, liveLegal, liveA, out[:len(live)]); err != nil {
+				t.Fatal(err)
+			}
+			for i, e := range live {
+				want, err := agent.ChooseCtx(ctx, e, liveLegal[i], liveB[i])
+				if err != nil {
+					t.Fatal(err)
+				}
+				if out[i] != want {
+					t.Fatalf("greedy=%v step %d row %d: ChooseBatch %v, ChooseCtx %v",
+						greedy, step, i, out[i], want)
+				}
+				if err := e.Step(out[i]); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+}
+
+func TestChooseBatchRejectsForeignAndOversized(t *testing.T) {
+	feat := testFeatures()
+	agent := testAgent(t, feat, true, 73)
+	jobs, capacity := testJobs(t, 1, 8, 74)
+	e, err := simenv.New(jobs[0], capacity, simenv.Config{Window: feat.Window})
+	if err != nil {
+		t.Fatal(err)
+	}
+	envs := []*simenv.Env{e, e}
+	legal := [][]simenv.Action{e.LegalActions(), e.LegalActions()}
+	rngs := []*rand.Rand{nil, nil}
+	out := make([]simenv.Action, 2)
+	type notAContext struct{}
+	if err := agent.ChooseBatch(notAContext{}, envs, legal, rngs, out); err == nil {
+		t.Error("foreign batch context accepted")
+	}
+	small := agent.NewBatchContext(1)
+	if err := agent.ChooseBatch(small, envs, legal, rngs, out); err == nil {
+		t.Error("oversized batch accepted")
+	}
+}
+
+// TestBackpropTrajectoryMatchesSequential pins the chunked batched gradient
+// path to a step-by-step reference: same trajectory, same baseline, bit-equal
+// gradients. The trajectory is longer than reinforceBatchRows so the chunk
+// loop wraps, and one step gets a zero advantage to exercise the skip.
+func TestBackpropTrajectoryMatchesSequential(t *testing.T) {
+	feat := testFeatures()
+	net, err := DefaultNetwork(feat, rand.New(rand.NewSource(75)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(76))
+	steps := reinforceBatchRows + 5
+	tr := trajectory{makespan: int64(steps) + 3}
+	for i := 0; i < steps; i++ {
+		x := make([]float64, feat.InputSize())
+		for j := range x {
+			x[j] = rng.Float64()
+		}
+		mask := make([]bool, feat.OutputSize())
+		for j := range mask {
+			mask[j] = true
+		}
+		tr.steps = append(tr.steps, step{x: x, mask: mask, action: rng.Intn(feat.OutputSize()), now: int64(i)})
+	}
+	baseline := make([]float64, steps)
+	for i := range baseline {
+		baseline[i] = float64(tr.steps[i].now-tr.makespan) + rng.NormFloat64()
+	}
+	baseline[4] = float64(tr.steps[4].now - tr.makespan) // advantage 0: skipped row
+
+	for _, bonus := range []float64{0, 0.01} {
+		// Sequential reference: one ProbsInto + BackwardInto per step.
+		want := net.NewGrads()
+		scratch := net.NewScratch()
+		d := make([]float64, net.OutputSize())
+		for i, st := range tr.steps {
+			advantage := float64(st.now-tr.makespan) - baseline[i]
+			if advantage == 0 && bonus == 0 {
+				want.AddSamples(1)
+				continue
+			}
+			probs, err := net.ProbsInto(scratch, st.x, st.mask)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for j, p := range probs {
+				d[j] = p * advantage
+			}
+			d[st.action] -= advantage
+			if bonus > 0 {
+				var entropy float64
+				for _, p := range probs {
+					if p > 0 {
+						entropy -= p * math.Log(p)
+					}
+				}
+				for j, p := range probs {
+					if p > 0 {
+						d[j] += bonus * p * (math.Log(p) + entropy)
+					}
+				}
+			}
+			if err := net.BackwardInto(scratch, d, want); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		got := net.NewGrads()
+		if err := backpropTrajectory(net, tr, baseline, got, newTrainContext(net), bonus); err != nil {
+			t.Fatal(err)
+		}
+		if got.Samples() != want.Samples() {
+			t.Fatalf("bonus=%g: samples %d, want %d", bonus, got.Samples(), want.Samples())
+		}
+		// The grad buffers are opaque here; apply each to an identical clone
+		// and compare the serialized results — bit-equal grads give bit-equal
+		// networks.
+		if bytes.Compare(applyAndSave(t, net, want), applyAndSave(t, net, got)) != 0 {
+			t.Fatalf("bonus=%g: batched gradients differ from sequential", bonus)
+		}
+	}
+}
+
+// applyAndSave clones net, applies g with a fixed optimizer and returns the
+// serialized weights.
+func applyAndSave(t *testing.T, net *nn.Network, g *nn.Grads) []byte {
+	t.Helper()
+	c := net.Clone()
+	if err := c.Apply(g, nn.DefaultRMSProp()); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}

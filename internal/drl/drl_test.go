@@ -462,7 +462,7 @@ func TestEntropyBonusPushesTowardUniform(t *testing.T) {
 
 	before := entropyOf()
 	opt := nn.RMSProp{LR: 1e-3, Rho: 0.9, Eps: 1e-8}
-	tc := &trainContext{scratch: net.NewScratch(), d: make([]float64, net.OutputSize())}
+	tc := newTrainContext(net)
 	for i := 0; i < 50; i++ {
 		grads := net.NewGrads()
 		if err := backpropTrajectory(net, tr, baseline, grads, tc, 1.0); err != nil {

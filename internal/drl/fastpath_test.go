@@ -139,7 +139,7 @@ func TestZeroAdvantageStepsCountAsSamples(t *testing.T) {
 		float64(tr.steps[2].now - tr.makespan),
 	}
 	grads := net.NewGrads()
-	tc := &trainContext{scratch: net.NewScratch(), d: make([]float64, net.OutputSize())}
+	tc := newTrainContext(net)
 	if err := backpropTrajectory(net, tr, baseline, grads, tc, 0); err != nil {
 		t.Fatal(err)
 	}

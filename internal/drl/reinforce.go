@@ -360,7 +360,7 @@ func accumulatePolicyGradient(net *nn.Network, trajs []trajectory, grads *nn.Gra
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			tc := &trainContext{scratch: net.NewScratch(), d: make([]float64, net.OutputSize())}
+			tc := newTrainContext(net)
 			for i := range next {
 				local[i] = net.NewGrads()
 				errs[i] = backpropTrajectory(net, trajs[i], baseline, local[i], tc, entropyBonus)
@@ -383,52 +383,97 @@ func accumulatePolicyGradient(net *nn.Network, trajs []trajectory, grads *nn.Gra
 	return nil
 }
 
+// reinforceBatchRows is how many trajectory steps share one batched
+// forward/backward network pass during gradient accumulation.
+const reinforceBatchRows = 16
+
 // trainContext holds one backprop worker's reusable buffers: the network
-// scratch (activations + deltas) and the logit-gradient vector.
+// scratch (whose batch buffers carry the activations) plus the row-major
+// chunk of encoded states, masks, logit gradients and per-row bookkeeping.
 type trainContext struct {
 	scratch *nn.Scratch
-	d       []float64
+	bx      []float64
+	bmask   []bool
+	bd      []float64
+	adv     []float64
+	act     []int
+}
+
+// newTrainContext allocates a backprop context sized for reinforceBatchRows
+// steps per pass.
+func newTrainContext(net *nn.Network) *trainContext {
+	in, out := net.InputSize(), net.OutputSize()
+	return &trainContext{
+		scratch: net.NewScratch(),
+		bx:      make([]float64, reinforceBatchRows*in),
+		bmask:   make([]bool, reinforceBatchRows*out),
+		bd:      make([]float64, reinforceBatchRows*out),
+		adv:     make([]float64, reinforceBatchRows),
+		act:     make([]int, reinforceBatchRows),
+	}
 }
 
 // backpropTrajectory accumulates (probs - onehot) * advantage plus the
 // entropy-bonus term for every step of one trajectory. The gradient of
 // -β·H with respect to logit i under a (masked) softmax is
-// β·p_i·(log p_i + H).
+// β·p_i·(log p_i + H). Steps are processed in chunks of reinforceBatchRows
+// through the batched network kernels; because those accumulate per-weight
+// contributions in ascending row (= step) order, the resulting gradients are
+// bit-identical to one sequential backward pass per step.
 func backpropTrajectory(net *nn.Network, tr trajectory, baseline []float64, grads *nn.Grads, tc *trainContext, entropyBonus float64) error {
-	for t, st := range tr.steps {
-		g := float64(st.now - tr.makespan)
-		advantage := g - baseline[t]
-		if advantage == 0 && entropyBonus == 0 {
-			// Zero-gradient step: the backward pass would add nothing, but
-			// the step is still a sample of the batch. Count it so that
-			// Apply's 1/n scaling averages over the true batch size instead
-			// of silently inflating the effective learning rate.
-			grads.AddSamples(1)
+	in, out := net.InputSize(), net.OutputSize()
+	t := 0
+	for t < len(tr.steps) {
+		// Gather the next chunk of steps that actually carry gradient.
+		rows := 0
+		for t < len(tr.steps) && rows < reinforceBatchRows {
+			st := tr.steps[t]
+			advantage := float64(st.now-tr.makespan) - baseline[t]
+			t++
+			if advantage == 0 && entropyBonus == 0 {
+				// Zero-gradient step: the backward pass would add nothing, but
+				// the step is still a sample of the batch. Count it so that
+				// Apply's 1/n scaling averages over the true batch size instead
+				// of silently inflating the effective learning rate.
+				grads.AddSamples(1)
+				continue
+			}
+			copy(tc.bx[rows*in:(rows+1)*in], st.x)
+			copy(tc.bmask[rows*out:(rows+1)*out], st.mask)
+			tc.adv[rows] = advantage
+			tc.act[rows] = st.action
+			rows++
+		}
+		if rows == 0 {
 			continue
 		}
-		probs, err := net.ProbsInto(tc.scratch, st.x, st.mask)
+		probs, err := net.ProbsBatchInto(tc.scratch, tc.bx[:rows*in], rows, tc.bmask[:rows*out])
 		if err != nil {
 			return err
 		}
-		d := tc.d
-		for i := range probs {
-			d[i] = probs[i] * advantage
-		}
-		d[st.action] -= advantage
-		if entropyBonus > 0 {
-			var entropy float64
-			for _, p := range probs {
-				if p > 0 {
-					entropy -= p * math.Log(p)
+		for r := 0; r < rows; r++ {
+			pr := probs[r*out : (r+1)*out]
+			d := tc.bd[r*out : (r+1)*out]
+			advantage := tc.adv[r]
+			for i, p := range pr {
+				d[i] = p * advantage
+			}
+			d[tc.act[r]] -= advantage
+			if entropyBonus > 0 {
+				var entropy float64
+				for _, p := range pr {
+					if p > 0 {
+						entropy -= p * math.Log(p)
+					}
+				}
+				for i, p := range pr {
+					if p > 0 {
+						d[i] += entropyBonus * p * (math.Log(p) + entropy)
+					}
 				}
 			}
-			for i, p := range probs {
-				if p > 0 {
-					d[i] += entropyBonus * p * (math.Log(p) + entropy)
-				}
-			}
 		}
-		if err := net.BackwardInto(tc.scratch, d, grads); err != nil {
+		if err := net.BackwardBatchInto(tc.scratch, tc.bd[:rows*out], rows, grads); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"regexp"
+	"strings"
+	"testing"
+
+	"spear/internal/obs"
+)
+
+func TestCellAndModelTablesMatchRegistry(t *testing.T) {
+	known := map[string]bool{}
+	for _, name := range Names() {
+		known[name] = true
+	}
+	cells := map[string][]string{}
+	for _, name := range Names() {
+		key := cellOf(name)
+		cells[key] = append(cells[key], name)
+	}
+	// Cache-sharing pairs must land in one cell each.
+	for _, want := range [][]string{{"fig6a", "fig6b"}, {"fig7a", "fig7b"}, {"fig9a", "fig9b", "fig9c"}} {
+		key := cellOf(want[0])
+		got := cells[key]
+		if len(got) != len(want) {
+			t.Errorf("cell %q = %v, want %v", key, got, want)
+		}
+	}
+	// The model-free list must only name registered experiments (guards
+	// against silent drift when experiments are renamed).
+	for _, name := range []string{"fig7a", "fig7b", "table1", "fig9a", "fig9b"} {
+		if !known[name] {
+			t.Errorf("needsModel table references unknown experiment %q", name)
+		}
+		if needsModel(name) {
+			t.Errorf("%s marked as needing the model", name)
+		}
+	}
+	if !needsModel("fig3") || !needsModel("ablation") {
+		t.Error("model-backed experiments misclassified as model-free")
+	}
+}
+
+func TestRunParallelUnknownName(t *testing.T) {
+	s := tinySuite(t)
+	if _, err := s.RunParallel([]string{"nope"}, ParallelOptions{Jobs: 2}, &bytes.Buffer{}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+// TestRunParallelMatchesSequential pins the -j contract: independent cells on
+// a worker pool must print byte-identical reports, in the requested order, to
+// what the sequential path produces.
+func TestRunParallelMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs several experiments at quick scale")
+	}
+	names := []string{"fig3", "fig7a", "fig9a", "fig9b"}
+
+	seq := tinySuite(t)
+	var want bytes.Buffer
+	for _, name := range names {
+		fmt.Fprintf(&want, "==== %s ====\n", name)
+		if err := seq.Run(name, &want); err != nil {
+			t.Fatalf("sequential %s: %v", name, err)
+		}
+		fmt.Fprintln(&want)
+	}
+
+	par := tinySuite(t)
+	par.Obs = obs.NewRegistry()
+	var got bytes.Buffer
+	snap, err := par.RunParallel(names, ParallelOptions{Jobs: 3}, &got)
+	if err != nil {
+		t.Fatalf("RunParallel: %v", err)
+	}
+	// Reports embed wall-clock timings (fig7a's runtime column); mask any
+	// duration token before comparing — everything else must be identical.
+	durations := regexp.MustCompile(`[0-9.]+(ns|µs|ms|s)\b`)
+	norm := func(s string) string { return durations.ReplaceAllString(s, "<dur>") }
+	if norm(got.String()) != norm(want.String()) {
+		t.Errorf("parallel output diverges from sequential:\n--- parallel ---\n%s\n--- sequential ---\n%s",
+			got.String(), want.String())
+	}
+	// The parent suite's caches must stay untouched: cells ran on shadows.
+	if par.fig7 != nil || par.trace != nil {
+		t.Error("parallel run leaked cell caches into the parent suite")
+	}
+	// The merged snapshot aggregates the private cell registries: fig7a ran
+	// pure MCTS, so search iterations must be visible after the merge.
+	if v, ok := snap.Value("spear_search_iterations_total"); !ok || v <= 0 {
+		t.Errorf("merged snapshot search iterations = %v (ok=%v)", v, ok)
+	}
+	if len(snap) == 0 {
+		t.Fatal("empty merged snapshot despite Obs registry")
+	}
+	for i := 1; i < len(snap); i++ {
+		if snap[i-1].Name > snap[i].Name {
+			t.Fatalf("merged snapshot unsorted at %d: %q > %q", i, snap[i-1].Name, snap[i].Name)
+		}
+	}
+}
+
+// TestRunParallelCSV checks the CSV sink plumbing and that a single-name run
+// omits the section headers (matching the sequential -run form).
+func TestRunParallelCSV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("schedules the trace at quick scale")
+	}
+	s := tinySuite(t)
+	sinks := map[string]*closableBuffer{}
+	opt := ParallelOptions{
+		Jobs: 2,
+		CSV: func(name string) (io.WriteCloser, error) {
+			b := &closableBuffer{}
+			sinks[name] = b
+			return b, nil
+		},
+	}
+	var out bytes.Buffer
+	if _, err := s.RunParallel([]string{"fig9a"}, opt, &out); err != nil {
+		t.Fatalf("RunParallel: %v", err)
+	}
+	if strings.Contains(out.String(), "==== fig9a ====") {
+		t.Error("single-experiment run printed a section header")
+	}
+	b := sinks["fig9a"]
+	if b == nil || !b.closed || strings.Count(b.String(), "\n") < 2 {
+		t.Errorf("fig9a CSV sink = %+v", b)
+	}
+}
+
+type closableBuffer struct {
+	bytes.Buffer
+	closed bool
+}
+
+func (b *closableBuffer) Close() error {
+	b.closed = true
+	return nil
+}

@@ -48,6 +48,11 @@ type Suite struct {
 	// suite constructs registers into, so one snapshot aggregates the whole
 	// run (the -metrics flag of cmd/spear-experiments).
 	Obs *obs.Registry
+	// RootParallelism is threaded into every MCTS-backed scheduler the suite
+	// builds (Spear and pure MCTS alike): each decision runs this many
+	// independent root-parallel trees, splitting the budget across them.
+	// Zero or one keeps the classic single tree.
+	RootParallelism int
 
 	curve []drl.EpochStats
 
@@ -138,10 +143,11 @@ func (s *Suite) spear(initialBudget, minBudget int) (*core.Spear, error) {
 		return nil, err
 	}
 	return core.New(s.Net, s.features(), core.Config{
-		InitialBudget: initialBudget,
-		MinBudget:     minBudget,
-		Seed:          s.Seed,
-		Obs:           s.Obs,
+		InitialBudget:   initialBudget,
+		MinBudget:       minBudget,
+		Seed:            s.Seed,
+		RootParallelism: s.RootParallelism,
+		Obs:             s.Obs,
 	})
 }
 

@@ -4,7 +4,9 @@
 // max(b_initial/depth, b_min) (Eq. 4), the expansion filters that prune
 // superficial actions, and pluggable expansion/rollout policies so that the
 // DRL agent can replace the classic random policy (which is how Spear is
-// assembled in internal/core).
+// assembled in internal/core). RootParallelism adds root parallelization:
+// K independent trees share each decision's budget and their root statistics
+// are merged to pick the committed move.
 package mcts
 
 import (
@@ -67,15 +69,27 @@ type Config struct {
 	// Default 0.1.
 	ExplorationScale float64
 	// Rollout simulates from expanded nodes to termination. Default: the
-	// uniformly random policy of classic MCTS.
+	// uniformly random policy of classic MCTS. When the policy also
+	// implements simenv.BatchPolicy, simulations with RolloutsPerExpansion
+	// > 1 run lock-stepped through batched policy evaluations (same results,
+	// fewer network passes) unless DisableBatchedRollouts is set.
 	Rollout simenv.Policy
 	// Expand orders unexplored actions during expansion. Default: uniform
-	// random.
+	// random. With RootParallelism > 1 every tree worker shares this value,
+	// so it must be safe for concurrent use — stateful expanders should set
+	// NewExpander instead.
 	Expand Expander
+	// NewExpander, when non-nil, builds one private Expander per tree worker
+	// and takes precedence over Expand. Required for expanders that carry
+	// per-search state (like the DRL expander's inference buffers) when
+	// RootParallelism > 1.
+	NewExpander func() Expander
 	// Window caps the visible ready tasks (0 = unlimited). Spear sets it to
 	// the neural network's input window.
 	Window int
-	// Seed feeds the search's private random source.
+	// Seed feeds the search's private random source. Tree worker w derives
+	// its own seed from Seed and w, so every root-parallel tree explores
+	// differently while the whole search stays deterministic.
 	Seed int64
 	// ReuseTree keeps the chosen child's subtree between decisions instead
 	// of rebuilding from scratch. Default true.
@@ -89,9 +103,22 @@ type Config struct {
 	// parallelized" [16]; this is leaf parallelization). Each simulation's
 	// value is backpropagated. Default 1.
 	RolloutsPerExpansion int
-	// Parallelism bounds concurrent rollouts when RolloutsPerExpansion > 1.
+	// Parallelism bounds concurrent rollout goroutines when
+	// RolloutsPerExpansion > 1 and the rollout policy has no batched path.
 	// Default GOMAXPROCS.
 	Parallelism int
+	// RootParallelism runs this many independent search trees per decision
+	// (root parallelization). The decision's Eq. 4 budget is split across
+	// the trees, their merged root statistics pick the committed action, and
+	// each tree keeps its own chosen subtree across decisions. Default 1,
+	// which preserves the exact single-tree search. Values above the legal
+	// branching factor mostly add redundancy; GOMAXPROCS is a sensible cap.
+	RootParallelism int
+	// DisableBatchedRollouts forces per-episode rollouts even when the
+	// rollout policy implements simenv.BatchPolicy — the ablation arm for
+	// batched inference. Results are identical either way; only the number
+	// of network passes changes.
+	DisableBatchedRollouts bool
 	// Obs, when non-nil, is the registry the scheduler's metrics are
 	// registered in, so several schedulers can share (and aggregate into)
 	// one exposition endpoint. Nil means a private registry; either way
@@ -125,16 +152,25 @@ func (c Config) normalized() Config {
 	if c.Parallelism <= 0 {
 		c.Parallelism = runtime.GOMAXPROCS(0)
 	}
+	if c.RootParallelism <= 0 {
+		c.RootParallelism = 1
+	}
 	return c
 }
+
+// minElapsedSeconds floors the elapsed time used for the SimsPerSec rate:
+// trivial jobs on coarse clocks can report zero or near-zero elapsed, which
+// would turn the rate into Inf or nonsense.
+const minElapsedSeconds = 1e-6
 
 // Stats reports what one Schedule call did, for tests and benchmarks.
 type Stats struct {
 	// Decisions is the number of committed scheduling decisions.
 	Decisions int
-	// Iterations is the number of search iterations run.
+	// Iterations is the number of search iterations run, summed across all
+	// tree workers.
 	Iterations int
-	// Expansions is the number of nodes added to the search tree.
+	// Expansions is the number of nodes added to the search trees.
 	Expansions int
 	// Rollouts is the number of simulations played to termination.
 	Rollouts int64
@@ -144,9 +180,15 @@ type Stats struct {
 	// MaxDepth is the deepest tree position reached, measured from the
 	// first decision (committed decisions plus selection descent).
 	MaxDepth int
+	// RootWorkers is the number of root-parallel trees used per decision.
+	RootWorkers int
+	// MergeConflicts counts tree workers whose locally best action lost the
+	// merged root vote (only possible with RootWorkers > 1).
+	MergeConflicts int64
 	// Elapsed is the wall-clock time of the Schedule call.
 	Elapsed time.Duration
-	// SimsPerSec is Rollouts divided by Elapsed.
+	// SimsPerSec is Rollouts divided by Elapsed (floored at 1µs, so the
+	// rate stays finite on trivially fast calls).
 	SimsPerSec float64
 	// Cancelled reports whether the call was cut short by its context.
 	Cancelled bool
@@ -163,20 +205,18 @@ type Scheduler struct {
 
 	// reg holds the scheduler's cumulative metrics; sm and sim are the
 	// pre-allocated counter bundles updated on the search and rollout hot
-	// paths (lock-free atomics, shared with every env clone).
+	// paths (lock-free atomics, shared with every env clone and every tree
+	// worker).
 	reg *obs.Registry
 	sm  *obs.SearchMetrics
 	sim *obs.SimMetrics
 
-	// rctx holds one rollout context per rollout worker; rctx[i] is only
-	// ever used by worker i, so leaf-parallel simulations never share
-	// buffers. Contexts persist across Schedule calls.
-	rctx []*simenv.RolloutContext
-	// simulate's reusable result/seed/error buffers (the search loop is
-	// sequential, so one set suffices).
-	simValues []float64
-	simSeeds  []int64
-	simErrs   []error
+	// workers holds the root-parallel tree workers. Workers persist across
+	// Schedule calls — their expanders, rollout contexts and simulation
+	// buffers are reusable — and only tree and rng are reset per call.
+	workers []*treeWorker
+	// merged is the reusable per-legal-action buffer of mergeAndChoose.
+	merged []rootStat
 }
 
 var _ sched.ContextScheduler = (*Scheduler)(nil)
@@ -268,6 +308,107 @@ func (n *node) better(m *node) bool {
 	return n.mean() > m.mean()
 }
 
+// rootStat is one legal action's root statistics merged across tree workers:
+// summed visits and values, max of maxes.
+type rootStat struct {
+	visits int64
+	sum    float64
+	max    float64
+	seen   bool
+}
+
+func (r rootStat) mean() float64 {
+	if r.visits == 0 {
+		return math.Inf(-1)
+	}
+	return r.sum / float64(r.visits)
+}
+
+// betterStat is the committed-move rule of node.better over merged stats.
+func betterStat(a, b rootStat) bool {
+	if a.max != b.max {
+		return a.max > b.max
+	}
+	return a.mean() > b.mean()
+}
+
+// workerSeed derives tree worker w's rng seed from the configured seed: a
+// fixed odd multiplier (the 64-bit golden ratio) spreads consecutive worker
+// indices across the seed space. Worker 0 keeps the configured seed, so
+// RootParallelism = 1 reproduces the single-tree search exactly.
+func workerSeed(seed int64, w int) int64 {
+	if w == 0 {
+		return seed
+	}
+	return seed + int64(uint64(w)*0x9E3779B97F4A7C15)
+}
+
+// treeWorker is one root-parallel search tree and everything it owns: the
+// tree itself, a private rng and expander, per-rollout-worker contexts and
+// simulation buffers, and the per-search-phase stat deltas that the
+// scheduler aggregates after every decision. Nothing here is shared between
+// workers except the scheduler's lock-free metric bundles.
+type treeWorker struct {
+	s      *Scheduler
+	root   *node
+	rng    *rand.Rand
+	expand Expander
+
+	// rctx holds one rollout context per leaf-parallel rollout goroutine;
+	// brc is the lock-step batched alternative, non-nil when the rollout
+	// policy supports batching. Both persist across Schedule calls.
+	rctx []*simenv.RolloutContext
+	brc  *simenv.BatchRolloutContext
+
+	// simulate's reusable result/seed/makespan/error buffers.
+	simValues []float64
+	simSeeds  []int64
+	simSpans  []int64
+	simErrs   []error
+
+	// Per-search-phase stat deltas and error, reset by resetPhase and
+	// aggregated by Scheduler.collect once the phase's goroutines joined.
+	iterations int
+	expansions int
+	rollouts   int64
+	maxDepth   int
+	err        error
+}
+
+// worker returns tree worker w, growing the pool as needed. Must only be
+// called from the Schedule goroutine.
+func (s *Scheduler) worker(w int) *treeWorker {
+	for len(s.workers) <= w {
+		tw := &treeWorker{s: s}
+		if s.cfg.NewExpander != nil {
+			tw.expand = s.cfg.NewExpander()
+		} else {
+			tw.expand = s.cfg.Expand
+		}
+		if s.cfg.RolloutsPerExpansion > 1 && !s.cfg.DisableBatchedRollouts {
+			if bp, ok := s.cfg.Rollout.(simenv.BatchPolicy); ok {
+				tw.brc = simenv.NewBatchRolloutContext(bp, s.cfg.RolloutsPerExpansion)
+			}
+		}
+		s.workers = append(s.workers, tw)
+	}
+	return s.workers[w]
+}
+
+func (tw *treeWorker) resetPhase() {
+	tw.iterations, tw.expansions, tw.rollouts, tw.maxDepth, tw.err = 0, 0, 0, 0, nil
+}
+
+// collect folds a tree worker's search-phase deltas into the call stats.
+func (s *Scheduler) collect(tw *treeWorker) {
+	s.stats.Iterations += tw.iterations
+	s.stats.Expansions += tw.expansions
+	s.stats.Rollouts += tw.rollouts
+	if tw.maxDepth > s.stats.MaxDepth {
+		s.stats.MaxDepth = tw.maxDepth
+	}
+}
+
 // Schedule implements sched.Scheduler. It is ScheduleContext with an
 // uncancellable background context.
 func (s *Scheduler) Schedule(g *dag.Graph, capacity resource.Vector) (*sched.Schedule, error) {
@@ -281,16 +422,19 @@ func (s *Scheduler) Schedule(g *dag.Graph, capacity resource.Vector) (*sched.Sch
 // is returned together with an error wrapping ctx.Err().
 func (s *Scheduler) ScheduleContext(ctx context.Context, g *dag.Graph, capacity resource.Vector) (*sched.Schedule, error) {
 	began := time.Now()
-	s.stats = Stats{}
+	K := s.cfg.RootParallelism
+	s.stats = Stats{RootWorkers: K}
 	defer func() {
 		s.stats.Elapsed = time.Since(began)
-		if secs := s.stats.Elapsed.Seconds(); secs > 0 {
-			s.stats.SimsPerSec = float64(s.stats.Rollouts) / secs
+		secs := s.stats.Elapsed.Seconds()
+		if secs < minElapsedSeconds {
+			secs = minElapsedSeconds
 		}
+		s.stats.SimsPerSec = float64(s.stats.Rollouts) / secs
 		s.sm.SearchTime.Observe(s.stats.Elapsed)
 		s.sm.TreeDepth.Set(int64(s.stats.MaxDepth))
+		s.sm.RootWorkers.Set(int64(K))
 	}()
-	rng := rand.New(rand.NewSource(s.cfg.Seed))
 
 	env, err := simenv.New(g, capacity, simenv.Config{Window: s.cfg.Window, Mode: simenv.NextCompletion, Metrics: s.sim})
 	if err != nil {
@@ -302,11 +446,24 @@ func (s *Scheduler) ScheduleContext(ctx context.Context, g *dag.Graph, capacity 
 		return nil, err
 	}
 
-	root := newNode(env, nil, 0)
+	// Reset the tree workers for this call: worker 0 owns the base episode,
+	// the others clone it (clones share the metric bundle, not state).
+	for w := 0; w < K; w++ {
+		tw := s.worker(w)
+		tw.rng = rand.New(rand.NewSource(workerSeed(s.cfg.Seed, w)))
+		wenv := env
+		if w > 0 {
+			wenv = env.Clone()
+		}
+		tw.root = newNode(wenv, nil, 0)
+	}
+	w0 := s.workers[0]
+	rng := w0.rng
+
 	depth := 0
-	for !root.terminal() {
+	for !w0.root.terminal() {
 		if ctx.Err() != nil {
-			return s.finishCancelled(ctx, root, rng, began)
+			return s.finishCancelled(ctx, w0.root, rng, began)
 		}
 		depth++
 		s.stats.Decisions++
@@ -315,21 +472,16 @@ func (s *Scheduler) ScheduleContext(ctx context.Context, g *dag.Graph, capacity 
 			s.stats.MaxDepth = depth
 		}
 
-		legal := root.env.LegalActions()
+		legal := w0.root.env.LegalActions()
 		if len(legal) == 0 {
 			return nil, fmt.Errorf("mcts: no legal actions at decision %d", depth)
 		}
-		var next *node
+		var chosen simenv.Action
 		if len(legal) == 1 {
-			// Forced move: skip the search entirely. Creating the child here
-			// is bookkeeping, not an expansion, so it is not counted.
-			child, _, err := s.childFor(root, legal[0])
-			if err != nil {
-				return nil, err
-			}
+			// Forced move: skip the search entirely.
+			chosen = legal[0]
 			s.stats.ForcedMoves++
 			s.sm.ForcedMoves.Inc()
-			next = child
 		} else {
 			budget := s.cfg.InitialBudget
 			if !s.cfg.DisableBudgetDecay {
@@ -338,34 +490,159 @@ func (s *Scheduler) ScheduleContext(ctx context.Context, g *dag.Graph, capacity 
 					budget = s.cfg.MinBudget
 				}
 			}
-			if err := s.search(ctx, root, budget, depth, c, rng); err != nil {
+			if err := s.searchPhase(ctx, budget, depth, c); err != nil {
 				return nil, err
 			}
-			if len(root.children) == 0 {
-				// Cancelled before the first expansion of this decision.
-				return s.finishCancelled(ctx, root, rng, began)
-			}
-			next = root.children[0]
-			for _, ch := range root.children[1:] {
-				if ch.better(next) {
-					next = ch
+			if K == 1 {
+				// Single tree: pick among the root's children directly,
+				// preserving the classic creation-order tiebreak.
+				if len(w0.root.children) == 0 {
+					// Cancelled before the first expansion of this decision.
+					return s.finishCancelled(ctx, w0.root, rng, began)
+				}
+				next := w0.root.children[0]
+				for _, ch := range w0.root.children[1:] {
+					if ch.better(next) {
+						next = ch
+					}
+				}
+				chosen = next.action
+			} else {
+				var ok bool
+				if chosen, ok = s.mergeAndChoose(legal); !ok {
+					return s.finishCancelled(ctx, w0.root, rng, began)
 				}
 			}
 		}
-		// Commit the move; the chosen child becomes the new root.
-		next.parent = nil
-		if s.cfg.DisableTreeReuse {
-			next = newNode(next.env, nil, 0)
+		// Commit the move in every tree: the chosen child becomes that
+		// tree's new root (created on the spot if this tree never tried it —
+		// bookkeeping, not an expansion).
+		for w := 0; w < K; w++ {
+			tw := s.workers[w]
+			next, _, err := s.childFor(tw.root, chosen)
+			if err != nil {
+				return nil, err
+			}
+			next.parent = nil
+			if s.cfg.DisableTreeReuse {
+				next = newNode(next.env, nil, 0)
+			}
+			tw.root = next
 		}
-		root = next
 	}
 
-	out, err := root.env.Schedule(s.name)
+	out, err := w0.root.env.Schedule(s.name)
 	if err != nil {
 		return nil, err
 	}
 	out.Elapsed = time.Since(began)
 	return out, nil
+}
+
+// searchPhase runs one decision's search on every tree worker, splitting the
+// Eq. 4 budget: each worker gets budget/K iterations and the first budget%K
+// workers one more, so the total spent equals the single-tree budget. With
+// one worker the search runs inline; with several each runs in its own
+// goroutine on its own tree, rng and buffers — only the lock-free metric
+// bundles are shared.
+func (s *Scheduler) searchPhase(ctx context.Context, budget, rootDepth int, c float64) error {
+	K := s.cfg.RootParallelism
+	if K == 1 {
+		w0 := s.workers[0]
+		w0.resetPhase()
+		err := w0.search(ctx, budget, rootDepth, c)
+		s.collect(w0)
+		return err
+	}
+	share, extra := budget/K, budget%K
+	var wg sync.WaitGroup
+	for w := 0; w < K; w++ {
+		tw := s.workers[w]
+		tw.resetPhase()
+		b := share
+		if w < extra {
+			b++
+		}
+		if b == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(tw *treeWorker, b int) {
+			defer wg.Done()
+			tw.err = tw.search(ctx, b, rootDepth, c)
+		}(tw, b)
+	}
+	wg.Wait()
+	for w := 0; w < K; w++ {
+		tw := s.workers[w]
+		if tw.err != nil {
+			return tw.err
+		}
+		s.collect(tw)
+	}
+	return nil
+}
+
+// mergeAndChoose merges the root-child statistics of every tree worker per
+// legal action (summed visits and values, max of maxes) and picks the
+// committed move with the max-value/mean-tiebreak rule, iterating legal in
+// order. It also counts merge conflicts: workers whose local best action
+// lost the merged vote. Returns false if no tree expanded anything.
+func (s *Scheduler) mergeAndChoose(legal []simenv.Action) (simenv.Action, bool) {
+	K := s.cfg.RootParallelism
+	if cap(s.merged) < len(legal) {
+		s.merged = make([]rootStat, len(legal))
+	}
+	merged := s.merged[:len(legal)]
+	for i := range merged {
+		merged[i] = rootStat{max: math.Inf(-1)}
+	}
+	for w := 0; w < K; w++ {
+		for _, ch := range s.workers[w].root.children {
+			for i, a := range legal {
+				if a == ch.action {
+					m := &merged[i]
+					m.seen = true
+					m.visits += ch.visits
+					m.sum += ch.sum
+					if ch.max > m.max {
+						m.max = ch.max
+					}
+					break
+				}
+			}
+		}
+	}
+	best := -1
+	for i := range merged {
+		if !merged[i].seen {
+			continue
+		}
+		if best < 0 || betterStat(merged[i], merged[best]) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return 0, false
+	}
+	chosen := legal[best]
+	for w := 0; w < K; w++ {
+		children := s.workers[w].root.children
+		if len(children) == 0 {
+			continue
+		}
+		local := children[0]
+		for _, ch := range children[1:] {
+			if ch.better(local) {
+				local = ch
+			}
+		}
+		if local.action != chosen {
+			s.stats.MergeConflicts++
+			s.sm.MergeConflicts.Inc()
+		}
+	}
+	return chosen, true
 }
 
 // finishCancelled completes a cancelled search: the episode committed so
@@ -425,25 +702,27 @@ func (s *Scheduler) childFor(n *node, a simenv.Action) (child *node, created boo
 	return child, true, nil
 }
 
-// rolloutContext returns the persistent rollout context for worker i,
-// growing the pool as needed. Must only be called from the search goroutine
-// (contexts are created serially, before rollout workers are spawned).
-func (s *Scheduler) rolloutContext(i int) *simenv.RolloutContext {
-	for len(s.rctx) <= i {
-		s.rctx = append(s.rctx, simenv.NewRolloutContext(s.cfg.Rollout))
+// rolloutContext returns the tree worker's persistent rollout context for
+// rollout goroutine i, growing the pool as needed. Must only be called from
+// the worker's search goroutine (contexts are created serially, before
+// rollout goroutines are spawned).
+func (tw *treeWorker) rolloutContext(i int) *simenv.RolloutContext {
+	for len(tw.rctx) <= i {
+		tw.rctx = append(tw.rctx, simenv.NewRolloutContext(tw.s.cfg.Rollout))
 	}
-	return s.rctx[i]
+	return tw.rctx[i]
 }
 
 // simBuffers returns the reusable value/seed/error slices sized for k
 // simulations, zeroing the error slots.
-func (s *Scheduler) simBuffers(k int) ([]float64, []int64, []error) {
-	if cap(s.simValues) < k {
-		s.simValues = make([]float64, k)
-		s.simSeeds = make([]int64, k)
-		s.simErrs = make([]error, k)
+func (tw *treeWorker) simBuffers(k int) ([]float64, []int64, []error) {
+	if cap(tw.simValues) < k {
+		tw.simValues = make([]float64, k)
+		tw.simSeeds = make([]int64, k)
+		tw.simSpans = make([]int64, k)
+		tw.simErrs = make([]error, k)
 	}
-	values, seeds, errs := s.simValues[:k], s.simSeeds[:k], s.simErrs[:k]
+	values, seeds, errs := tw.simValues[:k], tw.simSeeds[:k], tw.simErrs[:k]
 	for i := range errs {
 		errs[i] = nil
 	}
@@ -452,18 +731,18 @@ func (s *Scheduler) simBuffers(k int) ([]float64, []int64, []error) {
 
 // simulate estimates node n's value with one or more rollouts, returning one
 // negative-makespan value per simulation. The returned slice is owned by the
-// scheduler and valid until the next simulate call. A terminal node's
+// tree worker and valid until its next simulate call. A terminal node's
 // makespan is exact, so it is reported once per configured simulation — with
 // RolloutsPerExpansion = k, a terminal leaf must carry the same backup
 // weight (k visits) as an expanded leaf, or terminal values are diluted
-// k-fold in every ancestor's mean. Parallel rollouts draw their seeds from
-// rng sequentially, run on per-worker rollout contexts over a static
-// partition, and return values in seed order, so results are deterministic
-// and independent of scheduling interleave.
-func (s *Scheduler) simulate(n *node, rng *rand.Rand) ([]float64, error) {
-	k := s.cfg.RolloutsPerExpansion
+// k-fold in every ancestor's mean. Multi-rollout simulations draw their
+// seeds from rng sequentially and apply them by index, so results are
+// deterministic and identical whether the episodes run lock-stepped through
+// the batched policy path or spread over rollout goroutines.
+func (tw *treeWorker) simulate(n *node, rng *rand.Rand) ([]float64, error) {
+	k := tw.s.cfg.RolloutsPerExpansion
 	if n.terminal() {
-		values, _, _ := s.simBuffers(k)
+		values, _, _ := tw.simBuffers(k)
 		exact := -float64(n.env.Makespan())
 		for i := range values {
 			values[i] = exact
@@ -471,34 +750,46 @@ func (s *Scheduler) simulate(n *node, rng *rand.Rand) ([]float64, error) {
 		return values, nil
 	}
 	if k == 1 {
-		makespan, err := s.rolloutContext(0).RolloutFrom(n.env, rng)
+		makespan, err := tw.rolloutContext(0).RolloutFrom(n.env, rng)
 		if err != nil {
-			return nil, fmt.Errorf("mcts: rollout %s: %w", s.cfg.Rollout.Name(), err)
+			return nil, fmt.Errorf("mcts: rollout %s: %w", tw.s.cfg.Rollout.Name(), err)
 		}
-		values, _, _ := s.simBuffers(1)
+		values, _, _ := tw.simBuffers(1)
 		values[0] = -float64(makespan)
 		return values, nil
 	}
 
-	values, seeds, errs := s.simBuffers(k)
+	values, seeds, errs := tw.simBuffers(k)
 	for i := range seeds {
 		seeds[i] = rng.Int63()
 	}
-	workers := s.cfg.Parallelism
+	if tw.brc != nil {
+		// Lock-step batched path: one goroutine advances all k episodes,
+		// evaluating the policy once per step for the whole batch.
+		spans := tw.simSpans[:k]
+		if err := tw.brc.RolloutsFrom(n.env, seeds, spans); err != nil {
+			return nil, fmt.Errorf("mcts: rollout %s: %w", tw.s.cfg.Rollout.Name(), err)
+		}
+		for i, ms := range spans {
+			values[i] = -float64(ms)
+		}
+		return values, nil
+	}
+	workers := tw.s.cfg.Parallelism
 	if workers > k {
 		workers = k
 	}
 	// Create the contexts serially before spawning: rolloutContext grows
-	// s.rctx and must not race with itself.
+	// tw.rctx and must not race with itself.
 	for w := 0; w < workers; w++ {
-		s.rolloutContext(w)
+		tw.rolloutContext(w)
 	}
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			rc := s.rctx[w]
+			rc := tw.rctx[w]
 			for i := w; i < k; i += workers {
 				makespan, err := rc.RolloutFrom(n.env, rand.New(rand.NewSource(seeds[i])))
 				if err != nil {
@@ -512,23 +803,29 @@ func (s *Scheduler) simulate(n *node, rng *rand.Rand) ([]float64, error) {
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("mcts: rollout %s: %w", s.cfg.Rollout.Name(), err)
+			return nil, fmt.Errorf("mcts: rollout %s: %w", tw.s.cfg.Rollout.Name(), err)
 		}
 	}
 	return values, nil
 }
 
 // search runs budget iterations of selection, expansion, simulation and
-// backpropagation from the root. rootDepth is the number of decisions
-// already committed, so selection descents contribute to Stats.MaxDepth.
-// ctx is checked once per iteration; on cancellation search stops early and
-// returns nil, leaving whatever tree was built for the caller to harvest.
-func (s *Scheduler) search(ctx context.Context, root *node, budget, rootDepth int, c float64, rng *rand.Rand) error {
+// backpropagation from the worker's root. rootDepth is the number of
+// decisions already committed, so selection descents contribute to
+// Stats.MaxDepth. ctx is checked once per iteration; on cancellation search
+// stops early and returns nil, leaving whatever tree was built for the
+// caller to harvest. Stat deltas accumulate in the worker (aggregated by
+// the scheduler after the phase); the shared metric bundles are updated
+// directly — they are lock-free atomics.
+func (tw *treeWorker) search(ctx context.Context, budget, rootDepth int, c float64) error {
+	s := tw.s
+	root := tw.root
+	rng := tw.rng
 	for iter := 0; iter < budget; iter++ {
 		if ctx.Err() != nil {
 			return nil
 		}
-		s.stats.Iterations++
+		tw.iterations++
 		s.sm.Iterations.Inc()
 		n := root
 		depth := rootDepth
@@ -546,36 +843,36 @@ func (s *Scheduler) search(ctx context.Context, root *node, budget, rootDepth in
 		}
 		// Expansion: add one new child unless terminal.
 		if !n.terminal() && !n.fullyExpanded() {
-			idx, err := s.cfg.Expand.Next(n.env, n.untried, rng)
+			idx, err := tw.expand.Next(n.env, n.untried, rng)
 			if err != nil {
-				return fmt.Errorf("mcts: expander %s: %w", s.cfg.Expand.Name(), err)
+				return fmt.Errorf("mcts: expander %s: %w", tw.expand.Name(), err)
 			}
 			if idx < 0 || idx >= len(n.untried) {
-				return fmt.Errorf("mcts: expander %s returned index %d of %d", s.cfg.Expand.Name(), idx, len(n.untried))
+				return fmt.Errorf("mcts: expander %s returned index %d of %d", tw.expand.Name(), idx, len(n.untried))
 			}
 			child, created, err := s.childFor(n, n.untried[idx])
 			if err != nil {
 				return err
 			}
 			if created {
-				s.stats.Expansions++
+				tw.expansions++
 				s.sm.Expansions.Inc()
 			}
 			n = child
 			depth++
 		}
-		if depth > s.stats.MaxDepth {
-			s.stats.MaxDepth = depth
+		if depth > tw.maxDepth {
+			tw.maxDepth = depth
 		}
 		// Simulation: roll out to termination with the configured policy
-		// (leaf-parallel when RolloutsPerExpansion > 1).
-		values, err := s.simulate(n, rng)
+		// (batched or leaf-parallel when RolloutsPerExpansion > 1).
+		values, err := tw.simulate(n, rng)
 		if err != nil {
 			return err
 		}
 		if !n.terminal() {
 			k := int64(len(values))
-			s.stats.Rollouts += k
+			tw.rollouts += k
 			s.sm.Rollouts.Add(k)
 		}
 		// Backpropagation: update max and mean up to the root.

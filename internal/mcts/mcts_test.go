@@ -231,7 +231,7 @@ func TestTerminalNodeBackpropagatesFullWeight(t *testing.T) {
 	const k = 4
 	s := New(Config{InitialBudget: 10, MinBudget: 2, RolloutsPerExpansion: k})
 	n := newNode(env, nil, 0)
-	values, err := s.simulate(n, rand.New(rand.NewSource(1)))
+	values, err := s.worker(0).simulate(n, rand.New(rand.NewSource(1)))
 	if err != nil {
 		t.Fatal(err)
 	}

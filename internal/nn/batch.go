@@ -1,0 +1,186 @@
+// Batched inference and backprop: the matrix-matrix counterpart of the
+// ForwardInto/ProbsInto/BackwardInto fast path. Evaluating W states per
+// network pass turns W weight-matrix streams into one — the weight row is
+// loaded once per row block instead of once per state — which is where the
+// repo's batched rollout and training paths get their throughput. Per-row
+// arithmetic (accumulation order included) is identical to the single-row
+// kernels, so batched and sequential results match bit for bit.
+package nn
+
+import "fmt"
+
+// batchRowBlock is the row-tile size of the blocked kernels: weight rows are
+// streamed once per block while the block's activations stay L1-resident.
+const batchRowBlock = 8
+
+// ensureBatch grows the scratch's batch buffers to hold at least rows rows.
+// Growth allocates; once sized, batch calls are allocation-free.
+func (n *Network) ensureBatch(s *Scratch, rows int) {
+	if s.brows >= rows {
+		return
+	}
+	if s.bacts == nil {
+		s.bacts = make([][]float64, len(n.sizes))
+	}
+	widest := 0
+	for l, size := range n.sizes {
+		s.bacts[l] = make([]float64, rows*size)
+		if size > widest {
+			widest = size
+		}
+	}
+	s.bprobs = make([]float64, rows*n.OutputSize())
+	s.bdeltaA = make([]float64, rows*widest)
+	s.bdeltaB = make([]float64, rows*widest)
+	s.brows = rows
+}
+
+// ForwardBatchInto computes logits for a row-major batch x (rows vectors of
+// InputSize each) into the scratch's batch buffers, returning the row-major
+// rows x OutputSize logits. The returned slice is owned by the scratch and
+// valid until its next batch call. Row r's result is bit-identical to
+// ForwardInto on x[r*in:(r+1)*in].
+func (n *Network) ForwardBatchInto(s *Scratch, x []float64, rows int) ([]float64, error) {
+	if rows < 1 {
+		return nil, fmt.Errorf("%w: batch of %d rows", ErrBadInput, rows)
+	}
+	in0 := n.sizes[0]
+	if len(x) != rows*in0 {
+		return nil, fmt.Errorf("%w: got %d values, want %d rows x %d", ErrBadInput, len(x), rows, in0)
+	}
+	if err := n.checkScratch(s); err != nil {
+		return nil, err
+	}
+	n.ensureBatch(s, rows)
+	copy(s.bacts[0][:rows*in0], x)
+	last := len(n.weights) - 1
+	for l, w := range n.weights {
+		in, out := n.sizes[l], n.sizes[l+1]
+		a, c := s.bacts[l], s.bacts[l+1]
+		relu := l != last
+		for r0 := 0; r0 < rows; r0 += batchRowBlock {
+			r1 := r0 + batchRowBlock
+			if r1 > rows {
+				r1 = rows
+			}
+			for j := 0; j < out; j++ {
+				row := w[j*in : (j+1)*in]
+				bj := n.biases[l][j]
+				for r := r0; r < r1; r++ {
+					ar := a[r*in : r*in+in]
+					sum := bj
+					for i, xi := range ar {
+						sum += row[i] * xi
+					}
+					if relu && sum < 0 {
+						sum = 0
+					}
+					c[r*out+j] = sum
+				}
+			}
+		}
+	}
+	return s.bacts[len(n.sizes)-1][:rows*n.OutputSize()], nil
+}
+
+// ProbsBatchInto is ForwardBatchInto followed by a masked softmax per row.
+// masks is row-major rows x OutputSize (nil allows every action in every
+// row). The returned row-major probabilities are owned by the scratch.
+func (n *Network) ProbsBatchInto(s *Scratch, x []float64, rows int, masks []bool) ([]float64, error) {
+	out := n.OutputSize()
+	if masks != nil && len(masks) != rows*out {
+		return nil, fmt.Errorf("%w: masks %d, want %d rows x %d", ErrBadInput, len(masks), rows, out)
+	}
+	logits, err := n.ForwardBatchInto(s, x, rows)
+	if err != nil {
+		return nil, err
+	}
+	probs := s.bprobs[:rows*out]
+	for r := 0; r < rows; r++ {
+		var mask []bool
+		if masks != nil {
+			mask = masks[r*out : (r+1)*out]
+		}
+		if _, err := SoftmaxInto(logits[r*out:(r+1)*out], mask, probs[r*out:(r+1)*out]); err != nil {
+			return nil, fmt.Errorf("row %d: %w", r, err)
+		}
+	}
+	return probs, nil
+}
+
+// BackwardBatchInto accumulates gradients for a whole batch given the
+// row-major dLogits (rows x OutputSize) and the activations of the scratch's
+// most recent ForwardBatchInto, which must have covered at least rows rows.
+// Contributions are accumulated in row order, so the result is bit-identical
+// to rows sequential BackwardInto calls, while each weight row is streamed
+// once per batch instead of once per sample.
+func (n *Network) BackwardBatchInto(s *Scratch, dLogits []float64, rows int, g *Grads) error {
+	out0 := n.OutputSize()
+	if rows < 1 || len(dLogits) != rows*out0 {
+		return fmt.Errorf("%w: dLogits %d, want %d rows x %d", ErrBadInput, len(dLogits), rows, out0)
+	}
+	if err := n.checkScratch(s); err != nil {
+		return err
+	}
+	if s.brows < rows {
+		return fmt.Errorf("%w: batch scratch holds %d rows, want %d (run ForwardBatchInto first)", ErrBadInput, s.brows, rows)
+	}
+	delta := s.bdeltaA[:rows*out0]
+	spare := s.bdeltaB
+	copy(delta, dLogits)
+	for l := len(n.weights) - 1; l >= 0; l-- {
+		in, out := n.sizes[l], n.sizes[l+1]
+		prev := s.bacts[l]
+		// Parameter gradients: for a fixed (j, i) the rows accumulate in
+		// ascending order, matching sequential per-sample backprop.
+		for j := 0; j < out; j++ {
+			grow := g.w[l][j*in : (j+1)*in]
+			for r := 0; r < rows; r++ {
+				dj := delta[r*out+j]
+				if dj == 0 {
+					continue
+				}
+				g.b[l][j] += dj
+				ar := prev[r*in : r*in+in]
+				for i, pi := range ar {
+					grow[i] += dj * pi
+				}
+			}
+		}
+		if l == 0 {
+			break
+		}
+		// Propagate the batch delta through W and the ReLU. For a fixed
+		// (r, i) the j contributions accumulate in ascending order.
+		next := spare[:rows*in]
+		for i := range next {
+			next[i] = 0
+		}
+		w := n.weights[l]
+		for j := 0; j < out; j++ {
+			row := w[j*in : (j+1)*in]
+			for r := 0; r < rows; r++ {
+				dj := delta[r*out+j]
+				if dj == 0 {
+					continue
+				}
+				nr := next[r*in : r*in+in]
+				for i := range nr {
+					nr[i] += dj * row[i]
+				}
+			}
+		}
+		for r := 0; r < rows; r++ {
+			ar := prev[r*in : r*in+in]
+			nr := next[r*in : r*in+in]
+			for i := range nr {
+				if ar[i] <= 0 { // ReLU derivative
+					nr[i] = 0
+				}
+			}
+		}
+		delta, spare = next, delta[:cap(delta)]
+	}
+	g.n += rows
+	return nil
+}

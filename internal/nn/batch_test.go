@@ -1,0 +1,209 @@
+package nn
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// randomBatch fills a row-major batch and per-row masks (one random masked
+// entry per row, never all masked).
+func randomBatch(rng *rand.Rand, rows, in, out int) (x []float64, masks []bool) {
+	x = make([]float64, rows*in)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	masks = make([]bool, rows*out)
+	for r := 0; r < rows; r++ {
+		for j := 0; j < out; j++ {
+			masks[r*out+j] = true
+		}
+		masks[r*out+rng.Intn(out)] = false
+	}
+	return x, masks
+}
+
+func TestForwardBatchIntoMatchesForwardInto(t *testing.T) {
+	n := newNet(t, 7, 12, 9, 5)
+	batchScratch := n.NewScratch()
+	rowScratch := n.NewScratch()
+	rng := rand.New(rand.NewSource(31))
+	for _, rows := range []int{1, 3, 8, 17} {
+		x, _ := randomBatch(rng, rows, 7, 5)
+		logits, err := n.ForwardBatchInto(batchScratch, x, rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(logits) != rows*5 {
+			t.Fatalf("rows=%d: got %d logits, want %d", rows, len(logits), rows*5)
+		}
+		for r := 0; r < rows; r++ {
+			want, err := n.ForwardInto(rowScratch, x[r*7:(r+1)*7])
+			if err != nil {
+				t.Fatal(err)
+			}
+			for j := range want {
+				// The batched kernel keeps the per-row accumulation order, so
+				// equality is exact, not approximate.
+				if logits[r*5+j] != want[j] {
+					t.Fatalf("rows=%d row %d logit %d: batch %g, single %g",
+						rows, r, j, logits[r*5+j], want[j])
+				}
+			}
+		}
+	}
+}
+
+func TestProbsBatchIntoMatchesProbsInto(t *testing.T) {
+	n := newNet(t, 6, 10, 4)
+	batchScratch := n.NewScratch()
+	rowScratch := n.NewScratch()
+	rng := rand.New(rand.NewSource(33))
+	const rows = 11
+	x, masks := randomBatch(rng, rows, 6, 4)
+	probs, err := n.ProbsBatchInto(batchScratch, x, rows, masks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < rows; r++ {
+		want, err := n.ProbsInto(rowScratch, x[r*6:(r+1)*6], masks[r*4:(r+1)*4])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range want {
+			if probs[r*4+j] != want[j] {
+				t.Fatalf("row %d prob %d: batch %g, single %g", r, j, probs[r*4+j], want[j])
+			}
+		}
+	}
+	// A nil mask set allows everything.
+	if _, err := n.ProbsBatchInto(batchScratch, x, rows, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBackwardBatchIntoMatchesSequential(t *testing.T) {
+	n := newNet(t, 5, 9, 7, 3)
+	batchScratch := n.NewScratch()
+	rowScratch := n.NewScratch()
+	rng := rand.New(rand.NewSource(35))
+	const rows = 9
+	x, masks := randomBatch(rng, rows, 5, 3)
+
+	// Sequential reference: forward + backward per row, rows in order.
+	want := n.NewGrads()
+	d := make([]float64, rows*3)
+	for r := 0; r < rows; r++ {
+		probs, err := n.ProbsInto(rowScratch, x[r*5:(r+1)*5], masks[r*3:(r+1)*3])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range probs {
+			d[r*3+j] = probs[j]
+		}
+		d[r*3] -= 1 // pretend action 0 was taken
+		if err := n.BackwardInto(rowScratch, d[r*3:(r+1)*3], want); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	got := n.NewGrads()
+	if _, err := n.ProbsBatchInto(batchScratch, x, rows, masks); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.BackwardBatchInto(batchScratch, d, rows, got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Samples() != want.Samples() {
+		t.Fatalf("samples: batch %d, sequential %d", got.Samples(), want.Samples())
+	}
+	for l := range want.w {
+		for i := range want.w[l] {
+			if got.w[l][i] != want.w[l][i] {
+				t.Fatalf("layer %d weight %d: batch %g, sequential %g", l, i, got.w[l][i], want.w[l][i])
+			}
+		}
+		for i := range want.b[l] {
+			if got.b[l][i] != want.b[l][i] {
+				t.Fatalf("layer %d bias %d: batch %g, sequential %g", l, i, got.b[l][i], want.b[l][i])
+			}
+		}
+	}
+}
+
+func TestBatchErrors(t *testing.T) {
+	n := newNet(t, 4, 6, 3)
+	s := n.NewScratch()
+	if _, err := n.ForwardBatchInto(s, make([]float64, 4), 0); !errors.Is(err, ErrBadInput) {
+		t.Errorf("zero rows err = %v", err)
+	}
+	if _, err := n.ForwardBatchInto(s, make([]float64, 7), 2); !errors.Is(err, ErrBadInput) {
+		t.Errorf("short batch err = %v", err)
+	}
+	if _, err := n.ProbsBatchInto(s, make([]float64, 8), 2, make([]bool, 3)); !errors.Is(err, ErrBadInput) {
+		t.Errorf("short masks err = %v", err)
+	}
+	// All-masked row surfaces ErrAllMasked with the row index.
+	masks := make([]bool, 2*3)
+	for j := 0; j < 3; j++ {
+		masks[j] = true
+	}
+	if _, err := n.ProbsBatchInto(s, make([]float64, 8), 2, masks); !errors.Is(err, ErrAllMasked) {
+		t.Errorf("all-masked row err = %v", err)
+	}
+	// Backward without a covering forward batch is rejected.
+	fresh := n.NewScratch()
+	if err := n.BackwardBatchInto(fresh, make([]float64, 6), 2, n.NewGrads()); !errors.Is(err, ErrBadInput) {
+		t.Errorf("no-forward backward err = %v", err)
+	}
+}
+
+// TestBatchZeroAllocs gates the batched-inference fast path: after the first
+// call sizes the batch buffers, forward, softmax and backward passes over a
+// batch must not touch the heap.
+func TestBatchZeroAllocs(t *testing.T) {
+	n := newNet(t, 10, 16, 8, 4)
+	s := n.NewScratch()
+	g := n.NewGrads()
+	const rows = 16
+	rng := rand.New(rand.NewSource(37))
+	x, masks := randomBatch(rng, rows, 10, 4)
+	d := make([]float64, rows*4)
+	d[0] = 1
+	if _, err := n.ProbsBatchInto(s, x, rows, masks); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := n.ForwardBatchInto(s, x, rows); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("ForwardBatchInto allocates %.1f times per run, want 0", allocs)
+	}
+	allocs = testing.AllocsPerRun(100, func() {
+		if _, err := n.ProbsBatchInto(s, x, rows, masks); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("ProbsBatchInto allocates %.1f times per run, want 0", allocs)
+	}
+	allocs = testing.AllocsPerRun(100, func() {
+		if err := n.BackwardBatchInto(s, d, rows, g); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("BackwardBatchInto allocates %.1f times per run, want 0", allocs)
+	}
+	// Smaller batches reuse the grown buffers without reallocating.
+	allocs = testing.AllocsPerRun(100, func() {
+		if _, err := n.ProbsBatchInto(s, x[:3*10], 3, masks[:3*4]); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("small batch after large allocates %.1f times per run, want 0", allocs)
+	}
+}

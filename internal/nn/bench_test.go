@@ -82,6 +82,71 @@ func BenchmarkProbsIntoMasked(b *testing.B) {
 	}
 }
 
+// BenchmarkForwardBatchInto measures the batched (matrix-matrix) forward
+// pass; divide ns/op by the row count to compare against BenchmarkForwardInto
+// (one GEMV per state).
+func BenchmarkForwardBatchInto(b *testing.B) {
+	n := paperNet(b)
+	s := n.NewScratch()
+	for _, rows := range []int{4, 16, 64} {
+		x := make([]float64, rows*n.InputSize())
+		r := rand.New(rand.NewSource(2))
+		for i := range x {
+			x[i] = r.Float64()
+		}
+		b.Run("rows="+itoa(rows), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := n.ForwardBatchInto(s, x, rows); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.N*rows)*1e9/float64(b.Elapsed().Nanoseconds()), "rows/s")
+		})
+	}
+}
+
+// BenchmarkBackwardBatchInto measures the batched gradient accumulation.
+func BenchmarkBackwardBatchInto(b *testing.B) {
+	n := paperNet(b)
+	s := n.NewScratch()
+	const rows = 16
+	x := make([]float64, rows*n.InputSize())
+	r := rand.New(rand.NewSource(2))
+	for i := range x {
+		x[i] = r.Float64()
+	}
+	if _, err := n.ForwardBatchInto(s, x, rows); err != nil {
+		b.Fatal(err)
+	}
+	d := make([]float64, rows*n.OutputSize())
+	for i := range d {
+		d[i] = r.NormFloat64()
+	}
+	g := n.NewGrads()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := n.BackwardBatchInto(s, d, rows, g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
 func BenchmarkBackward(b *testing.B) {
 	n := paperNet(b)
 	x := benchInput(n)

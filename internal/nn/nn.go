@@ -168,6 +168,16 @@ type Scratch struct {
 	// deltaA/deltaB are ping-pong backprop buffers sized to the widest layer.
 	deltaA []float64
 	deltaB []float64
+
+	// Batch buffers (ForwardBatchInto / ProbsBatchInto / BackwardBatchInto),
+	// grown on first use and whenever a larger batch arrives. bacts[l] holds
+	// the row-major rows x sizes[l] activations of layer l; bdeltaA/bdeltaB
+	// ping-pong the row-major batch deltas during backprop.
+	bacts   [][]float64
+	bprobs  []float64
+	bdeltaA []float64
+	bdeltaB []float64
+	brows   int // rows the batch buffers are currently sized for
 }
 
 // NewScratch allocates a scratch buffer set shaped like the network.

@@ -20,6 +20,9 @@ type SimMetrics struct {
 	SlotReuse *Counter
 	// SlotGrow counts cluster grid slots that had to be freshly allocated.
 	SlotGrow *Counter
+	// BatchRows counts states evaluated through a batched policy pass
+	// (lock-step rollouts): one increment per row per ChooseBatch call.
+	BatchRows *Counter
 }
 
 // NewSimMetrics registers the simulation metrics in r (a nil r gets a
@@ -35,6 +38,7 @@ func NewSimMetrics(r *Registry) *SimMetrics {
 		EnvCloneReuse: r.Counter("spear_sim_env_clone_reuse_total", "Episode clones that recycled a scratch env (pool reuse hits)"),
 		SlotReuse:     r.Counter("spear_cluster_slot_reuse_total", "Cluster grid slots recycled from the parked pool"),
 		SlotGrow:      r.Counter("spear_cluster_slot_grow_total", "Cluster grid slots freshly allocated"),
+		BatchRows:     r.Counter("spear_nn_batch_rows_total", "States evaluated through batched policy passes"),
 	}
 }
 
@@ -54,6 +58,12 @@ type SearchMetrics struct {
 	// TreeDepth is the maximum tree depth reached by the latest Schedule
 	// call (committed decisions + selection descent).
 	TreeDepth *Gauge
+	// RootWorkers is the root-parallelism degree of the latest Schedule call
+	// (independent search trees per decision).
+	RootWorkers *Gauge
+	// MergeConflicts counts root workers whose locally best action disagreed
+	// with the action chosen from the merged root statistics.
+	MergeConflicts *Counter
 	// SearchTime accumulates the wall-clock time of Schedule calls.
 	SearchTime *Timer
 }
@@ -65,13 +75,15 @@ func NewSearchMetrics(r *Registry) *SearchMetrics {
 		r = NewRegistry()
 	}
 	return &SearchMetrics{
-		Decisions:   r.Counter("spear_search_decisions_total", "Committed scheduling decisions"),
-		Iterations:  r.Counter("spear_search_iterations_total", "MCTS iterations (selection, expansion, simulation, backprop)"),
-		Expansions:  r.Counter("spear_search_expansions_total", "Nodes expanded into the search tree"),
-		Rollouts:    r.Counter("spear_search_rollouts_total", "Simulations played to termination"),
-		ForcedMoves: r.Counter("spear_search_forced_moves_total", "Single-legal-action decisions committed without search"),
-		TreeDepth:   r.Gauge("spear_search_tree_depth", "Maximum tree depth of the latest Schedule call"),
-		SearchTime:  r.Timer("spear_search_time", "Wall-clock time spent inside Schedule"),
+		Decisions:      r.Counter("spear_search_decisions_total", "Committed scheduling decisions"),
+		Iterations:     r.Counter("spear_search_iterations_total", "MCTS iterations (selection, expansion, simulation, backprop)"),
+		Expansions:     r.Counter("spear_search_expansions_total", "Nodes expanded into the search tree"),
+		Rollouts:       r.Counter("spear_search_rollouts_total", "Simulations played to termination"),
+		ForcedMoves:    r.Counter("spear_search_forced_moves_total", "Single-legal-action decisions committed without search"),
+		TreeDepth:      r.Gauge("spear_search_tree_depth", "Maximum tree depth of the latest Schedule call"),
+		RootWorkers:    r.Gauge("spear_mcts_root_workers", "Root-parallel search trees per decision of the latest Schedule call"),
+		MergeConflicts: r.Counter("spear_mcts_merge_conflicts_total", "Root workers whose local best action lost the merged root vote"),
+		SearchTime:     r.Timer("spear_search_time", "Wall-clock time spent inside Schedule"),
 	}
 }
 

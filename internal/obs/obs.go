@@ -245,6 +245,35 @@ func (r *Registry) Timer(name, help string) *Timer {
 	}).(*Timer)
 }
 
+// MergeSnapshots folds several snapshots into one, matching samples by
+// name: counters sum, gauges keep the maximum. It exists for workloads that
+// run components on private registries (e.g. parallel experiment cells) and
+// want one aggregate exposition at the end. Sample order follows the
+// combined sorted name set.
+func MergeSnapshots(snaps ...Snapshot) Snapshot {
+	index := make(map[string]int)
+	var out Snapshot
+	for _, snap := range snaps {
+		for _, smp := range snap {
+			i, ok := index[smp.Name]
+			if !ok {
+				index[smp.Name] = len(out)
+				out = append(out, smp)
+				continue
+			}
+			if smp.Type == "gauge" {
+				if smp.Value > out[i].Value {
+					out[i].Value = smp.Value
+				}
+			} else {
+				out[i].Value += smp.Value
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
 // Snapshot renders every registered metric, sorted by sample name.
 func (r *Registry) Snapshot() Snapshot {
 	r.mu.Lock()

@@ -178,3 +178,27 @@ func TestUpdatesDoNotAllocate(t *testing.T) {
 		t.Errorf("metric updates allocate %.1f times per run, want 0", allocs)
 	}
 }
+
+func TestMergeSnapshots(t *testing.T) {
+	mk := func(iters, depth int64) Snapshot {
+		r := NewRegistry()
+		r.Counter("spear_m_iters_total", "iterations").Add(iters)
+		r.Gauge("spear_m_depth", "depth").Set(depth)
+		return r.Snapshot()
+	}
+	merged := MergeSnapshots(mk(10, 3), mk(5, 7), mk(1, 2))
+	if v, ok := merged.Value("spear_m_iters_total"); !ok || v != 16 {
+		t.Errorf("merged counter = %v (ok=%v), want 16", v, ok)
+	}
+	if v, ok := merged.Value("spear_m_depth"); !ok || v != 7 {
+		t.Errorf("merged gauge = %v (ok=%v), want max 7", v, ok)
+	}
+	// Disjoint names pass through; empty input merges to empty.
+	other := Snapshot{{Name: "spear_m_only", Type: "counter", Value: 2}}
+	if got := MergeSnapshots(mk(1, 1), other); len(got) != 3 {
+		t.Errorf("disjoint merge has %d samples, want 3", len(got))
+	}
+	if got := MergeSnapshots(); len(got) != 0 {
+		t.Errorf("empty merge has %d samples", len(got))
+	}
+}

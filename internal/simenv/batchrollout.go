@@ -1,0 +1,138 @@
+package simenv
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// BatchPolicyContext is an opaque bundle of per-goroutine batch buffers
+// owned by a policy that implements BatchPolicy.
+type BatchPolicyContext interface{}
+
+// BatchPolicy is an optional Policy extension: ChooseBatch picks actions for
+// several independent episodes in one evaluation — for a neural policy, one
+// batched matrix-matrix network pass instead of one matrix-vector pass per
+// episode. For every row the choice must equal what Choose would pick given
+// the same state and rng, so batched and sequential rollouts are
+// interchangeable bit for bit.
+type BatchPolicy interface {
+	Policy
+	// NewBatchContext allocates private buffers for batches of up to maxRows
+	// episodes. A context is never shared across goroutines.
+	NewBatchContext(maxRows int) BatchPolicyContext
+	// ChooseBatch writes one action per episode into out: out[i] is the
+	// choice for envs[i] given legal[i] and rngs[i]. All slices have equal
+	// length, at most the maxRows of ctx. legal rows are never empty and
+	// must not be modified or retained.
+	ChooseBatch(ctx BatchPolicyContext, envs []*Env, legal [][]Action, rngs []*rand.Rand, out []Action) error
+}
+
+// lane is one episode of a lock-step batch: its scratch env (recycled across
+// batches — the per-worker clone pool), legal-action buffer and private rng.
+type lane struct {
+	env   *Env
+	legal []Action
+	src   rand.Source
+	rng   *rand.Rand
+}
+
+// BatchRolloutContext owns the reusable per-goroutine state of lock-step
+// batched rollouts: a pool of per-lane scratch episodes, the policy's batch
+// context and the gather buffers handed to ChooseBatch. One goroutine plays
+// k episodes simultaneously, advancing every live episode by one step per
+// batched policy evaluation; finished episodes drop out of the batch. It is
+// not safe for concurrent use — give every worker its own.
+type BatchRolloutContext struct {
+	policy BatchPolicy
+	pctx   BatchPolicyContext
+	lanes  []*lane
+
+	// Gather buffers for the live rows of one lock-step round.
+	envs  []*Env
+	legal [][]Action
+	rngs  []*rand.Rand
+	out   []Action
+	live  []int // lane index per gathered row
+}
+
+// NewBatchRolloutContext returns a batch rollout context for simulations
+// played by p in batches of up to maxRows episodes.
+func NewBatchRolloutContext(p BatchPolicy, maxRows int) *BatchRolloutContext {
+	if maxRows < 1 {
+		maxRows = 1
+	}
+	return &BatchRolloutContext{policy: p, pctx: p.NewBatchContext(maxRows)}
+}
+
+// lane returns lane i, growing the pool as needed.
+func (bc *BatchRolloutContext) lane(i int) *lane {
+	for len(bc.lanes) <= i {
+		src := rand.NewSource(0)
+		bc.lanes = append(bc.lanes, &lane{src: src, rng: rand.New(src)})
+	}
+	return bc.lanes[i]
+}
+
+// RolloutsFrom plays len(seeds) episodes from base to termination, episode i
+// seeded with seeds[i], and writes the resulting makespans (makespans must
+// have the same length as seeds). base is not modified. Episode i's result
+// is identical to RolloutFrom(base, rand.New(rand.NewSource(seeds[i]))) with
+// the same policy: lock-stepping changes only how many states share one
+// policy evaluation, not any episode's action sequence.
+func (bc *BatchRolloutContext) RolloutsFrom(base *Env, seeds []int64, makespans []int64) error {
+	k := len(seeds)
+	if len(makespans) != k {
+		return fmt.Errorf("simenv: %d seeds but %d makespan slots", k, len(makespans))
+	}
+	m := base.cfg.Metrics
+	for i := 0; i < k; i++ {
+		ln := bc.lane(i)
+		ln.env = base.CloneInto(ln.env)
+		ln.src.Seed(seeds[i])
+	}
+	if cap(bc.live) < k {
+		bc.envs = make([]*Env, k)
+		bc.legal = make([][]Action, k)
+		bc.rngs = make([]*rand.Rand, k)
+		bc.out = make([]Action, k)
+		bc.live = make([]int, k)
+	}
+	live := bc.live[:0]
+	for i := 0; i < k; i++ {
+		live = append(live, i)
+	}
+	for len(live) > 0 {
+		rows := 0
+		for _, i := range live {
+			ln := bc.lanes[i]
+			ln.legal = ln.env.LegalActionsInto(ln.legal[:0])
+			if len(ln.legal) == 0 {
+				return fmt.Errorf("simenv: no legal actions with %d/%d tasks done", ln.env.done, ln.env.g.NumTasks())
+			}
+			bc.envs[rows] = ln.env
+			bc.legal[rows] = ln.legal
+			bc.rngs[rows] = ln.rng
+			rows++
+		}
+		if err := bc.policy.ChooseBatch(bc.pctx, bc.envs[:rows], bc.legal[:rows], bc.rngs[:rows], bc.out[:rows]); err != nil {
+			return err
+		}
+		if m != nil {
+			m.BatchRows.Add(int64(rows))
+		}
+		next := live[:0]
+		for row, i := range live {
+			ln := bc.lanes[i]
+			if err := ln.env.Step(bc.out[row]); err != nil {
+				return err
+			}
+			if ln.env.Done() {
+				makespans[i] = ln.env.Makespan()
+			} else {
+				next = append(next, i)
+			}
+		}
+		live = next
+	}
+	return nil
+}

@@ -88,8 +88,9 @@ type (
 	AnnealingScheduler = anneal.Scheduler
 
 	// SearchStats reports what one MCTS/Spear Schedule call did: decisions,
-	// iterations, expansions, rollouts, forced moves, tree depth, elapsed
-	// wall-clock and simulations per second.
+	// iterations, expansions, rollouts, forced moves, tree depth, root
+	// workers, merge conflicts, elapsed wall-clock and simulations per
+	// second.
 	SearchStats = mcts.Stats
 	// TrainStats summarizes an instrumented training run.
 	TrainStats = obs.TrainStats
@@ -116,7 +117,7 @@ type (
 	EpochStats = drl.EpochStats
 
 	// SpearConfig parameterizes the Spear scheduler (search budgets, rollout
-	// mode, seed).
+	// mode, root parallelism, seed).
 	SpearConfig = core.Config
 	// MCTSConfig parameterizes the pure MCTS scheduler.
 	MCTSConfig = mcts.Config
