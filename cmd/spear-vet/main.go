@@ -1,0 +1,69 @@
+// Command spear-vet runs the repository's custom static analysis (package
+// internal/lint) over the given package patterns and reports file:line:col
+// diagnostics for every violated invariant: determinism, zero-allocation
+// fast paths, metrics naming and float equality.
+//
+// Usage:
+//
+//	go run ./cmd/spear-vet [-json] [packages]
+//
+// Patterns follow the go tool's convention ("./...", "internal/mcts",
+// "internal/..."); no patterns means "./...". Exit status: 0 when clean,
+// 1 when findings were reported, 2 when a package failed to load or
+// type-check.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"spear/internal/lint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array on stdout")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: spear-vet [-json] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	os.Exit(run(".", flag.Args(), *jsonOut, os.Stdout, os.Stderr))
+}
+
+// run resolves the patterns against base, analyzes the packages and reports
+// the diagnostics, returning the process exit code: 0 clean, 1 findings,
+// 2 load or type-check failure.
+func run(base string, patterns []string, jsonOut bool, stdout, stderr io.Writer) int {
+	dirs, err := lint.ExpandPatterns(base, patterns)
+	if err != nil {
+		fmt.Fprintf(stderr, "spear-vet: %v\n", err)
+		return 2
+	}
+	diags, err := lint.AnalyzeDirs(dirs, lint.Config{})
+	if err != nil {
+		fmt.Fprintf(stderr, "spear-vet: %v\n", err)
+		return 2
+	}
+	if jsonOut {
+		if diags == nil {
+			diags = []lint.Diagnostic{} // render [] rather than null
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintf(stderr, "spear-vet: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+		}
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"spear/internal/lint"
+)
+
+// moduleRoot lets the tests resolve patterns exactly like a repo-root
+// invocation would.
+const moduleRoot = "../.."
+
+func TestRunCleanExitsZero(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run(moduleRoot, []string{"internal/obs"}, false, &out, &errOut); code != 0 {
+		t.Fatalf("exit = %d, want 0; stdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("clean run printed diagnostics:\n%s", out.String())
+	}
+}
+
+func TestRunFindingsExitOne(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run(moduleRoot, []string{"internal/lint/testdata/src/floateq"}, false, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr:\n%s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "[floateq]") {
+		t.Errorf("stdout missing [floateq] diagnostics:\n%s", out.String())
+	}
+}
+
+func TestRunLoadErrorExitTwo(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run(moduleRoot, []string{"internal/lint/testdata/src/broken"}, false, &out, &errOut)
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2; stdout:\n%s", code, out.String())
+	}
+	if !strings.Contains(errOut.String(), "spear-vet:") {
+		t.Errorf("stderr missing load error:\n%s", errOut.String())
+	}
+}
+
+func TestRunJSONFindings(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run(moduleRoot, []string{"internal/lint/testdata/src/floateq"}, true, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr:\n%s", code, errOut.String())
+	}
+	var diags []lint.Diagnostic
+	if err := json.Unmarshal(out.Bytes(), &diags); err != nil {
+		t.Fatalf("stdout is not a JSON diagnostic array: %v\n%s", err, out.String())
+	}
+	if len(diags) == 0 {
+		t.Fatal("JSON array is empty, want findings")
+	}
+	for _, d := range diags {
+		if d.File == "" || d.Line == 0 || d.Check == "" || d.Message == "" {
+			t.Errorf("incomplete diagnostic: %+v", d)
+		}
+	}
+}
+
+func TestRunJSONCleanIsEmptyArray(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run(moduleRoot, []string{"internal/obs"}, true, &out, &errOut); code != 0 {
+		t.Fatalf("exit = %d, want 0; stderr:\n%s", code, errOut.String())
+	}
+	if got := strings.TrimSpace(out.String()); got != "[]" {
+		t.Errorf("clean -json output = %q, want []", got)
+	}
+}

@@ -108,6 +108,10 @@ func (s *Space) CapacityDim(d int) int64 { return s.capacity[d] }
 // Growth within the slice's capacity recycles the vectors parked there by
 // Advance (zeroing them) instead of allocating, so a warm space places
 // tasks without touching the heap.
+//
+// two cold growth paths allocate inside replaceSlot/appendSlot.
+//
+//spear:noalloc — the recycle path only zeroes a parked vector in place; the
 func (s *Space) slot(t int64) int {
 	i := t - s.origin
 	for int64(len(s.used)) <= i {
@@ -121,19 +125,29 @@ func (s *Space) slot(t int64) int {
 					s.slotReuse.Inc()
 				}
 			} else {
-				s.used[n] = resource.New(s.capacity.Dims())
-				if s.slotGrow != nil {
-					s.slotGrow.Inc()
-				}
+				s.replaceSlot(n)
 			}
 		} else {
-			s.used = append(s.used, resource.New(s.capacity.Dims()))
-			if s.slotGrow != nil {
-				s.slotGrow.Inc()
-			}
+			s.appendSlot()
 		}
 	}
 	return int(i)
+}
+
+// replaceSlot swaps a parked header of the wrong shape for a fresh vector.
+func (s *Space) replaceSlot(n int) {
+	s.used[n] = resource.New(s.capacity.Dims())
+	if s.slotGrow != nil {
+		s.slotGrow.Inc()
+	}
+}
+
+// appendSlot extends the grid past its capacity with a fresh vector.
+func (s *Space) appendSlot() {
+	s.used = append(s.used, resource.New(s.capacity.Dims()))
+	if s.slotGrow != nil {
+		s.slotGrow.Inc()
+	}
 }
 
 // UsedAt returns a copy of the occupancy at absolute time t. Times before

@@ -102,6 +102,10 @@ type trajectory struct {
 
 // Train runs REINFORCE over the example jobs and returns the learning
 // curve. The progress callback (may be nil) fires after every epoch.
+//
+// only; no training decision depends on the clock.
+//
+//spear:timing — time.Now feeds the phase timers (sample/backprop/apply)
 func Train(net *nn.Network, feat Features, jobs []*dag.Graph, capacity resource.Vector, cfg TrainConfig, rng *rand.Rand, progress func(EpochStats)) ([]EpochStats, error) {
 	cfg = cfg.normalized()
 	if net == nil {
@@ -430,7 +434,9 @@ func backpropTrajectory(net *nn.Network, tr trajectory, baseline []float64, grad
 			st := tr.steps[t]
 			advantage := float64(st.now-tr.makespan) - baseline[t]
 			t++
-			if advantage == 0 && entropyBonus == 0 {
+			// Exact-zero tests: only a bit-exact zero contributes nothing to
+			// the backward pass, and the skip must not change gradients.
+			if advantage == 0 && entropyBonus == 0 { //spear:floateq
 				// Zero-gradient step: the backward pass would add nothing, but
 				// the step is still a sample of the batch. Count it so that
 				// Apply's 1/n scaling averages over the true batch size instead

@@ -1,0 +1,193 @@
+package lint
+
+import (
+	"errors"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// wantPattern matches the expected-diagnostic comments of the golden files:
+// `// want "substring"`.
+var wantPattern = regexp.MustCompile(`want "([^"]*)"`)
+
+// loadWants scans every non-test .go file of dir for want comments and
+// returns them keyed by "basename:line".
+func loadWants(t *testing.T, dir string) map[string][]string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := make(map[string][]string)
+	fset := token.NewFileSet()
+	for _, ent := range entries {
+		name := ent.Name()
+		if ent.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, group := range f.Comments {
+			for _, c := range group.List {
+				for _, m := range wantPattern.FindAllStringSubmatch(c.Text, -1) {
+					key := name + ":" + strconv.Itoa(fset.Position(c.Pos()).Line)
+					wants[key] = append(wants[key], m[1])
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// runGolden analyzes one testdata package and requires an exact two-way match
+// between its diagnostics and its want comments.
+func runGolden(t *testing.T, pkg string, cfg Config) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", pkg)
+	wants := loadWants(t, dir)
+	diags, err := AnalyzeDirs([]string{dir}, cfg)
+	if err != nil {
+		t.Fatalf("AnalyzeDirs(%s): %v", dir, err)
+	}
+	for _, d := range diags {
+		key := filepath.Base(d.File) + ":" + strconv.Itoa(d.Line)
+		matched := -1
+		for i, substr := range wants[key] {
+			if strings.Contains(d.Message, substr) {
+				matched = i
+				break
+			}
+		}
+		if matched < 0 {
+			t.Errorf("unexpected diagnostic: %s", d)
+			continue
+		}
+		wants[key] = append(wants[key][:matched], wants[key][matched+1:]...)
+		if len(wants[key]) == 0 {
+			delete(wants, key)
+		}
+	}
+	for key, substrs := range wants {
+		for _, substr := range substrs {
+			t.Errorf("missing diagnostic at %s matching %q", key, substr)
+		}
+	}
+}
+
+func TestGoldenDeterminism(t *testing.T) {
+	// The testdata package is not on the default deterministic list; opt it in.
+	runGolden(t, "determinism", Config{
+		Deterministic: []string{"internal/lint/testdata/src/determinism"},
+	})
+}
+
+func TestGoldenNoalloc(t *testing.T) {
+	runGolden(t, "noalloc", Config{})
+}
+
+func TestGoldenMetrics(t *testing.T) {
+	runGolden(t, "metrics", Config{})
+}
+
+func TestGoldenFloatEq(t *testing.T) {
+	runGolden(t, "floateq", Config{})
+}
+
+// TestLoadErrorOnTypeError asserts a package that fails type-checking
+// surfaces as a LoadError (spear-vet exit 2), never as findings.
+func TestLoadErrorOnTypeError(t *testing.T) {
+	dir := filepath.Join("testdata", "src", "broken")
+	diags, err := AnalyzeDirs([]string{dir}, Config{})
+	if err == nil {
+		t.Fatalf("AnalyzeDirs(%s) = %d diagnostics, want load error", dir, len(diags))
+	}
+	var le *LoadError
+	if !errors.As(err, &le) {
+		t.Fatalf("AnalyzeDirs(%s) error = %T (%v), want *LoadError", dir, err, err)
+	}
+	if !strings.Contains(le.Path, "broken") {
+		t.Errorf("LoadError.Path = %q, want the broken package path", le.Path)
+	}
+}
+
+// TestRepositoryClean runs the analyzer over the whole module with the
+// default configuration, exactly like `spear-vet ./...` in CI: the checked-in
+// tree must produce zero findings.
+func TestRepositoryClean(t *testing.T) {
+	root, _, err := findModule(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs, err := ExpandPatterns(root, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirs) == 0 {
+		t.Fatal("ExpandPatterns found no packages")
+	}
+	diags, err := AnalyzeDirs(dirs, Config{})
+	if err != nil {
+		t.Fatalf("AnalyzeDirs: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}
+
+// TestExpandPatternsSkipsTestdata asserts the golden packages (which contain
+// deliberate violations) never leak into a ./... run.
+func TestExpandPatternsSkipsTestdata(t *testing.T) {
+	root, _, err := findModule(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs, err := ExpandPatterns(root, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dir := range dirs {
+		if strings.Contains(dir, "testdata") {
+			t.Errorf("ExpandPatterns included %s", dir)
+		}
+	}
+}
+
+// TestCarriesMarker pins down the annotation grammar: a marker must open the
+// comment's content; prose that mentions a marker mid-sentence annotates
+// nothing.
+func TestCarriesMarker(t *testing.T) {
+	cases := []struct {
+		line string
+		want bool
+	}{
+		{"//spear:noalloc", true},
+		{"// spear:noalloc — growth happens elsewhere", true},
+		{"//spear:noalloc — trailing prose", true},
+		{"// helpers for the //spear:noalloc kernels", false},
+		{"// spear:noallocX", true}, // prefix match; suffix text is prose
+		{"// nothing here", false},
+	}
+	for _, c := range cases {
+		if got := carriesMarker(c.line, MarkerNoalloc); got != c.want {
+			t.Errorf("carriesMarker(%q) = %v, want %v", c.line, got, c.want)
+		}
+	}
+}
+
+// TestDiagnosticString pins the file:line:col rendering the CI log and
+// editors rely on.
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{File: "internal/x/x.go", Line: 3, Col: 7, Check: "noalloc", Message: "make in //spear:noalloc function"}
+	want := "internal/x/x.go:3:7: [noalloc] make in //spear:noalloc function"
+	if d.String() != want {
+		t.Errorf("String() = %q, want %q", d.String(), want)
+	}
+}

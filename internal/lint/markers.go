@@ -1,0 +1,82 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Marker comments recognized by the checks. A marker applies to a function
+// when it appears in (or immediately above) the function's doc comment, and
+// to a statement or expression when it appears on the same line or the line
+// directly above.
+const (
+	MarkerNoalloc = "spear:noalloc"
+	MarkerTiming  = "spear:timing"
+	MarkerSorted  = "spear:sorted"
+	MarkerFloatEq = "spear:floateq"
+)
+
+// markerIndex records, per marker, the source lines of one file that carry it.
+type markerIndex struct {
+	lines map[string]map[int]bool
+}
+
+// carriesMarker reports whether one line of comment text is a marker
+// annotation: the marker must open the comment's content, so prose that
+// merely mentions "//spear:noalloc" mid-sentence does not annotate anything.
+func carriesMarker(line, marker string) bool {
+	line = strings.TrimSpace(line)
+	line = strings.TrimPrefix(line, "//")
+	line = strings.TrimPrefix(line, "/*")
+	line = strings.TrimSpace(line)
+	return strings.HasPrefix(line, marker)
+}
+
+// indexMarkers scans every comment of the file for marker occurrences.
+func indexMarkers(fset *token.FileSet, file *ast.File) *markerIndex {
+	idx := &markerIndex{lines: make(map[string]map[int]bool)}
+	for _, group := range file.Comments {
+		for _, c := range group.List {
+			start := fset.Position(c.Pos()).Line
+			for i, text := range strings.Split(c.Text, "\n") {
+				for _, m := range []string{MarkerNoalloc, MarkerTiming, MarkerSorted, MarkerFloatEq} {
+					if !carriesMarker(text, m) {
+						continue
+					}
+					if idx.lines[m] == nil {
+						idx.lines[m] = make(map[int]bool)
+					}
+					idx.lines[m][start+i] = true
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// at reports whether the marker annotates the source position: same line or
+// the line directly above (a standalone marker comment).
+func (idx *markerIndex) at(fset *token.FileSet, pos token.Pos, marker string) bool {
+	lines := idx.lines[marker]
+	if lines == nil {
+		return false
+	}
+	line := fset.Position(pos).Line
+	return lines[line] || lines[line-1]
+}
+
+// onFunc reports whether the marker annotates the function declaration: in
+// its doc comment, or on the line directly above the declaration.
+func (idx *markerIndex) onFunc(fset *token.FileSet, fd *ast.FuncDecl, marker string) bool {
+	if fd.Doc != nil {
+		for _, c := range fd.Doc.List {
+			for _, text := range strings.Split(c.Text, "\n") {
+				if carriesMarker(text, marker) {
+					return true
+				}
+			}
+		}
+	}
+	return idx.at(fset, fd.Pos(), marker)
+}

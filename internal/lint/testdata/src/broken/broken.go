@@ -1,0 +1,8 @@
+// Package broken fails to type-check on purpose: spear-vet must turn this
+// into a load error (exit 2), never into findings.
+package broken
+
+// Broken references an identifier that does not exist.
+func Broken() int {
+	return undefinedIdentifier
+}

@@ -1,0 +1,30 @@
+// Package floateq is spear-vet golden-test input for the float-comparison
+// check.
+package floateq
+
+// Equal compares float64 operands exactly without a marker.
+func Equal(a, b float64) bool {
+	return a == b // want "== on float operands"
+}
+
+// NotEqual compares float32 operands exactly without a marker.
+func NotEqual(a, b float32) bool {
+	return a != b // want "!= on float operands"
+}
+
+// Sentinel is annotated in place: zero is an exact sentinel, not a
+// measurement, so bit equality is intended.
+func Sentinel(v float64) bool {
+	return v == 0 //spear:floateq
+}
+
+// SentinelAbove carries the marker on the line above the comparison.
+func SentinelAbove(v float64) bool {
+	//spear:floateq — unset slots are exactly zero.
+	return v == 0
+}
+
+// Ints pass: the rule only fires when an operand is floating point.
+func Ints(a, b int) bool {
+	return a == b
+}

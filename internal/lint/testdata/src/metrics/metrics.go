@@ -1,0 +1,27 @@
+// Package metrics is spear-vet golden-test input for the metric-naming
+// check, registering against the real obs.Registry API.
+package metrics
+
+import "spear/internal/obs"
+
+// Register exercises the naming rules.
+func Register(r *obs.Registry) {
+	r.Counter("spear_good_events_total", "well-formed counter")
+	r.Counter("spear_bad_events", "counter missing its suffix") // want "must end in _total"
+	r.Gauge("spear_queue_depth", "well-formed gauge")
+	r.Gauge("SpearBadName", "wrong naming scheme")             // want "does not match"
+	r.Float("spear-bad-name", "dashes instead of underscores") // want "does not match"
+	r.Timer("spear_step_seconds", "well-formed timer")
+}
+
+// RegisterAgain re-registers a name from a second call site; obs silently
+// returns the first metric, which is almost always an accident.
+func RegisterAgain(r *obs.Registry) {
+	r.Counter("spear_good_events_total", "same name, different site") // want "already registered"
+}
+
+// RegisterDynamic builds the name at runtime: non-literal names are out of
+// the naming check's scope.
+func RegisterDynamic(r *obs.Registry, name string) {
+	r.Gauge(name, "dynamic name")
+}

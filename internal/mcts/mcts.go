@@ -301,8 +301,10 @@ func (n *node) ucb(c float64) float64 {
 // better reports whether n is a strictly better committed move than m,
 // using max value with mean tiebreak (§IV). Zero-visit nodes carry
 // max = -Inf and mean() = -Inf, so they can never beat a visited sibling.
+// The exact comparison is deliberate: values are negated integer makespans,
+// so equal maxes are bit-equal and only then may the mean break the tie.
 func (n *node) better(m *node) bool {
-	if n.max != m.max {
+	if n.max != m.max { //spear:floateq
 		return n.max > m.max
 	}
 	return n.mean() > m.mean()
@@ -324,9 +326,10 @@ func (r rootStat) mean() float64 {
 	return r.sum / float64(r.visits)
 }
 
-// betterStat is the committed-move rule of node.better over merged stats.
+// betterStat is the committed-move rule of node.better over merged stats,
+// with the same deliberate exact max comparison.
 func betterStat(a, b rootStat) bool {
-	if a.max != b.max {
+	if a.max != b.max { //spear:floateq
 		return a.max > b.max
 	}
 	return a.mean() > b.mean()
@@ -420,6 +423,10 @@ func (s *Scheduler) Schedule(g *dag.Graph, capacity resource.Vector) (*sched.Sch
 // search stops within one iteration, the partially committed episode is
 // completed with the rollout policy, and the resulting incumbent schedule
 // is returned together with an error wrapping ctx.Err().
+//
+// timer only; the search itself is driven by the seeded worker rngs.
+//
+//spear:timing — the clock feeds Stats.Elapsed/SimsPerSec and the SearchTime
 func (s *Scheduler) ScheduleContext(ctx context.Context, g *dag.Graph, capacity resource.Vector) (*sched.Schedule, error) {
 	began := time.Now()
 	K := s.cfg.RootParallelism
@@ -649,6 +656,8 @@ func (s *Scheduler) mergeAndChoose(legal []simenv.Action) (simenv.Action, bool) 
 // far is played to termination with the rollout policy, yielding the best
 // incumbent schedule reachable without further search, and the schedule is
 // returned together with an error wrapping ctx.Err().
+//
+//spear:timing — stamps the incumbent's Elapsed.
 func (s *Scheduler) finishCancelled(ctx context.Context, root *node, rng *rand.Rand, began time.Time) (*sched.Schedule, error) {
 	s.stats.Cancelled = true
 	e := root.env.Clone()

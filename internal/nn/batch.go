@@ -35,18 +35,48 @@ func (n *Network) ensureBatch(s *Scratch, rows int) {
 	s.brows = rows
 }
 
+// Cold-path error constructors for the //spear:noalloc batch kernels, where
+// fmt is forbidden.
+func errBatchSize(rows int) error {
+	return fmt.Errorf("%w: batch of %d rows", ErrBadInput, rows)
+}
+
+func errBatchValues(got, rows, in int) error {
+	return fmt.Errorf("%w: got %d values, want %d rows x %d", ErrBadInput, got, rows, in)
+}
+
+func errBatchMasks(got, rows, out int) error {
+	return fmt.Errorf("%w: masks %d, want %d rows x %d", ErrBadInput, got, rows, out)
+}
+
+func errBatchRow(r int, err error) error {
+	return fmt.Errorf("row %d: %w", r, err)
+}
+
+func errBatchDLogits(got, rows, out int) error {
+	return fmt.Errorf("%w: dLogits %d, want %d rows x %d", ErrBadInput, got, rows, out)
+}
+
+func errBatchCold(have, want int) error {
+	return fmt.Errorf("%w: batch scratch holds %d rows, want %d (run ForwardBatchInto first)", ErrBadInput, have, want)
+}
+
 // ForwardBatchInto computes logits for a row-major batch x (rows vectors of
 // InputSize each) into the scratch's batch buffers, returning the row-major
 // rows x OutputSize logits. The returned slice is owned by the scratch and
 // valid until its next batch call. Row r's result is bit-identical to
 // ForwardInto on x[r*in:(r+1)*in].
+//
+// warm this kernel never touches the heap.
+//
+//spear:noalloc — buffer growth happens in ensureBatch; once the scratch is
 func (n *Network) ForwardBatchInto(s *Scratch, x []float64, rows int) ([]float64, error) {
 	if rows < 1 {
-		return nil, fmt.Errorf("%w: batch of %d rows", ErrBadInput, rows)
+		return nil, errBatchSize(rows)
 	}
 	in0 := n.sizes[0]
 	if len(x) != rows*in0 {
-		return nil, fmt.Errorf("%w: got %d values, want %d rows x %d", ErrBadInput, len(x), rows, in0)
+		return nil, errBatchValues(len(x), rows, in0)
 	}
 	if err := n.checkScratch(s); err != nil {
 		return nil, err
@@ -86,10 +116,12 @@ func (n *Network) ForwardBatchInto(s *Scratch, x []float64, rows int) ([]float64
 // ProbsBatchInto is ForwardBatchInto followed by a masked softmax per row.
 // masks is row-major rows x OutputSize (nil allows every action in every
 // row). The returned row-major probabilities are owned by the scratch.
+//
+//spear:noalloc
 func (n *Network) ProbsBatchInto(s *Scratch, x []float64, rows int, masks []bool) ([]float64, error) {
 	out := n.OutputSize()
 	if masks != nil && len(masks) != rows*out {
-		return nil, fmt.Errorf("%w: masks %d, want %d rows x %d", ErrBadInput, len(masks), rows, out)
+		return nil, errBatchMasks(len(masks), rows, out)
 	}
 	logits, err := n.ForwardBatchInto(s, x, rows)
 	if err != nil {
@@ -102,7 +134,7 @@ func (n *Network) ProbsBatchInto(s *Scratch, x []float64, rows int, masks []bool
 			mask = masks[r*out : (r+1)*out]
 		}
 		if _, err := SoftmaxInto(logits[r*out:(r+1)*out], mask, probs[r*out:(r+1)*out]); err != nil {
-			return nil, fmt.Errorf("row %d: %w", r, err)
+			return nil, errBatchRow(r, err)
 		}
 	}
 	return probs, nil
@@ -114,16 +146,18 @@ func (n *Network) ProbsBatchInto(s *Scratch, x []float64, rows int, masks []bool
 // Contributions are accumulated in row order, so the result is bit-identical
 // to rows sequential BackwardInto calls, while each weight row is streamed
 // once per batch instead of once per sample.
+//
+//spear:noalloc
 func (n *Network) BackwardBatchInto(s *Scratch, dLogits []float64, rows int, g *Grads) error {
 	out0 := n.OutputSize()
 	if rows < 1 || len(dLogits) != rows*out0 {
-		return fmt.Errorf("%w: dLogits %d, want %d rows x %d", ErrBadInput, len(dLogits), rows, out0)
+		return errBatchDLogits(len(dLogits), rows, out0)
 	}
 	if err := n.checkScratch(s); err != nil {
 		return err
 	}
 	if s.brows < rows {
-		return fmt.Errorf("%w: batch scratch holds %d rows, want %d (run ForwardBatchInto first)", ErrBadInput, s.brows, rows)
+		return errBatchCold(s.brows, rows)
 	}
 	delta := s.bdeltaA[:rows*out0]
 	spare := s.bdeltaB
@@ -137,7 +171,8 @@ func (n *Network) BackwardBatchInto(s *Scratch, dLogits []float64, rows int, g *
 			grow := g.w[l][j*in : (j+1)*in]
 			for r := 0; r < rows; r++ {
 				dj := delta[r*out+j]
-				if dj == 0 {
+				// Exact zero: skipping it cannot change the accumulated sums.
+				if dj == 0 { //spear:floateq
 					continue
 				}
 				g.b[l][j] += dj
@@ -161,7 +196,8 @@ func (n *Network) BackwardBatchInto(s *Scratch, dLogits []float64, rows int, g *
 			row := w[j*in : (j+1)*in]
 			for r := 0; r < rows; r++ {
 				dj := delta[r*out+j]
-				if dj == 0 {
+				// Exact zero: a zero delta propagates nothing backwards.
+				if dj == 0 { //spear:floateq
 					continue
 				}
 				nr := next[r*in : r*in+in]

@@ -212,13 +212,25 @@ func (n *Network) checkScratch(s *Scratch) error {
 	return nil
 }
 
+// errInputSize and errDLogitsSize build the cold-path size-mismatch errors
+// outside the //spear:noalloc kernels, where fmt is forbidden.
+func errInputSize(got, want int) error {
+	return fmt.Errorf("%w: got %d, want %d", ErrBadInput, got, want)
+}
+
+func errDLogitsSize(got, want int) error {
+	return fmt.Errorf("%w: dLogits %d, want %d", ErrBadInput, got, want)
+}
+
 // ForwardInto computes logits for input x into the scratch buffers, with
 // zero heap allocations. The returned slice is owned by the scratch and
 // valid until the next ForwardInto/ProbsInto call on it. The arithmetic is
 // identical to Forward, so results match bit for bit.
+//
+//spear:noalloc
 func (n *Network) ForwardInto(s *Scratch, x []float64) ([]float64, error) {
 	if len(x) != n.sizes[0] {
-		return nil, fmt.Errorf("%w: got %d, want %d", ErrBadInput, len(x), n.sizes[0])
+		return nil, errInputSize(len(x), n.sizes[0])
 	}
 	if err := n.checkScratch(s); err != nil {
 		return nil, err
@@ -287,6 +299,8 @@ func SoftmaxInto(logits []float64, mask []bool, out []float64) ([]float64, error
 // ProbsInto is ForwardInto followed by SoftmaxInto on the scratch's
 // probability buffer: one full inference with zero heap allocations. The
 // returned slice is owned by the scratch.
+//
+//spear:noalloc
 func (n *Network) ProbsInto(s *Scratch, x []float64, mask []bool) ([]float64, error) {
 	logits, err := n.ForwardInto(s, x)
 	if err != nil {
@@ -298,9 +312,11 @@ func (n *Network) ProbsInto(s *Scratch, x []float64, mask []bool) ([]float64, er
 // BackwardInto is Backward using the activations of the scratch's most
 // recent ForwardInto and the scratch's delta buffers, so one training step
 // allocates nothing beyond the trajectory itself.
+//
+//spear:noalloc
 func (n *Network) BackwardInto(s *Scratch, dLogits []float64, g *Grads) error {
 	if len(dLogits) != n.OutputSize() {
-		return fmt.Errorf("%w: dLogits %d, want %d", ErrBadInput, len(dLogits), n.OutputSize())
+		return errDLogitsSize(len(dLogits), n.OutputSize())
 	}
 	if err := n.checkScratch(s); err != nil {
 		return err

@@ -151,7 +151,7 @@ func NewTrainMetrics(r *Registry) *TrainMetrics {
 		GradUpdates:         r.Counter("spear_train_grad_updates_total", "Optimizer steps applied"),
 		GradNormSum:         r.Float("spear_train_grad_norm_sum", "Accumulated L2 norms of applied mean gradients"),
 		BaselineSpreadSum:   r.Float("spear_train_baseline_spread_sum", "Accumulated rollout-baseline makespan spreads (max - min)"),
-		BaselineSpreadCount: r.Counter("spear_train_baseline_spread_count", "Example batches contributing to the spread sum"),
+		BaselineSpreadCount: r.Counter("spear_train_baseline_spread_batches_total", "Example batches contributing to the spread sum"),
 		SampleTime:          r.Timer("spear_train_sample_time", "Wall-clock time sampling trajectories"),
 		BackpropTime:        r.Timer("spear_train_backprop_time", "Wall-clock time in backpropagation"),
 		ApplyTime:           r.Timer("spear_train_apply_time", "Wall-clock time applying optimizer updates"),

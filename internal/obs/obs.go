@@ -153,7 +153,8 @@ func (s Snapshot) String() string {
 }
 
 func formatValue(v float64) string {
-	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+	// Exact comparison on purpose: only bit-exact integers render as %d.
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 { //spear:floateq
 		return fmt.Sprintf("%d", int64(v))
 	}
 	return fmt.Sprintf("%g", v)
@@ -164,7 +165,7 @@ type entry struct {
 	name string
 	help string
 	kind Kind
-	ptr  any            // the typed metric, returned on duplicate registration
+	ptr  any             // the typed metric, returned on duplicate registration
 	coll func() []Sample // renders the current value(s)
 }
 

@@ -64,31 +64,12 @@ func NewBatchRolloutContext(p BatchPolicy, maxRows int) *BatchRolloutContext {
 	return &BatchRolloutContext{policy: p, pctx: p.NewBatchContext(maxRows)}
 }
 
-// lane returns lane i, growing the pool as needed.
-func (bc *BatchRolloutContext) lane(i int) *lane {
-	for len(bc.lanes) <= i {
+// ensureLanes grows the lane pool and the gather buffers to k rows. Growth
+// allocates; once sized, RolloutsFrom reuses everything here.
+func (bc *BatchRolloutContext) ensureLanes(k int) {
+	for len(bc.lanes) < k {
 		src := rand.NewSource(0)
 		bc.lanes = append(bc.lanes, &lane{src: src, rng: rand.New(src)})
-	}
-	return bc.lanes[i]
-}
-
-// RolloutsFrom plays len(seeds) episodes from base to termination, episode i
-// seeded with seeds[i], and writes the resulting makespans (makespans must
-// have the same length as seeds). base is not modified. Episode i's result
-// is identical to RolloutFrom(base, rand.New(rand.NewSource(seeds[i]))) with
-// the same policy: lock-stepping changes only how many states share one
-// policy evaluation, not any episode's action sequence.
-func (bc *BatchRolloutContext) RolloutsFrom(base *Env, seeds []int64, makespans []int64) error {
-	k := len(seeds)
-	if len(makespans) != k {
-		return fmt.Errorf("simenv: %d seeds but %d makespan slots", k, len(makespans))
-	}
-	m := base.cfg.Metrics
-	for i := 0; i < k; i++ {
-		ln := bc.lane(i)
-		ln.env = base.CloneInto(ln.env)
-		ln.src.Seed(seeds[i])
 	}
 	if cap(bc.live) < k {
 		bc.envs = make([]*Env, k)
@@ -97,9 +78,39 @@ func (bc *BatchRolloutContext) RolloutsFrom(base *Env, seeds []int64, makespans 
 		bc.out = make([]Action, k)
 		bc.live = make([]int, k)
 	}
-	live := bc.live[:0]
+}
+
+// errSeedSlots reports mismatched seed/makespan lengths, outside the
+// //spear:noalloc step loop.
+func errSeedSlots(seeds, slots int) error {
+	return fmt.Errorf("simenv: %d seeds but %d makespan slots", seeds, slots)
+}
+
+// RolloutsFrom plays len(seeds) episodes from base to termination, episode i
+// seeded with seeds[i], and writes the resulting makespans (makespans must
+// have the same length as seeds). base is not modified. Episode i's result
+// is identical to RolloutFrom(base, rand.New(rand.NewSource(seeds[i]))) with
+// the same policy: lock-stepping changes only how many states share one
+// policy evaluation, not any episode's action sequence.
+//
+// compaction rewrites bc.live in place instead of appending.
+//
+//spear:noalloc — pool and buffer growth happens in ensureLanes; the live-set
+func (bc *BatchRolloutContext) RolloutsFrom(base *Env, seeds []int64, makespans []int64) error {
+	k := len(seeds)
+	if len(makespans) != k {
+		return errSeedSlots(k, len(makespans))
+	}
+	m := base.cfg.Metrics
+	bc.ensureLanes(k)
 	for i := 0; i < k; i++ {
-		live = append(live, i)
+		ln := bc.lanes[i]
+		ln.env = base.CloneInto(ln.env)
+		ln.src.Seed(seeds[i])
+	}
+	live := bc.live[:k]
+	for i := range live {
+		live[i] = i
 	}
 	for len(live) > 0 {
 		rows := 0
@@ -107,7 +118,7 @@ func (bc *BatchRolloutContext) RolloutsFrom(base *Env, seeds []int64, makespans 
 			ln := bc.lanes[i]
 			ln.legal = ln.env.LegalActionsInto(ln.legal[:0])
 			if len(ln.legal) == 0 {
-				return fmt.Errorf("simenv: no legal actions with %d/%d tasks done", ln.env.done, ln.env.g.NumTasks())
+				return errNoLegal(ln.env)
 			}
 			bc.envs[rows] = ln.env
 			bc.legal[rows] = ln.legal
@@ -120,7 +131,9 @@ func (bc *BatchRolloutContext) RolloutsFrom(base *Env, seeds []int64, makespans 
 		if m != nil {
 			m.BatchRows.Add(int64(rows))
 		}
-		next := live[:0]
+		// Compact the live set in place: the write index never passes the
+		// read index, so overwriting while ranging is safe.
+		n := 0
 		for row, i := range live {
 			ln := bc.lanes[i]
 			if err := ln.env.Step(bc.out[row]); err != nil {
@@ -129,10 +142,11 @@ func (bc *BatchRolloutContext) RolloutsFrom(base *Env, seeds []int64, makespans 
 			if ln.env.Done() {
 				makespans[i] = ln.env.Makespan()
 			} else {
-				next = append(next, i)
+				live[n] = i
+				n++
 			}
 		}
-		live = next
+		live = live[:n]
 	}
 	return nil
 }

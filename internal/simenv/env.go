@@ -487,14 +487,24 @@ type Policy interface {
 	Choose(e *Env, legal []Action, rng *rand.Rand) (Action, error)
 }
 
+// errNoLegal reports a stuck episode. It lives outside the //spear:noalloc
+// rollout fast path because error construction goes through fmt.
+func errNoLegal(e *Env) error {
+	return fmt.Errorf("simenv: no legal actions with %d/%d tasks done", e.done, e.g.NumTasks())
+}
+
 // Run drives e with the policy until the episode finishes and returns the
 // resulting schedule. The environment is mutated in place.
+//
+// are fully determined by the policy, state and rng.
+//
+//spear:timing — the clock stamps Schedule.Elapsed only; episode dynamics
 func Run(e *Env, p Policy, rng *rand.Rand) (*sched.Schedule, error) {
 	began := time.Now()
 	for !e.Done() {
 		legal := e.LegalActions()
 		if len(legal) == 0 {
-			return nil, fmt.Errorf("simenv: no legal actions with %d/%d tasks done", e.done, e.g.NumTasks())
+			return nil, errNoLegal(e)
 		}
 		a, err := p.Choose(e, legal, rng)
 		if err != nil {
@@ -518,7 +528,7 @@ func Rollout(e *Env, p Policy, rng *rand.Rand) (int64, error) {
 	for !e.Done() {
 		legal := e.LegalActions()
 		if len(legal) == 0 {
-			return 0, fmt.Errorf("simenv: no legal actions with %d/%d tasks done", e.done, e.g.NumTasks())
+			return 0, errNoLegal(e)
 		}
 		a, err := p.Choose(e, legal, rng)
 		if err != nil {
@@ -574,6 +584,8 @@ func NewRolloutContext(p Policy) *RolloutContext {
 // RolloutFrom copies base into the context's scratch episode and plays the
 // policy to completion, returning the makespan. base is not modified. It is
 // the allocation-free equivalent of Rollout(base.Clone(), p, rng).
+//
+//spear:noalloc
 func (rc *RolloutContext) RolloutFrom(base *Env, rng *rand.Rand) (int64, error) {
 	rc.env = base.CloneInto(rc.env)
 	return rc.Rollout(rc.env, rng)
@@ -582,11 +594,13 @@ func (rc *RolloutContext) RolloutFrom(base *Env, rng *rand.Rand) (int64, error) 
 // Rollout drives e in place to completion like the package-level Rollout,
 // reusing the context's buffers. Results are identical for the same policy,
 // state and rng.
+//
+//spear:noalloc
 func (rc *RolloutContext) Rollout(e *Env, rng *rand.Rand) (int64, error) {
 	for !e.Done() {
 		rc.legal = e.LegalActionsInto(rc.legal[:0])
 		if len(rc.legal) == 0 {
-			return 0, fmt.Errorf("simenv: no legal actions with %d/%d tasks done", e.done, e.g.NumTasks())
+			return 0, errNoLegal(e)
 		}
 		var a Action
 		var err error
