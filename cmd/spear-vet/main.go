@@ -1,16 +1,19 @@
 // Command spear-vet runs the repository's custom static analysis (package
 // internal/lint) over the given package patterns and reports file:line:col
 // diagnostics for every violated invariant: determinism, zero-allocation
-// fast paths, metrics naming and float equality.
+// fast paths, metrics naming, float equality, and the interprocedural
+// call-graph checks (transitive noalloc, determinism taint, hot-struct
+// layout, dead internal exports).
 //
 // Usage:
 //
-//	go run ./cmd/spear-vet [-json] [packages]
+//	go run ./cmd/spear-vet [-json] [-check names] [packages]
 //
 // Patterns follow the go tool's convention ("./...", "internal/mcts",
-// "internal/..."); no patterns means "./...". Exit status: 0 when clean,
-// 1 when findings were reported, 2 when a package failed to load or
-// type-check.
+// "internal/..."); no patterns means "./...". -check selects a
+// comma-separated subset of the checks; the default is all of them.
+// Exit status: 0 when clean, 1 when findings were reported, 2 when a
+// package failed to load or type-check.
 package main
 
 import (
@@ -19,30 +22,53 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"spear/internal/lint"
 )
 
 func main() {
-	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array on stdout")
+	jsonOut := flag.Bool("json", false, "emit a JSON report (diagnostics, packages_loaded, per-check timings) on stdout")
+	checks := flag.String("check", "", "comma-separated subset of checks to run (default all: "+strings.Join(lint.AllChecks, ",")+")")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: spear-vet [-json] [packages]\n")
+		fmt.Fprintf(os.Stderr, "usage: spear-vet [-json] [-check names] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
-	os.Exit(run(".", flag.Args(), *jsonOut, os.Stdout, os.Stderr))
+	os.Exit(run(".", flag.Args(), *checks, *jsonOut, os.Stdout, os.Stderr))
+}
+
+// report is the -json output shape: the findings plus run statistics, so CI
+// can watch analysis cost without parsing the human-readable log.
+type report struct {
+	Diagnostics    []lint.Diagnostic  `json:"diagnostics"`
+	PackagesLoaded int                `json:"packages_loaded"`
+	Checks         []lint.CheckTiming `json:"checks"`
 }
 
 // run resolves the patterns against base, analyzes the packages and reports
 // the diagnostics, returning the process exit code: 0 clean, 1 findings,
 // 2 load or type-check failure.
-func run(base string, patterns []string, jsonOut bool, stdout, stderr io.Writer) int {
+func run(base string, patterns []string, checks string, jsonOut bool, stdout, stderr io.Writer) int {
 	dirs, err := lint.ExpandPatterns(base, patterns)
 	if err != nil {
 		fmt.Fprintf(stderr, "spear-vet: %v\n", err)
 		return 2
 	}
-	diags, err := lint.AnalyzeDirs(dirs, lint.Config{})
+	var cfg lint.Config
+	if checks != "" {
+		for _, c := range strings.Split(checks, ",") {
+			if c = strings.TrimSpace(c); c != "" {
+				cfg.Checks = append(cfg.Checks, c)
+			}
+		}
+	}
+	r, err := lint.NewRunner(base, cfg)
+	if err != nil {
+		fmt.Fprintf(stderr, "spear-vet: %v\n", err)
+		return 2
+	}
+	diags, stats, err := r.Analyze(dirs)
 	if err != nil {
 		fmt.Fprintf(stderr, "spear-vet: %v\n", err)
 		return 2
@@ -53,7 +79,8 @@ func run(base string, patterns []string, jsonOut bool, stdout, stderr io.Writer)
 		}
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(diags); err != nil {
+		out := report{Diagnostics: diags, PackagesLoaded: stats.PackagesLoaded, Checks: stats.Checks}
+		if err := enc.Encode(out); err != nil {
 			fmt.Fprintf(stderr, "spear-vet: %v\n", err)
 			return 2
 		}

@@ -15,7 +15,7 @@ const moduleRoot = "../.."
 
 func TestRunCleanExitsZero(t *testing.T) {
 	var out, errOut bytes.Buffer
-	if code := run(moduleRoot, []string{"internal/obs"}, false, &out, &errOut); code != 0 {
+	if code := run(moduleRoot, []string{"internal/obs"}, "", false, &out, &errOut); code != 0 {
 		t.Fatalf("exit = %d, want 0; stdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
 	}
 	if out.Len() != 0 {
@@ -25,7 +25,7 @@ func TestRunCleanExitsZero(t *testing.T) {
 
 func TestRunFindingsExitOne(t *testing.T) {
 	var out, errOut bytes.Buffer
-	code := run(moduleRoot, []string{"internal/lint/testdata/src/floateq"}, false, &out, &errOut)
+	code := run(moduleRoot, []string{"internal/lint/testdata/src/floateq"}, "floateq", false, &out, &errOut)
 	if code != 1 {
 		t.Fatalf("exit = %d, want 1; stderr:\n%s", code, errOut.String())
 	}
@@ -36,7 +36,7 @@ func TestRunFindingsExitOne(t *testing.T) {
 
 func TestRunLoadErrorExitTwo(t *testing.T) {
 	var out, errOut bytes.Buffer
-	code := run(moduleRoot, []string{"internal/lint/testdata/src/broken"}, false, &out, &errOut)
+	code := run(moduleRoot, []string{"internal/lint/testdata/src/broken"}, "", false, &out, &errOut)
 	if code != 2 {
 		t.Fatalf("exit = %d, want 2; stdout:\n%s", code, out.String())
 	}
@@ -45,32 +45,86 @@ func TestRunLoadErrorExitTwo(t *testing.T) {
 	}
 }
 
+func TestRunUnknownCheckExitTwo(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run(moduleRoot, []string{"internal/obs"}, "nosuchcheck", false, &out, &errOut)
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2; stdout:\n%s", code, out.String())
+	}
+	if !strings.Contains(errOut.String(), "unknown check") {
+		t.Errorf("stderr missing unknown-check error:\n%s", errOut.String())
+	}
+}
+
+// TestRunCheckSelector pins down that -check restricts the run to the named
+// passes: the floateq fixture is dirty under floateq but clean under metrics.
+func TestRunCheckSelector(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run(moduleRoot, []string{"internal/lint/testdata/src/floateq"}, "metrics", false, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0; stdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("disabled checks still reported:\n%s", out.String())
+	}
+}
+
 func TestRunJSONFindings(t *testing.T) {
 	var out, errOut bytes.Buffer
-	code := run(moduleRoot, []string{"internal/lint/testdata/src/floateq"}, true, &out, &errOut)
+	code := run(moduleRoot, []string{"internal/lint/testdata/src/floateq"}, "floateq", true, &out, &errOut)
 	if code != 1 {
 		t.Fatalf("exit = %d, want 1; stderr:\n%s", code, errOut.String())
 	}
-	var diags []lint.Diagnostic
-	if err := json.Unmarshal(out.Bytes(), &diags); err != nil {
-		t.Fatalf("stdout is not a JSON diagnostic array: %v\n%s", err, out.String())
+	var rep report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("stdout is not a JSON report: %v\n%s", err, out.String())
 	}
-	if len(diags) == 0 {
-		t.Fatal("JSON array is empty, want findings")
+	if len(rep.Diagnostics) == 0 {
+		t.Fatal("diagnostics array is empty, want findings")
 	}
-	for _, d := range diags {
-		if d.File == "" || d.Line == 0 || d.Check == "" || d.Message == "" {
+	for _, d := range rep.Diagnostics {
+		if d.File == "" || d.Line == 0 || d.Col == 0 || d.Check == "" || d.Message == "" {
 			t.Errorf("incomplete diagnostic: %+v", d)
+		}
+	}
+	if rep.PackagesLoaded < 1 {
+		t.Errorf("packages_loaded = %d, want >= 1", rep.PackagesLoaded)
+	}
+	var timed []string
+	for _, c := range rep.Checks {
+		if c.Millis < 0 {
+			t.Errorf("check %q has negative timing %v", c.Check, c.Millis)
+		}
+		timed = append(timed, c.Check)
+	}
+	for _, want := range []string{"load", "floateq"} {
+		found := false
+		for _, got := range timed {
+			if got == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("timings %v missing phase %q", timed, want)
 		}
 	}
 }
 
-func TestRunJSONCleanIsEmptyArray(t *testing.T) {
+func TestRunJSONCleanIsEmptyDiagnostics(t *testing.T) {
 	var out, errOut bytes.Buffer
-	if code := run(moduleRoot, []string{"internal/obs"}, true, &out, &errOut); code != 0 {
+	if code := run(moduleRoot, []string{"internal/obs"}, "metrics", true, &out, &errOut); code != 0 {
 		t.Fatalf("exit = %d, want 0; stderr:\n%s", code, errOut.String())
 	}
-	if got := strings.TrimSpace(out.String()); got != "[]" {
-		t.Errorf("clean -json output = %q, want []", got)
+	var rep struct {
+		Diagnostics []lint.Diagnostic `json:"diagnostics"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("stdout is not a JSON report: %v\n%s", err, out.String())
+	}
+	if rep.Diagnostics == nil {
+		t.Error(`clean -json report has "diagnostics": null, want []`)
+	}
+	if len(rep.Diagnostics) != 0 {
+		t.Errorf("clean run reported diagnostics: %+v", rep.Diagnostics)
 	}
 }

@@ -75,10 +75,10 @@ func (s *Scheduler) Schedule(g *dag.Graph, capacity resource.Vector) (*sched.Sch
 // ScheduleContext implements sched.ContextScheduler. The context is checked
 // once per annealing iteration; on cancellation the best order found so far
 // is executed and returned together with an error wrapping ctx.Err().
+// Wall-clock reads stamp Schedule.Elapsed only; the search itself is
+// driven by the seeded rng and never branches on time.
 //
-// itself is driven by the seeded rng and never branches on time.
-//
-//spear:timing — wall-clock reads stamp Schedule.Elapsed only; the search
+//spear:timing
 func (s *Scheduler) ScheduleContext(ctx context.Context, g *dag.Graph, capacity resource.Vector) (*sched.Schedule, error) {
 	began := time.Now()
 	rng := rand.New(rand.NewSource(s.cfg.Seed))

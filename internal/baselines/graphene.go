@@ -12,10 +12,10 @@ import (
 	"spear/internal/simenv"
 )
 
-// DefaultGrapheneThresholds are the troublesome-task runtime thresholds the
+// defaultGrapheneThresholds are the troublesome-task runtime thresholds the
 // paper evaluates Graphene with (§V-A): a task is troublesome at threshold f
 // when its runtime is at least f times the job's maximum task runtime.
-var DefaultGrapheneThresholds = []float64{0.2, 0.4, 0.6, 0.8}
+var defaultGrapheneThresholds = []float64{0.2, 0.4, 0.6, 0.8}
 
 // Graphene reimplements the Graphene scheduler (Grandl et al., OSDI 2016) as
 // characterized in the Spear paper (§I, §II-C, §V-A):
@@ -29,7 +29,7 @@ var DefaultGrapheneThresholds = []float64{0.2, 0.4, 0.6, 0.8}
 //     and capacity constraints;
 //  4. try every threshold with both strategies and keep the best result.
 type Graphene struct {
-	// Thresholds to try; nil means DefaultGrapheneThresholds.
+	// Thresholds to try; nil means defaultGrapheneThresholds.
 	Thresholds []float64
 }
 
@@ -48,7 +48,7 @@ func (gr *Graphene) Schedule(g *dag.Graph, capacity resource.Vector) (*sched.Sch
 	began := time.Now()
 	thresholds := gr.Thresholds
 	if thresholds == nil {
-		thresholds = DefaultGrapheneThresholds
+		thresholds = defaultGrapheneThresholds
 	}
 	if len(thresholds) == 0 {
 		return nil, fmt.Errorf("graphene: no thresholds configured")

@@ -73,5 +73,5 @@ func (LevelByLevel) Choose(e *simenv.Env, legal []simenv.Action, _ *rand.Rand) (
 
 // NewLevelByLevelScheduler wraps the policy as a full scheduler.
 func NewLevelByLevelScheduler() *PolicyScheduler {
-	return NewPolicyScheduler(LevelByLevel{}, simenv.Config{Mode: simenv.NextCompletion}, 0)
+	return newPolicyScheduler(LevelByLevel{}, simenv.Config{Mode: simenv.NextCompletion}, 0)
 }

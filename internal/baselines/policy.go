@@ -32,9 +32,9 @@ type PolicyScheduler struct {
 
 var _ sched.Scheduler = (*PolicyScheduler)(nil)
 
-// NewPolicyScheduler wraps the policy as a full scheduler. The seed feeds
+// newPolicyScheduler wraps the policy as a full scheduler. The seed feeds
 // the policy's random source; deterministic policies ignore it.
-func NewPolicyScheduler(p simenv.Policy, cfg simenv.Config, seed int64) *PolicyScheduler {
+func newPolicyScheduler(p simenv.Policy, cfg simenv.Config, seed int64) *PolicyScheduler {
 	return &PolicyScheduler{policy: p, cfg: cfg, seed: seed}
 }
 

@@ -7,9 +7,9 @@ import (
 	"spear/internal/simenv"
 )
 
-// ErrNilRand is returned when a stochastic policy is invoked without a
+// errNilRand is returned when a stochastic policy is invoked without a
 // random source.
-var ErrNilRand = errors.New("baselines: random policy requires a non-nil rng")
+var errNilRand = errors.New("baselines: random policy requires a non-nil rng")
 
 // Random picks a uniformly random legal action. It is the default rollout
 // and expansion policy of classic MCTS (paper §II-A) and the control arm of
@@ -24,12 +24,12 @@ func (Random) Name() string { return "Random" }
 // Choose implements simenv.Policy.
 func (Random) Choose(_ *simenv.Env, legal []simenv.Action, rng *rand.Rand) (simenv.Action, error) {
 	if rng == nil {
-		return 0, ErrNilRand
+		return 0, errNilRand
 	}
 	return legal[rng.Intn(len(legal))], nil
 }
 
 // NewRandomScheduler returns the random policy wrapped as a full scheduler.
 func NewRandomScheduler(seed int64) *PolicyScheduler {
-	return NewPolicyScheduler(Random{}, simenv.Config{Mode: simenv.NextCompletion}, seed)
+	return newPolicyScheduler(Random{}, simenv.Config{Mode: simenv.NextCompletion}, seed)
 }

@@ -24,7 +24,10 @@ var (
 
 // Space is a resource-time occupancy grid. Slot i covers the absolute time
 // interval [origin+i, origin+i+1). The grid grows on demand as placements
-// extend into the future.
+// extend into the future. Rollouts clone one Space per episode, so the
+// layout is padding-checked.
+//
+//spear:packed
 type Space struct {
 	capacity resource.Vector
 	origin   int64
@@ -107,11 +110,11 @@ func (s *Space) CapacityDim(d int) int64 { return s.capacity[d] }
 // slot returns the index of absolute time t, growing the grid if needed.
 // Growth within the slice's capacity recycles the vectors parked there by
 // Advance (zeroing them) instead of allocating, so a warm space places
-// tasks without touching the heap.
+// tasks without touching the heap. The recycle path only zeroes a parked
+// vector in place; the two cold growth paths allocate inside
+// replaceSlot/appendSlot.
 //
-// two cold growth paths allocate inside replaceSlot/appendSlot.
-//
-//spear:noalloc — the recycle path only zeroes a parked vector in place; the
+//spear:noalloc
 func (s *Space) slot(t int64) int {
 	i := t - s.origin
 	for int64(len(s.used)) <= i {
@@ -135,6 +138,8 @@ func (s *Space) slot(t int64) int {
 }
 
 // replaceSlot swaps a parked header of the wrong shape for a fresh vector.
+//
+//spear:slowpath
 func (s *Space) replaceSlot(n int) {
 	s.used[n] = resource.New(s.capacity.Dims())
 	if s.slotGrow != nil {
@@ -143,6 +148,8 @@ func (s *Space) replaceSlot(n int) {
 }
 
 // appendSlot extends the grid past its capacity with a fresh vector.
+//
+//spear:slowpath
 func (s *Space) appendSlot() {
 	s.used = append(s.used, resource.New(s.capacity.Dims()))
 	if s.slotGrow != nil {
@@ -195,21 +202,39 @@ func (s *Space) FitsAt(start int64, demand resource.Vector, duration int64) bool
 	return true
 }
 
+// Cold-path error constructors for Place, which sits on the //spear:noalloc
+// scheduling path where fmt is forbidden.
+//
+//spear:slowpath
+func errBadDuration(duration int64) error {
+	return fmt.Errorf("%w: %d", ErrBadDuration, duration)
+}
+
+//spear:slowpath
+func errBadStart(start, origin int64) error {
+	return fmt.Errorf("%w: start %d < origin %d", ErrBadStart, start, origin)
+}
+
+//spear:slowpath
+func errDoesNotFit(start int64, demand resource.Vector, duration int64) error {
+	return fmt.Errorf("%w: start=%d demand=%v duration=%d", ErrDoesNotFit, start, demand, duration)
+}
+
 // Place reserves demand for [start, start+duration). It fails with
 // ErrDoesNotFit (leaving the space unchanged) if any slot would exceed
 // capacity.
 func (s *Space) Place(start int64, demand resource.Vector, duration int64) error {
 	if duration <= 0 {
-		return fmt.Errorf("%w: %d", ErrBadDuration, duration)
+		return errBadDuration(duration)
 	}
 	if start < s.origin {
-		return fmt.Errorf("%w: start %d < origin %d", ErrBadStart, start, s.origin)
+		return errBadStart(start, s.origin)
 	}
 	if demand.Dims() != s.capacity.Dims() {
 		return resource.ErrDimensionMismatch
 	}
 	if !s.FitsAt(start, demand, duration) {
-		return fmt.Errorf("%w: start=%d demand=%v duration=%d", ErrDoesNotFit, start, demand, duration)
+		return errDoesNotFit(start, demand, duration)
 	}
 	for t := start; t < start+duration; t++ {
 		i := s.slot(t)

@@ -27,22 +27,22 @@ var (
 
 // Agent errors.
 var (
-	ErrNilNetwork = errors.New("drl: nil network")
-	ErrShape      = errors.New("drl: network shape does not match features")
+	errNilNetwork = errors.New("drl: nil network")
+	errShape      = errors.New("drl: network shape does not match features")
 )
 
 // NewAgent wraps net for the given featurization. greedy selects argmax
 // action choice instead of sampling.
 func NewAgent(net *nn.Network, feat Features, greedy bool) (*Agent, error) {
 	if net == nil {
-		return nil, ErrNilNetwork
+		return nil, errNilNetwork
 	}
 	if err := feat.Validate(); err != nil {
 		return nil, err
 	}
 	if net.InputSize() != feat.InputSize() || net.OutputSize() != feat.OutputSize() {
 		return nil, fmt.Errorf("%w: net %dx%d, features %dx%d",
-			ErrShape, net.InputSize(), net.OutputSize(), feat.InputSize(), feat.OutputSize())
+			errShape, net.InputSize(), net.OutputSize(), feat.InputSize(), feat.OutputSize())
 	}
 	mode := "sample"
 	if greedy {

@@ -102,14 +102,14 @@ type trajectory struct {
 
 // Train runs REINFORCE over the example jobs and returns the learning
 // curve. The progress callback (may be nil) fires after every epoch.
+// time.Now feeds the phase timers (sample/backprop/apply) only; no
+// training decision depends on the clock.
 //
-// only; no training decision depends on the clock.
-//
-//spear:timing — time.Now feeds the phase timers (sample/backprop/apply)
+//spear:timing
 func Train(net *nn.Network, feat Features, jobs []*dag.Graph, capacity resource.Vector, cfg TrainConfig, rng *rand.Rand, progress func(EpochStats)) ([]EpochStats, error) {
 	cfg = cfg.normalized()
 	if net == nil {
-		return nil, ErrNilNetwork
+		return nil, errNilNetwork
 	}
 	if len(jobs) == 0 {
 		return nil, fmt.Errorf("drl: no training jobs")

@@ -60,13 +60,13 @@ type sample struct {
 func Pretrain(net *nn.Network, feat Features, jobs []*dag.Graph, capacity resource.Vector, cfg PretrainConfig, rng *rand.Rand) ([]float64, error) {
 	cfg = cfg.normalized()
 	if net == nil {
-		return nil, ErrNilNetwork
+		return nil, errNilNetwork
 	}
 	if len(jobs) == 0 {
 		return nil, fmt.Errorf("drl: no pretraining jobs")
 	}
 	if net.InputSize() != feat.InputSize() || net.OutputSize() != feat.OutputSize() {
-		return nil, ErrShape
+		return nil, errShape
 	}
 
 	samples, err := collectDemonstrations(feat, jobs, capacity, cfg, rng)

@@ -25,7 +25,7 @@ import (
 // budget runs out before optimality is proven.
 type Solver struct {
 	// MaxNodes caps the number of explored search nodes. Zero means
-	// DefaultMaxNodes.
+	// defaultMaxNodes.
 	MaxNodes int64
 	// Obs, when non-nil, is the registry the solver's metrics are registered
 	// in (shared registries aggregate across schedulers). Nil means a
@@ -38,9 +38,9 @@ type Solver struct {
 	reg      *obs.Registry
 }
 
-// DefaultMaxNodes bounds the search effort (~a few seconds for 10-12 task
+// defaultMaxNodes bounds the search effort (~a few seconds for 10-12 task
 // jobs).
-const DefaultMaxNodes = 5_000_000
+const defaultMaxNodes = 5_000_000
 
 // ErrBudgetExceeded reports that the node budget ran out before the search
 // space was exhausted.
@@ -48,7 +48,7 @@ var ErrBudgetExceeded = errors.New("exact: node budget exceeded before proving o
 
 var _ sched.ContextScheduler = (*Solver)(nil)
 
-// New returns a Solver with the given node budget (0 = DefaultMaxNodes).
+// New returns a Solver with the given node budget (0 = defaultMaxNodes).
 func New(maxNodes int64) *Solver { return &Solver{MaxNodes: maxNodes} }
 
 // Name implements sched.Scheduler.
@@ -118,7 +118,7 @@ func (s *Solver) ScheduleContext(ctx context.Context, g *dag.Graph, capacity res
 
 	limit := s.MaxNodes
 	if limit <= 0 {
-		limit = DefaultMaxNodes
+		limit = defaultMaxNodes
 	}
 
 	// Incumbent: a greedy packing run gives an upper bound that prunes

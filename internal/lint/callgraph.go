@@ -1,0 +1,198 @@
+// Static call graph over every module package the runner has loaded. The
+// graph is the substrate of the interprocedural checks (interproc.go):
+//
+//   - Direct calls to package-level functions are resolved exactly.
+//   - Method calls are resolved via the static receiver type (the method
+//     object go/types binds at the call site).
+//   - Calls through interfaces and function values cannot be resolved
+//     without whole-program pointer analysis, so they are recorded as
+//     dynamic sites; the transitive noalloc check reports them as
+//     unresolvable unless the site carries //spear:dyncall.
+//
+// Calls into the standard library are not traversed: the runtime
+// AllocsPerRun gates audit their allocation behavior, and fmt (the one
+// stdlib package the noalloc discipline bans outright) is recorded as an
+// allocation construct directly. Function literals are folded into their
+// enclosing declaration: an alloc or call inside a closure is attributed to
+// the function that syntactically contains it, which over-approximates in
+// the conservative direction.
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// allocSite is one structural allocation construct inside a function body:
+// the same construct set the intraprocedural noalloc check rejects.
+type allocSite struct {
+	pos  token.Pos
+	what string // "make", "composite literal", "fmt.Errorf call", ...
+}
+
+// callSite is one call expression inside a function body.
+type callSite struct {
+	pos     token.Pos
+	callee  *types.Func // resolved callee; nil for dynamic sites
+	dynamic string      // non-empty description for unresolvable sites
+	audited bool        // site carries //spear:dyncall
+}
+
+// posName is a position plus the name of what was called there.
+type posName struct {
+	pos  token.Pos
+	name string
+}
+
+// funcNode is one declared function or method of a module package.
+type funcNode struct {
+	fn *types.Func
+	mp *modPkg
+
+	noalloc  bool
+	slowpath bool
+	timing   bool
+
+	allocs []allocSite
+	calls  []callSite
+	rand   []posName // direct global math/rand draws (always nondeterministic)
+	clock  []posName // direct time.Now / time.Since reads
+}
+
+// callGraph maps every declared module function to its node.
+type callGraph struct {
+	nodes map[*types.Func]*funcNode
+}
+
+// buildCallGraph constructs the graph over every module package currently
+// in the cache: the analyzed packages and everything they (transitively)
+// import from the module. Object identity is exact because all packages are
+// type-checked by the same runner, so a callee resolved in one package is
+// the same *types.Func the defining package declared.
+func (r *Runner) buildCallGraph() *callGraph {
+	g := &callGraph{nodes: make(map[*types.Func]*funcNode)}
+	for _, mp := range r.cache {
+		for _, file := range mp.files {
+			idx := indexMarkers(r.fset, file)
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := mp.info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				node := &funcNode{
+					fn:       fn,
+					mp:       mp,
+					noalloc:  idx.onFunc(r.fset, fd, markerNoalloc),
+					slowpath: idx.onFunc(r.fset, fd, markerSlowpath),
+					timing:   idx.onFunc(r.fset, fd, markerTiming),
+				}
+				r.scanBody(node, fd.Body, idx)
+				g.nodes[fn] = node
+			}
+		}
+	}
+	return g
+}
+
+// scanBody collects the allocation constructs and call sites of one body.
+func (r *Runner) scanBody(node *funcNode, body ast.Node, idx *markerIndex) {
+	info := node.mp.info
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			r.scanCall(node, n, idx)
+		case *ast.CompositeLit:
+			node.allocs = append(node.allocs, allocSite{n.Pos(), "composite literal"})
+		case *ast.FuncLit:
+			node.allocs = append(node.allocs, allocSite{n.Pos(), "closure"})
+		case *ast.DeferStmt:
+			node.allocs = append(node.allocs, allocSite{n.Pos(), "defer"})
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isStringType(info.TypeOf(n.X)) {
+				node.allocs = append(node.allocs, allocSite{n.OpPos, "string concatenation"})
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isStringType(info.TypeOf(n.Lhs[0])) {
+				node.allocs = append(node.allocs, allocSite{n.TokPos, "string concatenation"})
+			}
+		}
+		return true
+	})
+}
+
+// scanCall classifies one call expression into the node's alloc, call,
+// rand and clock lists.
+func (r *Runner) scanCall(node *funcNode, call *ast.CallExpr, idx *markerIndex) {
+	info := node.mp.info
+	if name := builtinName(info, call); name != "" {
+		if name == "make" || name == "new" || name == "append" {
+			node.allocs = append(node.allocs, allocSite{call.Pos(), name})
+		}
+		return
+	}
+	// Type conversions are not calls.
+	if tv, ok := info.Types[ast.Unparen(call.Fun)]; ok && tv.IsType() {
+		return
+	}
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		node.calls = append(node.calls, callSite{
+			pos:     call.Pos(),
+			dynamic: "function value",
+			audited: idx.at(r.fset, call.Pos(), markerDyncall),
+		})
+		return
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil && types.IsInterface(sig.Recv().Type()) {
+		node.calls = append(node.calls, callSite{
+			pos:     call.Pos(),
+			dynamic: "interface method " + types.TypeString(sig.Recv().Type(), types.RelativeTo(node.mp.pkg)) + "." + fn.Name(),
+			audited: idx.at(r.fset, call.Pos(), markerDyncall),
+		})
+		return
+	}
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return // error.Error and other universe-scope methods
+	}
+	path := pkg.Path()
+	if path == r.modulePath || strings.HasPrefix(path, r.modulePath+"/") {
+		node.calls = append(node.calls, callSite{pos: call.Pos(), callee: fn})
+		return
+	}
+	// Standard-library callee: not traversed, but three packages matter to
+	// the interprocedural checks.
+	isMethod := sig != nil && sig.Recv() != nil
+	switch {
+	case path == "fmt":
+		node.allocs = append(node.allocs, allocSite{call.Pos(), "fmt." + fn.Name() + " call"})
+	case path == "math/rand" && !isMethod && !randConstructors[fn.Name()]:
+		node.rand = append(node.rand, posName{call.Pos(), "math/rand." + fn.Name()})
+	case path == "time" && !isMethod && (fn.Name() == "Now" || fn.Name() == "Since"):
+		node.clock = append(node.clock, posName{call.Pos(), "time." + fn.Name()})
+	}
+}
+
+// isStringType reports whether t's underlying type is string.
+func isStringType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// displayName renders a function for diagnostics, module-path-relative:
+// "internal/nn.SoftmaxInto", "(*internal/simenv.Env).Step".
+func (r *Runner) displayName(fn *types.Func) string {
+	name := fn.FullName()
+	name = strings.ReplaceAll(name, r.modulePath+"/", "")
+	return strings.ReplaceAll(name, r.modulePath+".", "")
+}

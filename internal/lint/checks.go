@@ -34,8 +34,8 @@ type metricSite struct {
 	pos token.Pos
 }
 
-// checkPackage runs every check on one loaded package.
-func (r *Runner) checkPackage(mp *modPkg) []Diagnostic {
+// checkPackage runs one named intraprocedural check on one loaded package.
+func (r *Runner) checkPackage(mp *modPkg, check string) []Diagnostic {
 	var diags []Diagnostic
 	det := r.deterministic(mp.path)
 	for _, file := range mp.files {
@@ -47,9 +47,10 @@ func (r *Runner) checkPackage(mp *modPkg) []Diagnostic {
 					r:       r,
 					mp:      mp,
 					idx:     idx,
+					check:   check,
 					det:     det,
-					timing:  idx.onFunc(r.fset, d, MarkerTiming),
-					noalloc: idx.onFunc(r.fset, d, MarkerNoalloc),
+					timing:  idx.onFunc(r.fset, d, markerTiming),
+					noalloc: idx.onFunc(r.fset, d, markerNoalloc),
 					diags:   &diags,
 				}
 				if d.Body != nil {
@@ -59,7 +60,7 @@ func (r *Runner) checkPackage(mp *modPkg) []Diagnostic {
 				// Package-level declarations (var initializers): determinism,
 				// metrics and floateq still apply; there is no function to
 				// carry a timing or noalloc marker.
-				fc := funcChecker{r: r, mp: mp, idx: idx, det: det, diags: &diags}
+				fc := funcChecker{r: r, mp: mp, idx: idx, check: check, det: det, diags: &diags}
 				fc.walk(d)
 			}
 		}
@@ -67,14 +68,17 @@ func (r *Runner) checkPackage(mp *modPkg) []Diagnostic {
 	return diags
 }
 
-// funcChecker walks one declaration with the flags that apply to it.
+// funcChecker walks one declaration with the flags that apply to it,
+// emitting findings for exactly one check per walk so every pass can be
+// timed and selected independently.
 type funcChecker struct {
 	r       *Runner
 	mp      *modPkg
 	idx     *markerIndex
-	det     bool // package is subject to the determinism check
-	timing  bool // enclosing function carries //spear:timing
-	noalloc bool // enclosing function carries //spear:noalloc
+	check   string // the one check this walk emits
+	det     bool   // package is subject to the determinism check
+	timing  bool   // enclosing function carries //spear:timing
+	noalloc bool   // enclosing function carries //spear:noalloc
 	diags   *[]Diagnostic
 }
 
@@ -90,16 +94,16 @@ func (fc *funcChecker) walk(n ast.Node) {
 		case *ast.AssignStmt:
 			fc.assign(n)
 		case *ast.CompositeLit:
-			if fc.noalloc {
-				fc.r.diag(fc.diags, n.Pos(), "noalloc", "composite literal in //%s function", MarkerNoalloc)
+			if fc.check == checkNameNoalloc && fc.noalloc {
+				fc.r.diag(fc.diags, n.Pos(), checkNameNoalloc, "composite literal in //%s function", markerNoalloc)
 			}
 		case *ast.FuncLit:
-			if fc.noalloc {
-				fc.r.diag(fc.diags, n.Pos(), "noalloc", "closure in //%s function", MarkerNoalloc)
+			if fc.check == checkNameNoalloc && fc.noalloc {
+				fc.r.diag(fc.diags, n.Pos(), checkNameNoalloc, "closure in //%s function", markerNoalloc)
 			}
 		case *ast.DeferStmt:
-			if fc.noalloc {
-				fc.r.diag(fc.diags, n.Pos(), "noalloc", "defer in //%s function", MarkerNoalloc)
+			if fc.check == checkNameNoalloc && fc.noalloc {
+				fc.r.diag(fc.diags, n.Pos(), checkNameNoalloc, "defer in //%s function", markerNoalloc)
 			}
 		}
 		return true
@@ -109,9 +113,9 @@ func (fc *funcChecker) walk(n ast.Node) {
 // call applies the determinism, noalloc and metrics rules to one call.
 func (fc *funcChecker) call(call *ast.CallExpr) {
 	info := fc.mp.info
-	if fc.noalloc {
+	if fc.check == checkNameNoalloc && fc.noalloc {
 		if name := builtinName(info, call); name == "make" || name == "new" || name == "append" {
-			fc.r.diag(fc.diags, call.Pos(), "noalloc", "%s in //%s function", name, MarkerNoalloc)
+			fc.r.diag(fc.diags, call.Pos(), checkNameNoalloc, "%s in //%s function", name, markerNoalloc)
 		}
 	}
 	fn := calleeFunc(info, call)
@@ -122,20 +126,20 @@ func (fc *funcChecker) call(call *ast.CallExpr) {
 	sig, _ := fn.Type().(*types.Signature)
 	isMethod := sig != nil && sig.Recv() != nil
 
-	if fc.det && !isMethod {
+	if fc.check == checkNameDeterminism && fc.det && !isMethod {
 		switch {
 		case pkgPath == "math/rand" && !randConstructors[fn.Name()]:
-			fc.r.diag(fc.diags, call.Pos(), "determinism",
+			fc.r.diag(fc.diags, call.Pos(), checkNameDeterminism,
 				"package-level math/rand.%s uses the global source; inject a seeded *rand.Rand", fn.Name())
 		case pkgPath == "time" && (fn.Name() == "Now" || fn.Name() == "Since") && !fc.timing:
-			fc.r.diag(fc.diags, call.Pos(), "determinism",
-				"time.%s in a deterministic package; mark the function //%s if this is a legitimate timing site", fn.Name(), MarkerTiming)
+			fc.r.diag(fc.diags, call.Pos(), checkNameDeterminism,
+				"time.%s in a deterministic package; mark the function //%s if this is a legitimate timing site", fn.Name(), markerTiming)
 		}
 	}
-	if fc.noalloc && pkgPath == "fmt" {
-		fc.r.diag(fc.diags, call.Pos(), "noalloc", "fmt.%s call in //%s function", fn.Name(), MarkerNoalloc)
+	if fc.check == checkNameNoalloc && fc.noalloc && pkgPath == "fmt" {
+		fc.r.diag(fc.diags, call.Pos(), checkNameNoalloc, "fmt.%s call in //%s function", fn.Name(), markerNoalloc)
 	}
-	if isMethod && strings.HasSuffix(pkgPath, "internal/obs") && recvIsRegistry(sig) {
+	if fc.check == checkNameMetrics && isMethod && strings.HasSuffix(pkgPath, "internal/obs") && recvIsRegistry(sig) {
 		if counter, ok := obsConstructors[fn.Name()]; ok {
 			fc.metricName(call, fn.Name(), counter)
 		}
@@ -157,10 +161,10 @@ func (fc *funcChecker) metricName(call *ast.CallExpr, method string, counter boo
 		return
 	}
 	if !metricNamePattern.MatchString(name) {
-		fc.r.diag(fc.diags, lit.Pos(), "metrics",
+		fc.r.diag(fc.diags, lit.Pos(), checkNameMetrics,
 			"metric name %q does not match %s", name, metricNamePattern)
 	} else if counter && !strings.HasSuffix(name, "_total") {
-		fc.r.diag(fc.diags, lit.Pos(), "metrics",
+		fc.r.diag(fc.diags, lit.Pos(), checkNameMetrics,
 			"counter %q registered via %s must end in _total", name, method)
 	}
 	fc.r.metricSites[name] = append(fc.r.metricSites[name], metricSite{pos: lit.Pos()})
@@ -181,7 +185,7 @@ func (r *Runner) duplicateMetricDiags() []Diagnostic {
 		first, _, _ := r.position(sites[0].pos)
 		firstLine := r.fset.Position(sites[0].pos).Line
 		for _, site := range sites[1:] {
-			r.diag(&diags, site.pos, "metrics",
+			r.diag(&diags, site.pos, checkNameMetrics,
 				"metric %q already registered at %s:%d; share one call site or rename", name, first, firstLine)
 		}
 	}
@@ -193,7 +197,7 @@ func (r *Runner) duplicateMetricDiags() []Diagnostic {
 // reproducibility. //spear:sorted marks loops whose body is order-insensitive
 // or sorts afterwards.
 func (fc *funcChecker) rangeStmt(rs *ast.RangeStmt) {
-	if !fc.det {
+	if fc.check != checkNameDeterminism || !fc.det {
 		return
 	}
 	t := fc.mp.info.TypeOf(rs.X)
@@ -203,39 +207,42 @@ func (fc *funcChecker) rangeStmt(rs *ast.RangeStmt) {
 	if _, ok := t.Underlying().(*types.Map); !ok {
 		return
 	}
-	if fc.idx.at(fc.r.fset, rs.For, MarkerSorted) {
+	if fc.idx.at(fc.r.fset, rs.For, markerSorted) {
 		return
 	}
-	fc.r.diag(fc.diags, rs.For, "determinism",
-		"range over map has nondeterministic order; sort keys or mark the statement //%s", MarkerSorted)
+	fc.r.diag(fc.diags, rs.For, checkNameDeterminism,
+		"range over map has nondeterministic order; sort keys or mark the statement //%s", markerSorted)
 }
 
 // binary applies the floateq rule and the noalloc string-concatenation rule.
 func (fc *funcChecker) binary(be *ast.BinaryExpr) {
 	switch be.Op {
 	case token.EQL, token.NEQ:
+		if fc.check != checkNameFloatEq {
+			return
+		}
 		if !fc.isFloat(be.X) && !fc.isFloat(be.Y) {
 			return
 		}
-		if fc.idx.at(fc.r.fset, be.OpPos, MarkerFloatEq) {
+		if fc.idx.at(fc.r.fset, be.OpPos, markerFloatEq) {
 			return
 		}
-		fc.r.diag(fc.diags, be.OpPos, "floateq",
-			"%s on float operands; use a tolerance or mark the comparison //%s", be.Op, MarkerFloatEq)
+		fc.r.diag(fc.diags, be.OpPos, checkNameFloatEq,
+			"%s on float operands; use a tolerance or mark the comparison //%s", be.Op, markerFloatEq)
 	case token.ADD:
-		if fc.noalloc && fc.isString(be.X) {
-			fc.r.diag(fc.diags, be.OpPos, "noalloc", "string concatenation in //%s function", MarkerNoalloc)
+		if fc.check == checkNameNoalloc && fc.noalloc && fc.isString(be.X) {
+			fc.r.diag(fc.diags, be.OpPos, checkNameNoalloc, "string concatenation in //%s function", markerNoalloc)
 		}
 	}
 }
 
 // assign catches += string concatenation in noalloc functions.
 func (fc *funcChecker) assign(as *ast.AssignStmt) {
-	if !fc.noalloc || as.Tok != token.ADD_ASSIGN || len(as.Lhs) != 1 {
+	if fc.check != checkNameNoalloc || !fc.noalloc || as.Tok != token.ADD_ASSIGN || len(as.Lhs) != 1 {
 		return
 	}
 	if fc.isString(as.Lhs[0]) {
-		fc.r.diag(fc.diags, as.TokPos, "noalloc", "string concatenation in //%s function", MarkerNoalloc)
+		fc.r.diag(fc.diags, as.TokPos, checkNameNoalloc, "string concatenation in //%s function", markerNoalloc)
 	}
 }
 

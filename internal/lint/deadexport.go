@@ -1,0 +1,272 @@
+// Dead internal exports: internal/... packages have a provably closed
+// consumer set (this module and its tests), so an exported package-level
+// identifier nobody outside the declaring package references is dead
+// weight — either an accident of history or API surface that never found a
+// caller. The check closes the world by loading every module package, then
+// scans non-test uses via go/types object identity and test-file uses
+// syntactically (test files are not type-checked, by design), so deleting
+// or unexporting what it reports can never break the build or the tests.
+//
+// Methods and struct fields are deliberately out of scope: interface
+// satisfaction and reflection reference them without naming them, which
+// this analysis cannot see.
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/types"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// checkDeadExports reports exported package-level identifiers of analyzed
+// internal/... packages with no references outside their declaring package
+// anywhere in the module, tests included.
+func (r *Runner) checkDeadExports(pkgs []*modPkg) ([]Diagnostic, error) {
+	// Close the world: every module package becomes part of the consumer
+	// set, whether or not it was asked for on the command line.
+	dirs, err := ExpandPatterns(r.moduleRoot, []string{"./..."})
+	if err != nil {
+		return nil, &LoadError{Path: r.moduleRoot, Errs: []string{err.Error()}}
+	}
+	for _, dir := range dirs {
+		path, err := r.pathFor(dir)
+		if err != nil {
+			return nil, &LoadError{Path: dir, Errs: []string{err.Error()}}
+		}
+		if _, err := r.load(path); err != nil {
+			return nil, err
+		}
+	}
+
+	type candidate struct {
+		mp        *modPkg
+		obj       types.Object
+		usedInOwn bool // referenced by the declaring package's non-test files
+		alive     bool // referenced anywhere else
+	}
+	cands := make(map[types.Object]*candidate)
+	var order []types.Object // Scope.Names() order: deterministic
+	for _, mp := range pkgs {
+		rel := r.relative(mp.path)
+		if rel != "internal" && !strings.HasPrefix(rel, "internal/") && !strings.Contains(rel, "/internal/") {
+			continue
+		}
+		scope := mp.pkg.Scope()
+		for _, name := range scope.Names() {
+			obj := scope.Lookup(name)
+			if obj == nil || !obj.Exported() {
+				continue
+			}
+			switch obj.(type) {
+			case *types.Func, *types.TypeName, *types.Const, *types.Var:
+				if _, dup := cands[obj]; !dup {
+					cands[obj] = &candidate{mp: mp, obj: obj}
+					order = append(order, obj)
+				}
+			}
+		}
+	}
+	if len(cands) == 0 {
+		return nil, nil
+	}
+
+	// A type is referenced whenever one of its methods or exported fields is,
+	// even though such uses never name the type: r.Analyze() keeps Runner
+	// alive. Map those member objects back to the owning candidate.
+	owner := make(map[types.Object]types.Object)
+	for _, obj := range order {
+		tn, ok := obj.(*types.TypeName)
+		if !ok {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		for i := 0; i < named.NumMethods(); i++ {
+			owner[named.Method(i)] = obj
+		}
+		if st, ok := named.Underlying().(*types.Struct); ok {
+			for i := 0; i < st.NumFields(); i++ {
+				owner[st.Field(i)] = obj
+			}
+		}
+	}
+
+	// Non-test references, by object identity across every loaded package.
+	for _, mp := range r.cache {
+		for _, obj := range mp.info.Uses {
+			c, ok := cands[obj]
+			if !ok {
+				if o, member := owner[obj]; member {
+					c = cands[o]
+				} else {
+					continue
+				}
+			}
+			if mp == c.mp {
+				c.usedInOwn = true
+			} else {
+				c.alive = true
+			}
+		}
+	}
+
+	// Test-file references, collected syntactically over every package dir.
+	refs := r.scanTestRefs()
+	for _, obj := range order {
+		c := cands[obj]
+		if c.alive {
+			continue
+		}
+		if refs.sel[c.mp.path][obj.Name()] || refs.dot[c.mp.path] || refs.local[c.mp.dir][obj.Name()] {
+			c.alive = true
+			continue
+		}
+		// Method and field accesses in tests are selectors on values, not on
+		// the package, so any selector name anywhere in a test file keeps the
+		// member's owning type alive.
+		for member, o := range owner {
+			if o == obj && refs.anySel[member.Name()] {
+				c.alive = true
+				break
+			}
+		}
+	}
+
+	var diags []Diagnostic
+	for _, obj := range order {
+		c := cands[obj]
+		if c.alive {
+			continue
+		}
+		rel := r.relative(c.mp.path)
+		if c.usedInOwn {
+			r.diag(&diags, obj.Pos(), checkNameDeadExport,
+				"exported %s %s is referenced only inside %s; unexport it", objKind(obj), obj.Name(), rel)
+		} else {
+			r.diag(&diags, obj.Pos(), checkNameDeadExport,
+				"exported %s %s has no references anywhere in the module (tests included); delete it", objKind(obj), obj.Name())
+		}
+	}
+	return diags, nil
+}
+
+// objKind names the declaration kind for the diagnostic.
+func objKind(obj types.Object) string {
+	switch obj.(type) {
+	case *types.Func:
+		return "func"
+	case *types.TypeName:
+		return "type"
+	case *types.Const:
+		return "const"
+	default:
+		return "var"
+	}
+}
+
+// testRefs aggregates the identifiers test files reference, conservatively
+// and syntax-only.
+type testRefs struct {
+	// sel maps an imported package path to the selector names referenced
+	// through it (alias-aware) by any test file in the module.
+	sel map[string]map[string]bool
+	// dot marks package paths dot-imported by some test file: every export
+	// of such a package counts as referenced.
+	dot map[string]bool
+	// local maps a package directory to every identifier mentioned by its
+	// same-package (internal) test files, which reference exports without
+	// qualification.
+	local map[string]map[string]bool
+	// anySel holds every selector name any test file mentions, regardless of
+	// what it selects on: method and field accesses go through values, so
+	// this is the only syntactic evidence that a type's members are used.
+	anySel map[string]bool
+}
+
+// scanTestRefs parses the _test.go files of every loaded package directory.
+// Files that fail to parse are skipped: a broken test file cannot reference
+// anything the compiler would accept either.
+func (r *Runner) scanTestRefs() *testRefs {
+	refs := &testRefs{
+		sel:    make(map[string]map[string]bool),
+		dot:    make(map[string]bool),
+		local:  make(map[string]map[string]bool),
+		anySel: make(map[string]bool),
+	}
+	for _, mp := range r.cache {
+		entries, err := os.ReadDir(mp.dir)
+		if err != nil {
+			continue
+		}
+		for _, ent := range entries {
+			name := ent.Name()
+			if ent.IsDir() || !strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			f, err := parser.ParseFile(r.fset, filepath.Join(mp.dir, name), nil, 0)
+			if err != nil {
+				continue
+			}
+			r.scanTestFile(refs, mp, f)
+		}
+	}
+	return refs
+}
+
+// scanTestFile records one test file's references.
+func (r *Runner) scanTestFile(refs *testRefs, mp *modPkg, f *ast.File) {
+	// Resolve imports to local names so selector references attribute to
+	// the right package path.
+	localToPath := make(map[string]string)
+	for _, imp := range f.Imports {
+		path, err := strconv.Unquote(imp.Path.Value)
+		if err != nil {
+			continue
+		}
+		switch {
+		case imp.Name == nil:
+			// Default local name: the imported package's declared name when
+			// we loaded it, the path base otherwise.
+			local := filepath.Base(path)
+			if dep, ok := r.cache[path]; ok {
+				local = dep.pkg.Name()
+			}
+			localToPath[local] = path
+		case imp.Name.Name == ".":
+			refs.dot[path] = true
+		case imp.Name.Name == "_":
+			// Blank imports reference nothing by name.
+		default:
+			localToPath[imp.Name.Name] = path
+		}
+	}
+	internal := f.Name.Name == mp.pkg.Name()
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			refs.anySel[n.Sel.Name] = true
+			if x, ok := n.X.(*ast.Ident); ok {
+				if path, ok := localToPath[x.Name]; ok {
+					if refs.sel[path] == nil {
+						refs.sel[path] = make(map[string]bool)
+					}
+					refs.sel[path][n.Sel.Name] = true
+				}
+			}
+		case *ast.Ident:
+			if internal {
+				if refs.local[mp.dir] == nil {
+					refs.local[mp.dir] = make(map[string]bool)
+				}
+				refs.local[mp.dir][n.Name] = true
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,245 @@
+// Interprocedural checks over the static call graph: transitive noalloc
+// and determinism taint. Both are fixpoint-free memoized DFS walks; cycles
+// are broken optimistically (an in-progress node contributes nothing),
+// which is sound here because every direct violation is still found on the
+// node that contains it.
+package lint
+
+import (
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// cleanInfo classifies one function for the transitive noalloc check.
+type cleanInfo struct {
+	visiting bool
+	done     bool
+	dirty    bool
+	// Root cause of dirtiness, for the diagnostic: what allocates, where,
+	// and through which chain of callees the allocation is reached.
+	what string
+	pos  token.Pos
+	path []string // display names from the first callee down to the root
+}
+
+// checkNoallocTransitive verifies that every //spear:noalloc function only
+// calls functions that are themselves allocation-free all the way down, or
+// that are explicitly marked //spear:slowpath (audited cold paths), or
+// other //spear:noalloc functions (checked on their own). Calls through
+// interfaces or function values are unresolvable from noalloc context and
+// must carry //spear:dyncall.
+func (r *Runner) checkNoallocTransitive(g *callGraph, pkgs []*modPkg) []Diagnostic {
+	analyzed := make(map[*modPkg]bool, len(pkgs))
+	for _, mp := range pkgs {
+		analyzed[mp] = true
+	}
+	memo := make(map[*funcNode]*cleanInfo)
+	var diags []Diagnostic
+	for _, node := range g.nodes {
+		if !node.noalloc || !analyzed[node.mp] {
+			continue
+		}
+		for _, site := range node.calls {
+			if site.dynamic != "" {
+				if !site.audited {
+					r.diag(&diags, site.pos, checkNameNoallocTrans,
+						"call through %s is unresolvable from //%s context; mark the call //%s after auditing every implementation",
+						site.dynamic, markerNoalloc, markerDyncall)
+				}
+				continue
+			}
+			callee := g.nodes[site.callee]
+			if callee == nil {
+				// A module function without a body in the graph (e.g. an
+				// assembly stub) cannot be proven clean.
+				r.diag(&diags, site.pos, checkNameNoallocTrans,
+					"calls %s, which has no analyzable body; mark it //%s if it is an audited cold path",
+					r.displayName(site.callee), markerSlowpath)
+				continue
+			}
+			if callee.noalloc || callee.slowpath {
+				continue
+			}
+			if ci := r.clean(g, callee, memo); ci.dirty {
+				via := ""
+				if len(ci.path) > 0 {
+					via = " via " + strings.Join(ci.path, " -> ")
+				}
+				file, line, _ := r.position(ci.pos)
+				r.diag(&diags, site.pos, checkNameNoallocTrans,
+					"calls %s, which is not allocation-free (%s at %s:%d%s); mark the allocating callee //%s if it is an audited cold path",
+					r.displayName(site.callee), ci.what, file, line, via, markerSlowpath)
+			}
+		}
+	}
+	sortDiagnostics(diags)
+	return diags
+}
+
+// clean classifies a function as transitively allocation-free: no
+// structural allocation construct in its body, no unaudited dynamic call,
+// and every module callee either noalloc, slowpath or itself clean.
+func (r *Runner) clean(g *callGraph, node *funcNode, memo map[*funcNode]*cleanInfo) *cleanInfo {
+	if ci, ok := memo[node]; ok {
+		if ci.visiting {
+			return &cleanInfo{done: true} // optimistic on cycles
+		}
+		return ci
+	}
+	ci := &cleanInfo{visiting: true}
+	memo[node] = ci
+	defer func() { ci.visiting, ci.done = false, true }()
+
+	if len(node.allocs) > 0 {
+		a := node.allocs[0]
+		ci.dirty, ci.what, ci.pos = true, a.what, a.pos
+		return ci
+	}
+	for _, site := range node.calls {
+		if site.dynamic != "" {
+			if site.audited {
+				continue
+			}
+			ci.dirty = true
+			ci.what = "unaudited call through " + site.dynamic
+			ci.pos = site.pos
+			return ci
+		}
+		callee := g.nodes[site.callee]
+		if callee == nil {
+			ci.dirty, ci.what, ci.pos = true, "call to a function with no analyzable body", site.pos
+			return ci
+		}
+		if callee.noalloc || callee.slowpath {
+			continue
+		}
+		if sub := r.clean(g, callee, memo); sub.dirty {
+			ci.dirty, ci.what, ci.pos = true, sub.what, sub.pos
+			ci.path = append([]string{r.displayName(callee.fn)}, sub.path...)
+			return ci
+		}
+	}
+	return ci
+}
+
+// taintCause is one reason a function is (transitively) nondeterministic.
+type taintCause struct {
+	kind string // "rand" or "time"
+	what string // "math/rand.Intn", "time.Now", ...
+	pos  token.Pos
+	path []string // display names from the first callee down to the source
+}
+
+// taintInfo memoizes the taint of one function: at most one cause per kind.
+type taintInfo struct {
+	visiting bool
+	causes   []taintCause
+}
+
+// checkDeterminismTaint propagates nondeterminism through the call graph:
+// a function is tainted if it draws from the global math/rand source, reads
+// the wall clock outside a //spear:timing function, or calls a tainted
+// module function. Call sites inside deterministic packages whose callee
+// lives in a non-deterministic package and is tainted are reported — the
+// cross-package leaks the direct determinism check cannot see. Sites whose
+// callee is itself in a deterministic package are skipped: the taint source
+// there is flagged directly in that package.
+func (r *Runner) checkDeterminismTaint(g *callGraph, pkgs []*modPkg) []Diagnostic {
+	memo := make(map[*funcNode]*taintInfo)
+	var diags []Diagnostic
+	for _, node := range g.nodes {
+		if !r.deterministic(node.mp.path) {
+			continue
+		}
+		analyzed := false
+		for _, mp := range pkgs {
+			if mp == node.mp {
+				analyzed = true
+				break
+			}
+		}
+		if !analyzed {
+			continue
+		}
+		for _, site := range node.calls {
+			if site.callee == nil {
+				continue // dynamic: out of reach for taint propagation
+			}
+			callee := g.nodes[site.callee]
+			if callee == nil || r.deterministic(callee.mp.path) {
+				continue
+			}
+			for _, cause := range r.taint(g, callee, memo).causes {
+				if cause.kind == "time" && node.timing {
+					continue // audited timing site in the caller
+				}
+				via := ""
+				if len(cause.path) > 0 {
+					via = " via " + strings.Join(cause.path, " -> ")
+				}
+				file, line, _ := r.position(cause.pos)
+				remedy := "inject a seeded *rand.Rand instead"
+				if cause.kind == "time" {
+					remedy = "mark the caller //" + markerTiming + " if this is a legitimate timing site"
+				}
+				r.diag(&diags, site.pos, checkNameDetTaint,
+					"call to %s reaches %s (%s:%d%s) from a deterministic package; %s",
+					r.displayName(site.callee), cause.what, file, line, via, remedy)
+			}
+		}
+	}
+	sortDiagnostics(diags)
+	return diags
+}
+
+// taint computes the memoized taint of one function: direct global-rand
+// draws, direct clock reads (unless the function is //spear:timing), and
+// every taint of statically resolved module callees.
+func (r *Runner) taint(g *callGraph, node *funcNode, memo map[*funcNode]*taintInfo) *taintInfo {
+	if ti, ok := memo[node]; ok {
+		if ti.visiting {
+			return &taintInfo{}
+		}
+		return ti
+	}
+	ti := &taintInfo{visiting: true}
+	memo[node] = ti
+	defer func() { ti.visiting = false }()
+
+	add := func(c taintCause) {
+		for _, have := range ti.causes {
+			if have.kind == c.kind {
+				return // one cause per kind is enough for the diagnostic
+			}
+		}
+		ti.causes = append(ti.causes, c)
+	}
+	for _, p := range node.rand {
+		add(taintCause{kind: "rand", what: p.name, pos: p.pos})
+	}
+	if !node.timing {
+		for _, p := range node.clock {
+			add(taintCause{kind: "time", what: p.name, pos: p.pos})
+		}
+	}
+	for _, site := range node.calls {
+		if site.callee == nil {
+			continue
+		}
+		callee := g.nodes[site.callee]
+		if callee == nil {
+			continue
+		}
+		for _, c := range r.taint(g, callee, memo).causes {
+			add(taintCause{
+				kind: c.kind,
+				what: c.what,
+				pos:  c.pos,
+				path: append([]string{r.displayName(callee.fn)}, c.path...),
+			})
+		}
+	}
+	sort.Slice(ti.causes, func(i, j int) bool { return ti.causes[i].kind < ti.causes[j].kind })
+	return ti
+}

@@ -1,0 +1,112 @@
+// Hot-struct layout check: structs marked //spear:packed must not waste
+// padding bytes to field ordering. The check computes the struct's size
+// under a fixed gc/amd64 size model (so diagnostics are identical on every
+// host), greedily re-packs the fields by descending alignment and size, and
+// reports the optimal ordering and the bytes it saves whenever reordering
+// helps. Structs whose padding is unavoidable (a single sub-word field,
+// for example) pass: the marker asserts optimality, not zero padding.
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// layoutSizes is the fixed size model of the layout check. amd64 matches
+// the repository's benchmark hosts; using one model everywhere keeps golden
+// tests and CI diagnostics byte-identical across architectures.
+var layoutSizes = types.SizesFor("gc", "amd64")
+
+// checkLayout reports //spear:packed structs of one package whose field
+// ordering wastes padding relative to the greedy optimal ordering.
+func (r *Runner) checkLayout(mp *modPkg) []Diagnostic {
+	var diags []Diagnostic
+	for _, file := range mp.files {
+		idx := indexMarkers(r.fset, file)
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok || !idx.onType(r.fset, gd, ts, markerPacked) {
+					continue
+				}
+				obj, ok := mp.info.Defs[ts.Name].(*types.TypeName)
+				if !ok {
+					continue
+				}
+				st, ok := obj.Type().Underlying().(*types.Struct)
+				if !ok {
+					r.diag(&diags, ts.Pos(), checkNameLayout,
+						"//%s on %s, which is not a struct type", markerPacked, ts.Name.Name)
+					continue
+				}
+				r.packedDiag(&diags, ts, st)
+			}
+		}
+	}
+	return diags
+}
+
+// packedDiag compares the declared layout of one marked struct against the
+// greedy optimal field ordering.
+func (r *Runner) packedDiag(diags *[]Diagnostic, ts *ast.TypeSpec, st *types.Struct) {
+	n := st.NumFields()
+	if n < 2 {
+		return
+	}
+	fields := make([]*types.Var, n)
+	for i := range fields {
+		fields[i] = st.Field(i)
+	}
+	current := structSize(fields)
+	packed := append([]*types.Var(nil), fields...)
+	// Descending alignment, then descending size, original order on ties:
+	// the classic greedy packing, optimal for the power-of-two alignments
+	// the gc model uses.
+	sort.SliceStable(packed, func(i, j int) bool {
+		ai, aj := layoutSizes.Alignof(packed[i].Type()), layoutSizes.Alignof(packed[j].Type())
+		if ai != aj {
+			return ai > aj
+		}
+		return layoutSizes.Sizeof(packed[i].Type()) > layoutSizes.Sizeof(packed[j].Type())
+	})
+	optimal := structSize(packed)
+	if optimal >= current {
+		return
+	}
+	names := make([]string, n)
+	for i, f := range packed {
+		names[i] = f.Name()
+	}
+	r.diag(diags, ts.Pos(), checkNameLayout,
+		"//%s struct %s wastes %d padding bytes (%d -> %d under gc/amd64); reorder fields: %s",
+		markerPacked, ts.Name.Name, current-optimal, current, optimal, strings.Join(names, ", "))
+}
+
+// structSize computes the size of a struct with the given field order under
+// the fixed size model: each field is aligned to its own alignment, and the
+// total is rounded up to the struct's alignment (the maximum field
+// alignment). This mirrors what types.Sizes computes for the declared
+// order, applied to a hypothetical one.
+func structSize(fields []*types.Var) int64 {
+	var offset, maxAlign int64 = 0, 1
+	for _, f := range fields {
+		a := layoutSizes.Alignof(f.Type())
+		if a > maxAlign {
+			maxAlign = a
+		}
+		offset = align(offset, a)
+		offset += layoutSizes.Sizeof(f.Type())
+	}
+	return align(offset, maxAlign)
+}
+
+// align rounds x up to the next multiple of a.
+func align(x, a int64) int64 {
+	return (x + a - 1) / a * a
+}

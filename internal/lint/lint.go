@@ -32,6 +32,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Diagnostic is one finding, addressable as file:line:col.
@@ -60,11 +61,11 @@ func (e *LoadError) Error() string {
 	return fmt.Sprintf("loading %s: %s", e.Path, strings.Join(e.Errs, "; "))
 }
 
-// DefaultDeterministic lists the module-relative packages whose fixed-seed
+// defaultDeterministic lists the module-relative packages whose fixed-seed
 // reproducibility the determinism check protects. internal/anneal rides along
 // with the seven packages named by the search/training path: simulated
 // annealing is seeded the same way and breaks the same way.
-var DefaultDeterministic = []string{
+var defaultDeterministic = []string{
 	"internal/mcts",
 	"internal/nn",
 	"internal/simenv",
@@ -75,11 +76,50 @@ var DefaultDeterministic = []string{
 	"internal/anneal",
 }
 
+// Check names, in the order the passes run. The first four are the
+// intraprocedural checks of PR 4; the last four are interprocedural and use
+// the static call graph (callgraph.go).
+const (
+	checkNameDeterminism  = "determinism"
+	checkNameNoalloc      = "noalloc"
+	checkNameMetrics      = "metrics"
+	checkNameFloatEq      = "floateq"
+	checkNameNoallocTrans = "noalloc-transitive"
+	checkNameDetTaint     = "determinism-taint"
+	checkNameLayout       = "layout"
+	checkNameDeadExport   = "deadexport"
+)
+
+// AllChecks lists every check in pass order.
+var AllChecks = []string{
+	checkNameDeterminism, checkNameNoalloc, checkNameMetrics, checkNameFloatEq,
+	checkNameNoallocTrans, checkNameDetTaint, checkNameLayout, checkNameDeadExport,
+}
+
 // Config parameterizes a run.
 type Config struct {
 	// Deterministic lists module-relative package paths subject to the
-	// determinism check. Nil means DefaultDeterministic.
+	// determinism check. Nil means defaultDeterministic.
 	Deterministic []string
+
+	// Checks selects which checks run, by name (see AllChecks). Nil means
+	// all of them. Unknown names are rejected by NewRunner.
+	Checks []string
+}
+
+// CheckTiming is the wall-clock cost of one pass.
+type CheckTiming struct {
+	Check  string  `json:"check"`
+	Millis float64 `json:"millis"`
+}
+
+// RunStats summarizes one Analyze run: how many module packages were
+// type-checked (each exactly once — the runner memoizes by import path, so
+// a dependency shared by every analyzed package costs one load) and what
+// each enabled pass cost.
+type RunStats struct {
+	PackagesLoaded int           `json:"packages_loaded"`
+	Checks         []CheckTiming `json:"checks"`
 }
 
 // Runner loads and type-checks packages of one module and runs the checks.
@@ -92,7 +132,9 @@ type Runner struct {
 	std        types.ImporterFrom
 	cache      map[string]*modPkg
 	loading    map[string]bool
+	loadCount  int // module packages actually type-checked (cache misses)
 	cfg        Config
+	enabled    map[string]bool // check name -> selected by cfg.Checks
 
 	// metricSites accumulates literal metric registrations across every
 	// analyzed package, for the duplicate-name part of the metrics check.
@@ -116,7 +158,24 @@ func NewRunner(dir string, cfg Config) (*Runner, error) {
 		return nil, err
 	}
 	if cfg.Deterministic == nil {
-		cfg.Deterministic = DefaultDeterministic
+		cfg.Deterministic = defaultDeterministic
+	}
+	enabled := make(map[string]bool)
+	if cfg.Checks == nil {
+		for _, c := range AllChecks {
+			enabled[c] = true
+		}
+	} else {
+		known := make(map[string]bool, len(AllChecks))
+		for _, c := range AllChecks {
+			known[c] = true
+		}
+		for _, c := range cfg.Checks {
+			if !known[c] {
+				return nil, fmt.Errorf("lint: unknown check %q (valid: %s)", c, strings.Join(AllChecks, ", "))
+			}
+			enabled[c] = true
+		}
 	}
 	fset := token.NewFileSet()
 	std, ok := importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
@@ -131,6 +190,7 @@ func NewRunner(dir string, cfg Config) (*Runner, error) {
 		cache:       make(map[string]*modPkg),
 		loading:     make(map[string]bool),
 		cfg:         cfg,
+		enabled:     enabled,
 		metricSites: make(map[string][]metricSite),
 	}, nil
 }
@@ -260,6 +320,7 @@ func (r *Runner) load(path string) (*modPkg, error) {
 	}
 	mp := &modPkg{path: path, dir: dir, files: files, pkg: pkg, info: info}
 	r.cache[path] = mp
+	r.loadCount++
 	return mp, nil
 }
 
@@ -283,23 +344,116 @@ func (r *Runner) deterministic(path string) bool {
 	return false
 }
 
-// AnalyzeDirs loads every directory as a package and runs all checks,
-// returning the combined findings sorted by position. A non-nil error is a
-// load or type-check failure (spear-vet exit 2), never a finding.
+// AnalyzeDirs loads every directory as a package and runs the enabled
+// checks, returning the combined findings sorted by position. A non-nil
+// error is a load or type-check failure (spear-vet exit 2), never a finding.
 func (r *Runner) AnalyzeDirs(dirs []string) ([]Diagnostic, error) {
-	var diags []Diagnostic
+	diags, _, err := r.Analyze(dirs)
+	return diags, err
+}
+
+// Analyze is AnalyzeDirs plus run statistics: the number of module packages
+// type-checked and the wall-clock cost of every enabled pass.
+func (r *Runner) Analyze(dirs []string) ([]Diagnostic, RunStats, error) {
+	var stats RunStats
+	timed := func(check string, pass func() []Diagnostic) []Diagnostic {
+		began := time.Now()
+		found := pass()
+		stats.Checks = append(stats.Checks, CheckTiming{
+			Check:  check,
+			Millis: float64(time.Since(began)) / float64(time.Millisecond),
+		})
+		return found
+	}
+
+	// Load phase: every analyzed package and (transitively) its module
+	// dependencies, each type-checked exactly once.
+	var pkgs []*modPkg
+	began := time.Now()
 	for _, dir := range dirs {
 		path, err := r.pathFor(dir)
 		if err != nil {
-			return nil, &LoadError{Path: dir, Errs: []string{err.Error()}}
+			return nil, stats, &LoadError{Path: dir, Errs: []string{err.Error()}}
 		}
 		mp, err := r.load(path)
 		if err != nil {
-			return nil, err
+			return nil, stats, err
 		}
-		diags = append(diags, r.checkPackage(mp)...)
+		pkgs = append(pkgs, mp)
 	}
-	diags = append(diags, r.duplicateMetricDiags()...)
+	stats.Checks = append(stats.Checks, CheckTiming{
+		Check:  "load",
+		Millis: float64(time.Since(began)) / float64(time.Millisecond),
+	})
+
+	var diags []Diagnostic
+	for _, check := range []string{checkNameDeterminism, checkNameNoalloc, checkNameMetrics, checkNameFloatEq} {
+		if !r.enabled[check] {
+			continue
+		}
+		check := check
+		diags = append(diags, timed(check, func() []Diagnostic {
+			var found []Diagnostic
+			for _, mp := range pkgs {
+				found = append(found, r.checkPackage(mp, check)...)
+			}
+			if check == checkNameMetrics {
+				found = append(found, r.duplicateMetricDiags()...)
+			}
+			return found
+		})...)
+	}
+
+	// Interprocedural passes share one call graph over every module package
+	// in the cache (analyzed packages and their dependencies).
+	if r.enabled[checkNameNoallocTrans] || r.enabled[checkNameDetTaint] {
+		var g *callGraph
+		timed("callgraph", func() []Diagnostic {
+			g = r.buildCallGraph()
+			return nil
+		})
+		if r.enabled[checkNameNoallocTrans] {
+			diags = append(diags, timed(checkNameNoallocTrans, func() []Diagnostic {
+				return r.checkNoallocTransitive(g, pkgs)
+			})...)
+		}
+		if r.enabled[checkNameDetTaint] {
+			diags = append(diags, timed(checkNameDetTaint, func() []Diagnostic {
+				return r.checkDeterminismTaint(g, pkgs)
+			})...)
+		}
+	}
+	if r.enabled[checkNameLayout] {
+		diags = append(diags, timed(checkNameLayout, func() []Diagnostic {
+			var found []Diagnostic
+			for _, mp := range pkgs {
+				found = append(found, r.checkLayout(mp)...)
+			}
+			return found
+		})...)
+	}
+	if r.enabled[checkNameDeadExport] {
+		var found []Diagnostic
+		var err error
+		timed(checkNameDeadExport, func() []Diagnostic {
+			found, err = r.checkDeadExports(pkgs)
+			return nil
+		})
+		if err != nil {
+			return nil, stats, err
+		}
+		diags = append(diags, found...)
+	}
+
+	stats.PackagesLoaded = r.loadCount
+	sortDiagnostics(diags)
+	return diags, stats, nil
+}
+
+// sortDiagnostics orders findings by (file, line, col, check, message) so
+// two runs over the same tree print byte-identical output regardless of map
+// iteration order anywhere in the passes.
+func sortDiagnostics(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.File != b.File {
@@ -308,9 +462,14 @@ func (r *Runner) AnalyzeDirs(dirs []string) ([]Diagnostic, error) {
 		if a.Line != b.Line {
 			return a.Line < b.Line
 		}
-		return a.Col < b.Col
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		return a.Message < b.Message
 	})
-	return diags, nil
 }
 
 // AnalyzeDirs is the one-shot entry point: build a runner rooted at the

@@ -6,6 +6,7 @@ import (
 	"go/token"
 	"os"
 	"path/filepath"
+	"reflect"
 	"regexp"
 	"strconv"
 	"strings"
@@ -13,18 +14,25 @@ import (
 )
 
 // wantPattern matches the expected-diagnostic comments of the golden files:
-// `// want "substring"`.
-var wantPattern = regexp.MustCompile(`want "([^"]*)"`)
+// `// want "substring"` or, with a column assertion, `// want 7 "substring"`.
+var wantPattern = regexp.MustCompile(`want (?:(\d+) )?"([^"]*)"`)
+
+// want is one expected diagnostic: a message substring and, when col is
+// non-zero, the exact column the diagnostic must carry.
+type want struct {
+	col    int
+	substr string
+}
 
 // loadWants scans every non-test .go file of dir for want comments and
 // returns them keyed by "basename:line".
-func loadWants(t *testing.T, dir string) map[string][]string {
+func loadWants(t *testing.T, dir string) map[string][]want {
 	t.Helper()
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
-	wants := make(map[string][]string)
+	wants := make(map[string][]want)
 	fset := token.NewFileSet()
 	for _, ent := range entries {
 		name := ent.Name()
@@ -38,8 +46,15 @@ func loadWants(t *testing.T, dir string) map[string][]string {
 		for _, group := range f.Comments {
 			for _, c := range group.List {
 				for _, m := range wantPattern.FindAllStringSubmatch(c.Text, -1) {
+					col := 0
+					if m[1] != "" {
+						col, err = strconv.Atoi(m[1])
+						if err != nil {
+							t.Fatal(err)
+						}
+					}
 					key := name + ":" + strconv.Itoa(fset.Position(c.Pos()).Line)
-					wants[key] = append(wants[key], m[1])
+					wants[key] = append(wants[key], want{col: col, substr: m[2]})
 				}
 			}
 		}
@@ -47,21 +62,29 @@ func loadWants(t *testing.T, dir string) map[string][]string {
 	return wants
 }
 
-// runGolden analyzes one testdata package and requires an exact two-way match
-// between its diagnostics and its want comments.
-func runGolden(t *testing.T, pkg string, cfg Config) {
+// runGolden analyzes the given testdata packages together and requires an
+// exact two-way match between the diagnostics and the want comments of every
+// package: no unexpected findings, no unmatched wants, and matching columns
+// wherever a want asserts one.
+func runGolden(t *testing.T, pkgs []string, cfg Config) {
 	t.Helper()
-	dir := filepath.Join("testdata", "src", pkg)
-	wants := loadWants(t, dir)
-	diags, err := AnalyzeDirs([]string{dir}, cfg)
+	dirs := make([]string, len(pkgs))
+	wants := make(map[string][]want)
+	for i, pkg := range pkgs {
+		dirs[i] = filepath.Join("testdata", "src", pkg)
+		for key, ws := range loadWants(t, dirs[i]) {
+			wants[key] = append(wants[key], ws...)
+		}
+	}
+	diags, err := AnalyzeDirs(dirs, cfg)
 	if err != nil {
-		t.Fatalf("AnalyzeDirs(%s): %v", dir, err)
+		t.Fatalf("AnalyzeDirs(%v): %v", dirs, err)
 	}
 	for _, d := range diags {
 		key := filepath.Base(d.File) + ":" + strconv.Itoa(d.Line)
 		matched := -1
-		for i, substr := range wants[key] {
-			if strings.Contains(d.Message, substr) {
+		for i, w := range wants[key] {
+			if strings.Contains(d.Message, w.substr) && (w.col == 0 || w.col == d.Col) {
 				matched = i
 				break
 			}
@@ -75,30 +98,120 @@ func runGolden(t *testing.T, pkg string, cfg Config) {
 			delete(wants, key)
 		}
 	}
-	for key, substrs := range wants {
-		for _, substr := range substrs {
-			t.Errorf("missing diagnostic at %s matching %q", key, substr)
+	for key, ws := range wants {
+		for _, w := range ws {
+			if w.col != 0 {
+				t.Errorf("missing diagnostic at %s col %d matching %q", key, w.col, w.substr)
+			} else {
+				t.Errorf("missing diagnostic at %s matching %q", key, w.substr)
+			}
 		}
 	}
 }
 
 func TestGoldenDeterminism(t *testing.T) {
 	// The testdata package is not on the default deterministic list; opt it in.
-	runGolden(t, "determinism", Config{
+	runGolden(t, []string{"determinism"}, Config{
 		Deterministic: []string{"internal/lint/testdata/src/determinism"},
+		Checks:        []string{checkNameDeterminism},
 	})
 }
 
 func TestGoldenNoalloc(t *testing.T) {
-	runGolden(t, "noalloc", Config{})
+	runGolden(t, []string{"noalloc"}, Config{Checks: []string{checkNameNoalloc}})
 }
 
 func TestGoldenMetrics(t *testing.T) {
-	runGolden(t, "metrics", Config{})
+	runGolden(t, []string{"metrics"}, Config{Checks: []string{checkNameMetrics}})
 }
 
 func TestGoldenFloatEq(t *testing.T) {
-	runGolden(t, "floateq", Config{})
+	runGolden(t, []string{"floateq"}, Config{Checks: []string{checkNameFloatEq}})
+}
+
+func TestGoldenNoallocTransitive(t *testing.T) {
+	runGolden(t, []string{"transnoalloc"}, Config{Checks: []string{checkNameNoallocTrans}})
+}
+
+func TestGoldenDeterminismTaint(t *testing.T) {
+	// Only the caller package is deterministic; impure stays off the list so
+	// its own rand/time use is legal and only the cross-package calls taint.
+	runGolden(t, []string{"taint"}, Config{
+		Deterministic: []string{"internal/lint/testdata/src/taint"},
+		Checks:        []string{checkNameDetTaint},
+	})
+}
+
+func TestGoldenLayout(t *testing.T) {
+	runGolden(t, []string{"packed"}, Config{Checks: []string{checkNameLayout}})
+}
+
+func TestGoldenDeadExport(t *testing.T) {
+	// Analyze the consumer alongside the fixture so its imports count as
+	// cross-package references.
+	runGolden(t, []string{"deadexport", filepath.Join("deadexport", "consumer")},
+		Config{Checks: []string{checkNameDeadExport}})
+}
+
+// TestAnalyzeDeterministic runs the full pipeline twice over the
+// finding-rich golden packages and requires byte-identical output: map
+// iteration inside the call-graph passes must never leak into diagnostic
+// order or content.
+func TestAnalyzeDeterministic(t *testing.T) {
+	dirs := []string{
+		filepath.Join("testdata", "src", "transnoalloc"),
+		filepath.Join("testdata", "src", "taint"),
+		filepath.Join("testdata", "src", "packed"),
+	}
+	cfg := Config{Deterministic: []string{"internal/lint/testdata/src/taint"}}
+	run := func() []Diagnostic {
+		t.Helper()
+		diags, err := AnalyzeDirs(dirs, cfg)
+		if err != nil {
+			t.Fatalf("AnalyzeDirs: %v", err)
+		}
+		return diags
+	}
+	first, second := run(), run()
+	if !reflect.DeepEqual(first, second) {
+		t.Fatalf("two runs disagree:\nfirst:  %v\nsecond: %v", first, second)
+	}
+	if len(first) == 0 {
+		t.Fatal("golden packages produced no diagnostics; the determinism check is vacuous")
+	}
+}
+
+// TestPackageCache asserts type-checked packages are cached across Analyze
+// calls on one Runner: a second pass over the same directories loads nothing.
+func TestPackageCache(t *testing.T) {
+	r, err := NewRunner(".", Config{Checks: []string{checkNameFloatEq}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs := []string{filepath.Join("testdata", "src", "floateq")}
+	_, stats1, err := r.Analyze(dirs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats1.PackagesLoaded < 1 {
+		t.Fatalf("first run PackagesLoaded = %d, want at least 1", stats1.PackagesLoaded)
+	}
+	_, stats2, err := r.Analyze(dirs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats2.PackagesLoaded != stats1.PackagesLoaded {
+		t.Errorf("second run PackagesLoaded = %d, want %d (cache hit)", stats2.PackagesLoaded, stats1.PackagesLoaded)
+	}
+}
+
+// TestUnknownCheckRejected pins the -check flag's failure mode: an unknown
+// name is a configuration error, not an empty run.
+func TestUnknownCheckRejected(t *testing.T) {
+	_, err := NewRunner(".", Config{Checks: []string{"nosuchcheck"}})
+	if err == nil || !strings.Contains(err.Error(), "unknown check") {
+		t.Fatalf("NewRunner error = %v, want unknown-check error", err)
+	}
 }
 
 // TestLoadErrorOnTypeError asserts a package that fails type-checking
@@ -176,7 +289,7 @@ func TestCarriesMarker(t *testing.T) {
 		{"// nothing here", false},
 	}
 	for _, c := range cases {
-		if got := carriesMarker(c.line, MarkerNoalloc); got != c.want {
+		if got := carriesMarker(c.line, markerNoalloc); got != c.want {
 			t.Errorf("carriesMarker(%q) = %v, want %v", c.line, got, c.want)
 		}
 	}

@@ -11,11 +11,36 @@ import (
 // to a statement or expression when it appears on the same line or the line
 // directly above.
 const (
-	MarkerNoalloc = "spear:noalloc"
-	MarkerTiming  = "spear:timing"
-	MarkerSorted  = "spear:sorted"
-	MarkerFloatEq = "spear:floateq"
+	markerNoalloc = "spear:noalloc"
+	markerTiming  = "spear:timing"
+	markerSorted  = "spear:sorted"
+	markerFloatEq = "spear:floateq"
+
+	// markerSlowpath marks a function as an audited cold path: error
+	// constructors and capacity-growth helpers that //spear:noalloc
+	// functions may call even though their bodies allocate. The marker is
+	// the explicit escape hatch of the transitive noalloc check; the
+	// runtime AllocsPerRun gates remain the proof that slowpath callees
+	// stay off the warm path.
+	markerSlowpath = "spear:slowpath"
+
+	// markerPacked marks a struct type whose field ordering must be
+	// padding-optimal under the gc/amd64 size model; the layout check
+	// reports the optimal ordering and the bytes it saves otherwise.
+	markerPacked = "spear:packed"
+
+	// markerDyncall marks a call site through an interface or function
+	// value inside a //spear:noalloc function as audited: the author
+	// asserts every implementation reachable there is allocation-free,
+	// which the static call graph cannot prove.
+	markerDyncall = "spear:dyncall"
 )
+
+// allMarkers lists every marker indexMarkers scans for.
+var allMarkers = []string{
+	markerNoalloc, markerTiming, markerSorted, markerFloatEq,
+	markerSlowpath, markerPacked, markerDyncall,
+}
 
 // markerIndex records, per marker, the source lines of one file that carry it.
 type markerIndex struct {
@@ -40,7 +65,7 @@ func indexMarkers(fset *token.FileSet, file *ast.File) *markerIndex {
 		for _, c := range group.List {
 			start := fset.Position(c.Pos()).Line
 			for i, text := range strings.Split(c.Text, "\n") {
-				for _, m := range []string{MarkerNoalloc, MarkerTiming, MarkerSorted, MarkerFloatEq} {
+				for _, m := range allMarkers {
 					if !carriesMarker(text, m) {
 						continue
 					}
@@ -69,14 +94,27 @@ func (idx *markerIndex) at(fset *token.FileSet, pos token.Pos, marker string) bo
 // onFunc reports whether the marker annotates the function declaration: in
 // its doc comment, or on the line directly above the declaration.
 func (idx *markerIndex) onFunc(fset *token.FileSet, fd *ast.FuncDecl, marker string) bool {
-	if fd.Doc != nil {
-		for _, c := range fd.Doc.List {
-			for _, text := range strings.Split(c.Text, "\n") {
-				if carriesMarker(text, marker) {
-					return true
-				}
+	return inDoc(fd.Doc, marker) || idx.at(fset, fd.Pos(), marker)
+}
+
+// onType reports whether the marker annotates the type declaration: in the
+// spec's doc, the enclosing gen-decl's doc, or on the line directly above
+// the spec.
+func (idx *markerIndex) onType(fset *token.FileSet, gd *ast.GenDecl, spec *ast.TypeSpec, marker string) bool {
+	return inDoc(spec.Doc, marker) || inDoc(gd.Doc, marker) || idx.at(fset, spec.Pos(), marker)
+}
+
+// inDoc reports whether any line of the comment group carries the marker.
+func inDoc(doc *ast.CommentGroup, marker string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		for _, text := range strings.Split(c.Text, "\n") {
+			if carriesMarker(text, marker) {
+				return true
 			}
 		}
 	}
-	return idx.at(fset, fd.Pos(), marker)
+	return false
 }

@@ -1,0 +1,16 @@
+// Package consumer imports the deadexport fixture from another package so
+// cross-package references keep Kept, NewOwner and (via the Ping call)
+// Owner alive.
+package consumer
+
+import "spear/internal/lint/testdata/src/deadexport"
+
+var total int
+
+func use() {
+	total = deadexport.Kept()
+	o := deadexport.NewOwner()
+	o.Ping()
+}
+
+var _ = use

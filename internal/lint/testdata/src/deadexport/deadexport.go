@@ -1,0 +1,39 @@
+// Package deadexport exercises the dead-internal-export check: exported
+// identifiers of internal packages must be referenced from outside their
+// own package (other packages or test files), or the check says how to
+// shrink the API surface.
+package deadexport
+
+// Dead has no references anywhere in the module.
+func Dead() {} // want 6 "exported func Dead has no references anywhere in the module (tests included); delete it"
+
+// InternalOnly is referenced, but only from this package.
+func InternalOnly() int { return 1 } // want "exported func InternalOnly is referenced only inside internal/lint/testdata/src/deadexport; unexport it"
+
+var sink = InternalOnly()
+
+// Kept is imported by the sibling consumer package: no diagnostic.
+func Kept() int { return 2 }
+
+// TestedOnly is referenced only by this package's test file: no diagnostic.
+func TestedOnly() int { return 3 }
+
+// DeadConst has no references.
+const DeadConst = 7 // want "exported const DeadConst has no references"
+
+// DeadVar has no references.
+var DeadVar int // want "exported var DeadVar has no references"
+
+// DeadType has no references.
+type DeadType struct{} // want "exported type DeadType has no references"
+
+// Owner is never named outside this package, but the consumer calls its
+// Ping method on a value obtained from NewOwner: the method reference
+// keeps the owning type alive.
+type Owner struct{}
+
+// Ping does nothing; the consumer calls it.
+func (Owner) Ping() {}
+
+// NewOwner hands the consumer an Owner without the consumer naming the type.
+func NewOwner() Owner { return Owner{} }

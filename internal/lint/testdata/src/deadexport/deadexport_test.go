@@ -1,0 +1,11 @@
+package deadexport
+
+import "testing"
+
+// TestTestedOnly is the only reference to TestedOnly: test references keep
+// exports alive so the check never suggests deleting tested code.
+func TestTestedOnly(t *testing.T) {
+	if TestedOnly() != 3 {
+		t.Fatal("TestedOnly")
+	}
+}

@@ -1,0 +1,37 @@
+// Package packed exercises the hot-struct layout check: //spear:packed
+// structs must not waste padding to field ordering under gc/amd64.
+package packed
+
+// BadOrder sandwiches an int64 between two bools: 8 padding bytes that a
+// reordering recovers.
+//
+//spear:packed
+type BadOrder struct { // want 6 "wastes 8 padding bytes (24 -> 16 under gc/amd64); reorder fields: b, a, c"
+	a bool
+	b int64
+	c bool
+}
+
+// Optimal is BadOrder with the greedy ordering applied: no diagnostic.
+//
+//spear:packed
+type Optimal struct {
+	b int64
+	a bool
+	c bool
+}
+
+// Single has nothing to reorder: no diagnostic.
+//
+//spear:packed
+type Single struct{ x int32 }
+
+//spear:packed
+type NotStruct int // want 6 "//spear:packed on NotStruct, which is not a struct type"
+
+// Unmarked wastes padding but carries no marker: not checked.
+type Unmarked struct {
+	a bool
+	b int64
+	c bool
+}

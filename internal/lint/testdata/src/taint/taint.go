@@ -1,0 +1,29 @@
+// Package taint exercises cross-package determinism taint: a deterministic
+// package calling a non-deterministic module package is reported when the
+// callee (transitively) draws global randomness or reads the wall clock.
+package taint
+
+import "spear/internal/lint/testdata/src/taint/impure"
+
+func UseDraw() int {
+	return impure.Draw() // want 9 "reaches math/rand.Intn"
+}
+
+func UseDeep() int {
+	return impure.Deep() // want "via internal/lint/testdata/src/taint/impure.draw2"
+}
+
+func UseClock() int64 {
+	return impure.Stamp() // want "mark the caller //spear:timing if this is a legitimate timing site"
+}
+
+// Timed is an audited timing site: the time taint is suppressed here.
+//
+//spear:timing
+func Timed() int64 {
+	return impure.Stamp() // no diagnostic
+}
+
+func UsePure() int {
+	return impure.Pure(3) // no diagnostic
+}

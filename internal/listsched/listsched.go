@@ -20,14 +20,14 @@ import (
 	"spear/internal/sched"
 )
 
-// Priority ranks tasks; higher values are scheduled earlier (ties: smaller
+// priority ranks tasks; higher values are scheduled earlier (ties: smaller
 // task ID first).
-type Priority func(g *dag.Graph, id dag.TaskID) float64
+type priority func(g *dag.Graph, id dag.TaskID) float64
 
 // Scheduler is an offline list scheduler with insertion-based placement.
 type Scheduler struct {
 	name string
-	prio Priority
+	prio priority
 }
 
 var _ sched.Scheduler = (*Scheduler)(nil)
@@ -36,7 +36,7 @@ var _ sched.Scheduler = (*Scheduler)(nil)
 var ErrNilPriority = errors.New("listsched: nil priority function")
 
 // New builds a list scheduler with a custom priority.
-func New(name string, prio Priority) (*Scheduler, error) {
+func New(name string, prio priority) (*Scheduler, error) {
 	if prio == nil {
 		return nil, ErrNilPriority
 	}

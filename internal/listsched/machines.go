@@ -30,7 +30,7 @@ type MachineAssignment struct {
 type MachinePlacer struct {
 	name     string
 	machines []resource.Vector
-	prio     Priority
+	prio     priority
 }
 
 // Machine-placer errors.

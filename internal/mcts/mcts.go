@@ -252,6 +252,9 @@ func (s *Scheduler) Metrics() obs.Snapshot { return s.reg.Snapshot() }
 
 // node is one state in the search tree, reached by applying action to the
 // parent's state. Values are negative makespans, so larger is better.
+// Search allocates one per expansion, so the layout is padding-checked.
+//
+//spear:packed
 type node struct {
 	env      *simenv.Env
 	action   simenv.Action
@@ -422,11 +425,11 @@ func (s *Scheduler) Schedule(g *dag.Graph, capacity resource.Vector) (*sched.Sch
 // at every decision and search-iteration boundary; on cancellation the
 // search stops within one iteration, the partially committed episode is
 // completed with the rollout policy, and the resulting incumbent schedule
-// is returned together with an error wrapping ctx.Err().
+// is returned together with an error wrapping ctx.Err(). The clock feeds
+// Stats.Elapsed/SimsPerSec and the SearchTime timer only; the search
+// itself is driven by the seeded worker rngs.
 //
-// timer only; the search itself is driven by the seeded worker rngs.
-//
-//spear:timing — the clock feeds Stats.Elapsed/SimsPerSec and the SearchTime
+//spear:timing
 func (s *Scheduler) ScheduleContext(ctx context.Context, g *dag.Graph, capacity resource.Vector) (*sched.Schedule, error) {
 	began := time.Now()
 	K := s.cfg.RootParallelism
@@ -675,7 +678,11 @@ func (s *Scheduler) finishCancelled(ctx context.Context, root *node, rng *rand.R
 }
 
 // explorationConstant estimates the job makespan with a greedy packing run
-// (Tetris) and scales it per the configuration.
+// (Tetris) and scales it per the configuration. The Tetris estimate stamps
+// its schedule's Elapsed with the wall clock; only est.Makespan
+// (deterministic) feeds the constant.
+//
+//spear:timing
 func (s *Scheduler) explorationConstant(g *dag.Graph, capacity resource.Vector) (float64, error) {
 	est, err := baselines.NewTetrisScheduler().Schedule(g, capacity)
 	if err != nil {

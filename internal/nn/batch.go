@@ -15,6 +15,8 @@ const batchRowBlock = 8
 
 // ensureBatch grows the scratch's batch buffers to hold at least rows rows.
 // Growth allocates; once sized, batch calls are allocation-free.
+//
+//spear:slowpath
 func (n *Network) ensureBatch(s *Scratch, rows int) {
 	if s.brows >= rows {
 		return
@@ -37,26 +39,33 @@ func (n *Network) ensureBatch(s *Scratch, rows int) {
 
 // Cold-path error constructors for the //spear:noalloc batch kernels, where
 // fmt is forbidden.
+//
+//spear:slowpath
 func errBatchSize(rows int) error {
 	return fmt.Errorf("%w: batch of %d rows", ErrBadInput, rows)
 }
 
+//spear:slowpath
 func errBatchValues(got, rows, in int) error {
 	return fmt.Errorf("%w: got %d values, want %d rows x %d", ErrBadInput, got, rows, in)
 }
 
+//spear:slowpath
 func errBatchMasks(got, rows, out int) error {
 	return fmt.Errorf("%w: masks %d, want %d rows x %d", ErrBadInput, got, rows, out)
 }
 
+//spear:slowpath
 func errBatchRow(r int, err error) error {
 	return fmt.Errorf("row %d: %w", r, err)
 }
 
+//spear:slowpath
 func errBatchDLogits(got, rows, out int) error {
 	return fmt.Errorf("%w: dLogits %d, want %d rows x %d", ErrBadInput, got, rows, out)
 }
 
+//spear:slowpath
 func errBatchCold(have, want int) error {
 	return fmt.Errorf("%w: batch scratch holds %d rows, want %d (run ForwardBatchInto first)", ErrBadInput, have, want)
 }
@@ -65,11 +74,10 @@ func errBatchCold(have, want int) error {
 // InputSize each) into the scratch's batch buffers, returning the row-major
 // rows x OutputSize logits. The returned slice is owned by the scratch and
 // valid until its next batch call. Row r's result is bit-identical to
-// ForwardInto on x[r*in:(r+1)*in].
+// ForwardInto on x[r*in:(r+1)*in]. Buffer growth happens in ensureBatch;
+// once the scratch is warm this kernel never touches the heap.
 //
-// warm this kernel never touches the heap.
-//
-//spear:noalloc — buffer growth happens in ensureBatch; once the scratch is
+//spear:noalloc
 func (n *Network) ForwardBatchInto(s *Scratch, x []float64, rows int) ([]float64, error) {
 	if rows < 1 {
 		return nil, errBatchSize(rows)

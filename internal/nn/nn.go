@@ -160,6 +160,8 @@ func (n *Network) Probs(x []float64, mask []bool) ([]float64, error) {
 // and backprop fast path (ForwardInto / ProbsInto / BackwardInto). A Scratch
 // is shaped for the network that created it and must not be shared across
 // goroutines; give every worker its own via NewScratch.
+//
+//spear:packed
 type Scratch struct {
 	// acts mirrors Cache.acts: acts[0] is the input copy, acts[l+1] the
 	// post-ReLU activation of layer l (raw logits for the last layer).
@@ -200,6 +202,8 @@ func (n *Network) NewScratch() *Scratch {
 func (s *Scratch) Logits() []float64 { return s.acts[len(s.acts)-1] }
 
 // checkScratch verifies that s was built for a network of n's shape.
+//
+//spear:slowpath
 func (n *Network) checkScratch(s *Scratch) error {
 	if s == nil || len(s.acts) != len(n.sizes) {
 		return fmt.Errorf("%w: scratch does not match network", ErrBadShape)
@@ -214,10 +218,13 @@ func (n *Network) checkScratch(s *Scratch) error {
 
 // errInputSize and errDLogitsSize build the cold-path size-mismatch errors
 // outside the //spear:noalloc kernels, where fmt is forbidden.
+//
+//spear:slowpath
 func errInputSize(got, want int) error {
 	return fmt.Errorf("%w: got %d, want %d", ErrBadInput, got, want)
 }
 
+//spear:slowpath
 func errDLogitsSize(got, want int) error {
 	return fmt.Errorf("%w: dLogits %d, want %d", ErrBadInput, got, want)
 }
@@ -257,14 +264,28 @@ func (n *Network) ForwardInto(s *Scratch, x []float64) ([]float64, error) {
 	return cur, nil
 }
 
+// errMaskSize builds the cold-path mask-mismatch error outside the softmax
+// kernel, where fmt is forbidden.
+//
+//spear:slowpath
+func errMaskSize(mask, logits int) error {
+	return fmt.Errorf("%w: mask size %d, logits %d", ErrBadInput, mask, logits)
+}
+
+// growProbs replaces an out buffer of the wrong length. Sized callers (the
+// scratch-backed inference paths) never reach it.
+//
+//spear:slowpath
+func growProbs(n int) []float64 { return make([]float64, n) }
+
 // SoftmaxInto is Softmax writing into out, reused when it has the right
 // length. Masked entries are set to probability zero.
 func SoftmaxInto(logits []float64, mask []bool, out []float64) ([]float64, error) {
 	if mask != nil && len(mask) != len(logits) {
-		return nil, fmt.Errorf("%w: mask size %d, logits %d", ErrBadInput, len(mask), len(logits))
+		return nil, errMaskSize(len(mask), len(logits))
 	}
 	if len(out) != len(logits) {
-		out = make([]float64, len(logits))
+		out = growProbs(len(logits))
 	}
 	max := math.Inf(-1)
 	any := false

@@ -89,15 +89,15 @@ func (t *Timer) Total() time.Duration { return time.Duration(t.nanos.Load()) }
 // Count returns how many durations were observed.
 func (t *Timer) Count() int64 { return t.count.Load() }
 
-// Kind classifies a registered metric.
-type Kind uint8
+// metricKind classifies a registered metric.
+type metricKind uint8
 
 // Metric kinds.
 const (
-	KindCounter Kind = iota + 1
-	KindGauge
-	KindFloatCounter
-	KindTimer
+	kindCounter metricKind = iota + 1
+	kindGauge
+	kindFloatCounter
+	kindTimer
 )
 
 // Sample is one rendered metric value.
@@ -164,7 +164,7 @@ func formatValue(v float64) string {
 type entry struct {
 	name string
 	help string
-	kind Kind
+	kind metricKind
 	ptr  any             // the typed metric, returned on duplicate registration
 	coll func() []Sample // renders the current value(s)
 }
@@ -182,7 +182,7 @@ type Registry struct {
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry { return &Registry{byName: make(map[string]*entry)} }
 
-func (r *Registry) register(name, help string, kind Kind, mk func() (any, func() []Sample)) any {
+func (r *Registry) register(name, help string, kind metricKind, mk func() (any, func() []Sample)) any {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.byName == nil {
@@ -203,7 +203,7 @@ func (r *Registry) register(name, help string, kind Kind, mk func() (any, func()
 
 // Counter registers (or finds) a counter with the given name.
 func (r *Registry) Counter(name, help string) *Counter {
-	return r.register(name, help, KindCounter, func() (any, func() []Sample) {
+	return r.register(name, help, kindCounter, func() (any, func() []Sample) {
 		c := &Counter{}
 		return c, func() []Sample {
 			return []Sample{{Name: name, Help: help, Type: "counter", Value: float64(c.Load())}}
@@ -213,7 +213,7 @@ func (r *Registry) Counter(name, help string) *Counter {
 
 // Gauge registers (or finds) a gauge with the given name.
 func (r *Registry) Gauge(name, help string) *Gauge {
-	return r.register(name, help, KindGauge, func() (any, func() []Sample) {
+	return r.register(name, help, kindGauge, func() (any, func() []Sample) {
 		g := &Gauge{}
 		return g, func() []Sample {
 			return []Sample{{Name: name, Help: help, Type: "gauge", Value: float64(g.Load())}}
@@ -223,7 +223,7 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 
 // Float registers (or finds) a float accumulator with the given name.
 func (r *Registry) Float(name, help string) *FloatCounter {
-	return r.register(name, help, KindFloatCounter, func() (any, func() []Sample) {
+	return r.register(name, help, kindFloatCounter, func() (any, func() []Sample) {
 		f := &FloatCounter{}
 		return f, func() []Sample {
 			return []Sample{{Name: name, Help: help, Type: "counter", Value: f.Load()}}
@@ -235,7 +235,7 @@ func (r *Registry) Float(name, help string) *FloatCounter {
 // <name>_seconds_total (accumulated duration) and <name>_count
 // (observations).
 func (r *Registry) Timer(name, help string) *Timer {
-	return r.register(name, help, KindTimer, func() (any, func() []Sample) {
+	return r.register(name, help, kindTimer, func() (any, func() []Sample) {
 		t := &Timer{}
 		return t, func() []Sample {
 			return []Sample{

@@ -29,6 +29,8 @@ type BatchPolicy interface {
 
 // lane is one episode of a lock-step batch: its scratch env (recycled across
 // batches — the per-worker clone pool), legal-action buffer and private rng.
+//
+//spear:packed
 type lane struct {
 	env   *Env
 	legal []Action
@@ -66,6 +68,8 @@ func NewBatchRolloutContext(p BatchPolicy, maxRows int) *BatchRolloutContext {
 
 // ensureLanes grows the lane pool and the gather buffers to k rows. Growth
 // allocates; once sized, RolloutsFrom reuses everything here.
+//
+//spear:slowpath
 func (bc *BatchRolloutContext) ensureLanes(k int) {
 	for len(bc.lanes) < k {
 		src := rand.NewSource(0)
@@ -82,6 +86,8 @@ func (bc *BatchRolloutContext) ensureLanes(k int) {
 
 // errSeedSlots reports mismatched seed/makespan lengths, outside the
 // //spear:noalloc step loop.
+//
+//spear:slowpath
 func errSeedSlots(seeds, slots int) error {
 	return fmt.Errorf("simenv: %d seeds but %d makespan slots", seeds, slots)
 }
@@ -91,11 +97,11 @@ func errSeedSlots(seeds, slots int) error {
 // have the same length as seeds). base is not modified. Episode i's result
 // is identical to RolloutFrom(base, rand.New(rand.NewSource(seeds[i]))) with
 // the same policy: lock-stepping changes only how many states share one
-// policy evaluation, not any episode's action sequence.
+// policy evaluation, not any episode's action sequence. Pool and buffer
+// growth happens in ensureLanes; the live-set compaction rewrites bc.live
+// in place instead of appending.
 //
-// compaction rewrites bc.live in place instead of appending.
-//
-//spear:noalloc — pool and buffer growth happens in ensureLanes; the live-set
+//spear:noalloc
 func (bc *BatchRolloutContext) RolloutsFrom(base *Env, seeds []int64, makespans []int64) error {
 	k := len(seeds)
 	if len(makespans) != k {
@@ -106,6 +112,9 @@ func (bc *BatchRolloutContext) RolloutsFrom(base *Env, seeds []int64, makespans 
 	for i := 0; i < k; i++ {
 		ln := bc.lanes[i]
 		ln.env = base.CloneInto(ln.env)
+		// ln.src is always a rand.NewSource rngSource, whose Seed
+		// reshuffles in place without allocating.
+		//spear:dyncall
 		ln.src.Seed(seeds[i])
 	}
 	live := bc.live[:k]
@@ -125,6 +134,9 @@ func (bc *BatchRolloutContext) RolloutsFrom(base *Env, seeds []int64, makespans 
 			bc.rngs[rows] = ln.rng
 			rows++
 		}
+		// ChooseBatch implementations write into the caller-owned out
+		// slice; the batch rollout alloc gate audits them.
+		//spear:dyncall
 		if err := bc.policy.ChooseBatch(bc.pctx, bc.envs[:rows], bc.legal[:rows], bc.rngs[:rows], bc.out[:rows]); err != nil {
 			return err
 		}

@@ -154,6 +154,10 @@ func (e *Env) Clone() *Env { return e.CloneInto(nil) }
 // workers can recycle one scratch Env instead of allocating a deep copy per
 // simulation. A nil dst allocates a fresh Env. The receiver is not
 // modified; dst must not be in use by another goroutine. Returns dst.
+// The appends grow dst's buffers on first use only; a recycled dst copies
+// without allocating, which the CloneInto alloc gate verifies at runtime.
+//
+//spear:slowpath
 func (e *Env) CloneInto(dst *Env) *Env {
 	if m := e.cfg.Metrics; m != nil {
 		m.EnvClones.Inc()
@@ -278,7 +282,11 @@ func (e *Env) LegalActions() []Action {
 
 // LegalActionsInto appends the legal actions to buf (typically buf[:0]) and
 // returns the extended slice — the allocation-free variant of LegalActions.
-// A finished episode appends nothing.
+// A finished episode appends nothing. Appends reuse buf's capacity after
+// the first episode; the rollout alloc gates verify steady-state zero
+// allocation.
+//
+//spear:slowpath
 func (e *Env) LegalActionsInto(buf []Action) []Action {
 	if e.Done() {
 		return buf
@@ -308,16 +316,42 @@ func (e *Env) Step(a Action) error {
 	return e.stepSchedule(int(a))
 }
 
+// Cold-path error constructors for the step functions, which sit on the
+// //spear:noalloc rollout path where fmt is forbidden.
+//
+//spear:slowpath
+func errScheduleIndex(i, visible int) error {
+	return fmt.Errorf("%w: schedule index %d with %d visible tasks", ErrIllegalAction, i, visible)
+}
+
+//spear:slowpath
+func errNoFit(id dag.TaskID, err error) error {
+	return fmt.Errorf("%w: task %d does not fit now: %v", ErrIllegalAction, id, err)
+}
+
+//spear:slowpath
+func errIdleProcess() error {
+	return fmt.Errorf("%w: process with an idle cluster", ErrIllegalAction)
+}
+
+//spear:slowpath
+func errUnknownMode(mode ProcessMode) error {
+	return fmt.Errorf("simenv: unknown process mode %d", mode)
+}
+
 func (e *Env) stepSchedule(i int) error {
 	if i < 0 || i >= e.visibleLen() {
-		return fmt.Errorf("%w: schedule index %d with %d visible tasks", ErrIllegalAction, i, e.visibleLen())
+		return errScheduleIndex(i, e.visibleLen())
 	}
 	id := e.ready[i]
 	task := e.g.Task(id)
 	if err := e.space.Place(e.now, task.Demand, task.Runtime); err != nil {
-		return fmt.Errorf("%w: task %d does not fit now: %v", ErrIllegalAction, id, err)
+		return errNoFit(id, err)
 	}
-	e.ready = append(e.ready[:i], e.ready[i+1:]...)
+	// Remove index i by shifting the tail left; copy into the same backing
+	// array never allocates, unlike the append(e.ready[:i], ...) idiom the
+	// structural noalloc check rejects.
+	e.ready = e.ready[:i+copy(e.ready[i:], e.ready[i+1:])]
 	e.status[id] = statusRunning
 	e.start[id] = e.now
 	e.finish[id] = e.now + task.Runtime
@@ -330,7 +364,7 @@ func (e *Env) stepSchedule(i int) error {
 
 func (e *Env) stepProcess() error {
 	if e.running == 0 {
-		return fmt.Errorf("%w: process with an idle cluster", ErrIllegalAction)
+		return errIdleProcess()
 	}
 	var target int64
 	switch e.cfg.Mode {
@@ -339,7 +373,7 @@ func (e *Env) stepProcess() error {
 	case NextCompletion:
 		target = e.earliestRunningFinish()
 	default:
-		return fmt.Errorf("simenv: unknown process mode %d", e.cfg.Mode)
+		return errUnknownMode(e.cfg.Mode)
 	}
 	e.processSteps++
 	if m := e.cfg.Metrics; m != nil {
@@ -380,7 +414,11 @@ func (e *Env) EarliestRunningFinish() (int64, bool) {
 // (finish time, task ID) order, which keeps episodes fully deterministic.
 // The completion lists live in Env-owned scratch buffers and are ordered
 // with insertion sorts (bursts are small), so this path does not allocate
-// once warm.
+// once warm. The completion sweep appends into recycled buffers
+// (completedBuf, readyBuf, ready), which stop allocating once they reach
+// the episode's high-water capacity; the rollout alloc gates verify it.
+//
+//spear:slowpath
 func (e *Env) advanceTo(target int64) {
 	e.now = target
 
@@ -489,16 +527,18 @@ type Policy interface {
 
 // errNoLegal reports a stuck episode. It lives outside the //spear:noalloc
 // rollout fast path because error construction goes through fmt.
+//
+//spear:slowpath
 func errNoLegal(e *Env) error {
 	return fmt.Errorf("simenv: no legal actions with %d/%d tasks done", e.done, e.g.NumTasks())
 }
 
 // Run drives e with the policy until the episode finishes and returns the
-// resulting schedule. The environment is mutated in place.
+// resulting schedule. The environment is mutated in place. The clock
+// stamps Schedule.Elapsed only; episode dynamics are fully determined by
+// the policy, state and rng.
 //
-// are fully determined by the policy, state and rng.
-//
-//spear:timing — the clock stamps Schedule.Elapsed only; episode dynamics
+//spear:timing
 func Run(e *Env, p Policy, rng *rand.Rand) (*sched.Schedule, error) {
 	began := time.Now()
 	for !e.Done() {
@@ -605,8 +645,14 @@ func (rc *RolloutContext) Rollout(e *Env, rng *rand.Rand) (int64, error) {
 		var a Action
 		var err error
 		if rc.cp != nil {
+			// Every ContextPolicy in the module chooses into caller-owned
+			// buffers; the rollout alloc gates audit them.
+			//spear:dyncall
 			a, err = rc.cp.ChooseCtx(rc.pctx, e, rc.legal, rng)
 		} else {
+			// Plain policies (random, SJF, Tetris rollout policies) pick an
+			// index from legal without allocating.
+			//spear:dyncall
 			a, err = rc.policy.Choose(e, rc.legal, rng)
 		}
 		if err != nil {

@@ -9,8 +9,8 @@ import (
 	"sort"
 )
 
-// Number covers the numeric types the harness aggregates.
-type Number interface {
+// number covers the numeric types the harness aggregates.
+type number interface {
 	~int | ~int32 | ~int64 | ~float64
 }
 
@@ -18,7 +18,7 @@ type Number interface {
 var ErrEmpty = errors.New("stats: empty sample")
 
 // Mean returns the arithmetic mean.
-func Mean[T Number](xs []T) (float64, error) {
+func Mean[T number](xs []T) (float64, error) {
 	if len(xs) == 0 {
 		return 0, ErrEmpty
 	}
@@ -30,7 +30,7 @@ func Mean[T Number](xs []T) (float64, error) {
 }
 
 // Stddev returns the population standard deviation.
-func Stddev[T Number](xs []T) (float64, error) {
+func Stddev[T number](xs []T) (float64, error) {
 	m, err := Mean(xs)
 	if err != nil {
 		return 0, err
@@ -44,7 +44,7 @@ func Stddev[T Number](xs []T) (float64, error) {
 }
 
 // sorted returns a sorted float64 copy.
-func sorted[T Number](xs []T) []float64 {
+func sorted[T number](xs []T) []float64 {
 	c := make([]float64, len(xs))
 	for i, x := range xs {
 		c[i] = float64(x)
@@ -55,7 +55,7 @@ func sorted[T Number](xs []T) []float64 {
 
 // Percentile returns the p-th percentile (0 <= p <= 100) using linear
 // interpolation between order statistics.
-func Percentile[T Number](xs []T, p float64) (float64, error) {
+func Percentile[T number](xs []T, p float64) (float64, error) {
 	if len(xs) == 0 {
 		return 0, ErrEmpty
 	}
@@ -77,10 +77,10 @@ func Percentile[T Number](xs []T, p float64) (float64, error) {
 }
 
 // Median returns the 50th percentile.
-func Median[T Number](xs []T) (float64, error) { return Percentile(xs, 50) }
+func Median[T number](xs []T) (float64, error) { return Percentile(xs, 50) }
 
 // Min returns the smallest element.
-func Min[T Number](xs []T) (T, error) {
+func Min[T number](xs []T) (T, error) {
 	var zero T
 	if len(xs) == 0 {
 		return zero, ErrEmpty
@@ -95,7 +95,7 @@ func Min[T Number](xs []T) (T, error) {
 }
 
 // Max returns the largest element.
-func Max[T Number](xs []T) (T, error) {
+func Max[T number](xs []T) (T, error) {
 	var zero T
 	if len(xs) == 0 {
 		return zero, ErrEmpty
@@ -117,7 +117,7 @@ type CDFPoint struct {
 
 // CDF returns the empirical cumulative distribution of xs: for each sorted
 // sample value, the fraction of samples less than or equal to it.
-func CDF[T Number](xs []T) []CDFPoint {
+func CDF[T number](xs []T) []CDFPoint {
 	c := sorted(xs)
 	out := make([]CDFPoint, len(c))
 	for i, v := range c {
@@ -127,7 +127,7 @@ func CDF[T Number](xs []T) []CDFPoint {
 }
 
 // FractionBelow returns the fraction of samples strictly less than x.
-func FractionBelow[T Number](xs []T, x float64) float64 {
+func FractionBelow[T number](xs []T, x float64) float64 {
 	if len(xs) == 0 {
 		return 0
 	}

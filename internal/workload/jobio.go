@@ -26,8 +26,8 @@ type JobSpec struct {
 	Edges [][2]int      `json:"edges"`
 }
 
-// JobSpecFromGraph converts a DAG back into its serializable form.
-func JobSpecFromGraph(g *dag.Graph, name string) *JobSpec {
+// jobSpecFromGraph converts a DAG back into its serializable form.
+func jobSpecFromGraph(g *dag.Graph, name string) *JobSpec {
 	spec := &JobSpec{Name: name, Dims: g.Dims()}
 	for id := 0; id < g.NumTasks(); id++ {
 		task := g.Task(dag.TaskID(id))
@@ -70,7 +70,7 @@ func (spec *JobSpec) Graph() (*dag.Graph, error) {
 func SaveJob(w io.Writer, g *dag.Graph, name string) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(JobSpecFromGraph(g, name))
+	return enc.Encode(jobSpecFromGraph(g, name))
 }
 
 // LoadJob reads a job previously written by SaveJob (or hand-authored) and

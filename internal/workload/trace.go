@@ -26,8 +26,8 @@ import (
 // jobs carry real dependencies, and reduce tasks have higher resource
 // demands than map tasks as the paper observes (§II-C).
 
-// TraceJobCount is the number of jobs in the paper's trace.
-const TraceJobCount = 99
+// traceJobCount is the number of jobs in the paper's trace.
+const traceJobCount = 99
 
 // TraceTask is one task in a serialized trace job.
 type TraceTask struct {
@@ -70,7 +70,7 @@ type TraceConfig struct {
 // statistics on a 1000-unit/dimension cluster.
 func DefaultTraceConfig() TraceConfig {
 	return TraceConfig{
-		Jobs:        TraceJobCount,
+		Jobs:        traceJobCount,
 		MinTasks:    6,
 		MaxMaps:     29,
 		MaxReduces:  38,
