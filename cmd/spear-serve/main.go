@@ -1,0 +1,224 @@
+// Command spear-serve runs the online multi-job serving loop: jobs arrive
+// on a simulated clock from per-class arrival processes, pass admission
+// control, and are planned onto a shared cluster timeline by the chosen
+// scheduling algorithm. The run log is a pure function of the seed, so
+// re-running a written log reproduces it byte for byte.
+//
+// Usage:
+//
+//	spear-serve -seed 7 -horizon 2000 -algo cp -out run.json
+//	spear-serve -replay run.json            # re-execute and diff byte-wise
+//	spear-serve -seed 7 -admission token-bucket -bucket-cap 4 -bucket-refill 0.05
+//	spear-serve -seed 7 -class gold:poisson:120 -class batch:gamma:40:0.4 -metrics
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"spear/internal/anneal"
+	"spear/internal/baselines"
+	"spear/internal/obs"
+	"spear/internal/sched"
+	"spear/internal/serve"
+	"spear/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "spear-serve:", err)
+		os.Exit(1)
+	}
+}
+
+type classFlags []string
+
+func (c *classFlags) String() string { return strings.Join(*c, ",") }
+func (c *classFlags) Set(v string) error {
+	*c = append(*c, v)
+	return nil
+}
+
+func run() error {
+	var classes classFlags
+	var (
+		seed         = flag.Int64("seed", 1, "run seed; fully determines the run")
+		horizon      = flag.Int64("horizon", 2000, "last slot at which jobs may arrive")
+		algo         = flag.String("algo", "cp", "scheduling algorithm (cp,tetris,sjf,graphene,level,random,anneal)")
+		admission    = flag.String("admission", "always", "admission policy (always,token-bucket)")
+		bucketCap    = flag.Float64("bucket-cap", 8, "token-bucket burst capacity in jobs")
+		bucketRefill = flag.Float64("bucket-refill", 0.02, "token-bucket refill rate in jobs per slot")
+		maxInFlight  = flag.Int("max-inflight", 0, "max planned-but-unfinished jobs (0 = unbounded)")
+		budget       = flag.Duration("decision-timeout", 0, "wall-clock budget per planning call (0 = unbounded)")
+		out          = flag.String("out", "", "write the run log to this file")
+		replay       = flag.String("replay", "", "re-execute the run recorded in this log and diff byte-wise")
+		metrics      = flag.Bool("metrics", false, "print a Prometheus-format metrics snapshot after the run")
+		quiet        = flag.Bool("quiet", false, "suppress the summary table")
+	)
+	flag.Var(&classes, "class", "client class as name[@tenant]:kind:mean[:shape] (repeatable; default gold+batch mix)")
+	flag.Parse()
+
+	if *replay != "" {
+		return replayRun(*replay, *metrics)
+	}
+
+	cfg := serve.Config{
+		Seed:           *seed,
+		Horizon:        *horizon,
+		MaxInFlight:    *maxInFlight,
+		Algorithm:      *algo,
+		DecisionBudget: *budget,
+		Admission:      serve.AdmissionConfig{Policy: *admission, BucketCap: *bucketCap, RefillPerSlot: *bucketRefill},
+	}
+	if cfg.Admission.Policy == serve.PolicyAlways {
+		cfg.Admission.BucketCap, cfg.Admission.RefillPerSlot = 0, 0
+	}
+	var err error
+	if cfg.Classes, err = parseClasses(classes); err != nil {
+		return err
+	}
+
+	scheduler, err := buildScheduler(*algo, *seed)
+	if err != nil {
+		return err
+	}
+	reg := obs.NewRegistry()
+	srv, err := serve.New(cfg, scheduler, reg)
+	if err != nil {
+		return err
+	}
+	log, err := srv.Run()
+	if err != nil {
+		return err
+	}
+	if *out != "" {
+		data, err := log.Marshal()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			return err
+		}
+	}
+	if !*quiet {
+		printSummary(log)
+	}
+	if *metrics {
+		fmt.Println()
+		if err := reg.Snapshot().WritePrometheus(os.Stdout); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// replayRun re-executes the run embedded in the log at path and compares
+// the two logs byte for byte.
+func replayRun(path string, metrics bool) error {
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	log, err := serve.LoadRunLog(bytes.NewReader(orig))
+	if err != nil {
+		return err
+	}
+	scheduler, err := buildScheduler(log.Config.Algorithm, log.Config.Seed)
+	if err != nil {
+		return err
+	}
+	reg := obs.NewRegistry()
+	replayed, err := serve.Replay(log.Config, scheduler, reg)
+	if err != nil {
+		return err
+	}
+	data, err := replayed.Marshal()
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(orig, data) {
+		return fmt.Errorf("replay of %s diverged from the recorded log (%d vs %d bytes)", path, len(data), len(orig))
+	}
+	fmt.Printf("replay of %s reproduced the recorded log byte-identically (%d events)\n", path, len(log.Events))
+	if metrics {
+		fmt.Println()
+		return reg.Snapshot().WritePrometheus(os.Stdout)
+	}
+	return nil
+}
+
+// parseClasses parses repeated -class specs "name[@tenant]:kind:mean[:shape]".
+// No specs selects a default gold+batch mix.
+func parseClasses(specs []string) ([]serve.ClassConfig, error) {
+	if len(specs) == 0 {
+		return []serve.ClassConfig{
+			{Name: "gold", Tenant: "gold", Arrival: workload.ArrivalConfig{Kind: workload.ArrivalPoisson, Mean: 150}},
+			{Name: "batch", Tenant: "batch", Arrival: workload.ArrivalConfig{Kind: workload.ArrivalGamma, Mean: 250, Shape: 0.5}},
+		}, nil
+	}
+	out := make([]serve.ClassConfig, 0, len(specs))
+	for _, spec := range specs {
+		parts := strings.Split(spec, ":")
+		if len(parts) < 3 || len(parts) > 4 {
+			return nil, fmt.Errorf("class %q: want name[@tenant]:kind:mean[:shape]", spec)
+		}
+		cc := serve.ClassConfig{Name: parts[0]}
+		if name, tenant, ok := strings.Cut(parts[0], "@"); ok {
+			cc.Name, cc.Tenant = name, tenant
+		}
+		cc.Arrival.Kind = workload.ArrivalKind(parts[1])
+		mean, err := strconv.ParseFloat(parts[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("class %q: mean: %w", spec, err)
+		}
+		cc.Arrival.Mean = mean
+		if len(parts) == 4 {
+			shape, err := strconv.ParseFloat(parts[3], 64)
+			if err != nil {
+				return nil, fmt.Errorf("class %q: shape: %w", spec, err)
+			}
+			cc.Arrival.Shape = shape
+		}
+		out = append(out, cc)
+	}
+	return out, nil
+}
+
+func printSummary(log *serve.RunLog) {
+	s := log.Summary
+	fmt.Printf("horizon=%d final_clock=%d arrivals=%d admitted=%d rejected=%d completed=%d jain=%.4f\n",
+		log.Config.Horizon, s.FinalClock, s.Arrivals, s.Admitted, s.Rejected, s.Completed, s.JainFairness)
+	for _, cs := range s.Classes {
+		fmt.Printf("  class=%-8s tenant=%-8s arrivals=%-4d rejected=%-4d completed=%-4d mean_jct=%-8.1f mean_queue_delay=%-7.1f mean_stretch=%-6.2f jain=%.4f\n",
+			cs.Class, cs.Tenant, cs.Arrivals, cs.Rejected, cs.Completed, cs.MeanJCT, cs.MeanQueueDelay, cs.MeanStretch, cs.Jain)
+	}
+}
+
+// buildScheduler constructs the named deterministic scheduler. The
+// search-based spear/mcts algorithms are excluded here on purpose: their
+// per-decision budgets interact with wall time, which would undermine the
+// replay guarantee the serving loop advertises.
+func buildScheduler(name string, seed int64) (sched.Scheduler, error) {
+	switch name {
+	case "cp":
+		return baselines.NewCPScheduler(), nil
+	case "tetris":
+		return baselines.NewTetrisScheduler(), nil
+	case "sjf":
+		return baselines.NewSJFScheduler(), nil
+	case "graphene":
+		return baselines.NewGrapheneScheduler(), nil
+	case "level":
+		return baselines.NewLevelByLevelScheduler(), nil
+	case "random":
+		return baselines.NewRandomScheduler(seed), nil
+	case "anneal":
+		return anneal.New(anneal.Config{Iterations: 500, Seed: seed}), nil
+	default:
+		return nil, fmt.Errorf("unknown algorithm %q", name)
+	}
+}

@@ -81,6 +81,29 @@ func (s *Scheduler) Schedule(g *dag.Graph, capacity resource.Vector) (*sched.Sch
 //spear:timing
 func (s *Scheduler) ScheduleContext(ctx context.Context, g *dag.Graph, capacity resource.Vector) (*sched.Schedule, error) {
 	began := time.Now()
+	bestOrder, _, cancelledAt, err := s.search(ctx, g, capacity)
+	if err != nil {
+		return nil, err
+	}
+	out, err := run(g, capacity, bestOrder)
+	if err != nil {
+		return nil, err
+	}
+	out.Algorithm = s.Name()
+	out.Elapsed = time.Since(began)
+	if cancelledAt >= 0 {
+		return out, fmt.Errorf("anneal: search cancelled at iteration %d: %w", cancelledAt, ctx.Err())
+	}
+	return out, nil
+}
+
+// search runs the annealing loop and returns the best order found, the
+// final temperature, and the iteration at which ctx cancelled the search
+// (-1 when it ran to completion). The temperature cools once per iteration
+// unconditionally — including iterations whose swap draw hits i == j and
+// proposes nothing — so the normalized geometric schedule reaches its
+// 1%-of-initial floor exactly at the last iteration.
+func (s *Scheduler) search(ctx context.Context, g *dag.Graph, capacity resource.Vector) (bestOrder []dag.TaskID, finalTemp float64, cancelledAt int, err error) {
 	rng := rand.New(rand.NewSource(s.cfg.Seed))
 	n := g.NumTasks()
 
@@ -94,53 +117,42 @@ func (s *Scheduler) ScheduleContext(ctx context.Context, g *dag.Graph, capacity 
 
 	current, err := evaluate(g, capacity, order)
 	if err != nil {
-		return nil, err
+		return nil, 0, -1, err
 	}
 	best := current
-	bestOrder := append([]dag.TaskID(nil), order...)
+	bestOrder = append([]dag.TaskID(nil), order...)
 
 	temp := s.cfg.InitialTemp * float64(current)
 	if temp < 1 {
 		temp = 1
 	}
-	cancelledAt := -1
+	cancelledAt = -1
 	for iter := 0; iter < s.cfg.Iterations; iter++ {
 		if ctx.Err() != nil {
 			cancelledAt = iter
 			break
 		}
 		i, j := rng.Intn(n), rng.Intn(n)
-		if i == j {
-			continue
-		}
-		order[i], order[j] = order[j], order[i]
-		cand, err := evaluate(g, capacity, order)
-		if err != nil {
-			return nil, err
-		}
-		delta := float64(cand - current)
-		if delta <= 0 || rng.Float64() < math.Exp(-delta/temp) {
-			current = cand
-			if cand < best {
-				best = cand
-				copy(bestOrder, order)
+		if i != j {
+			order[i], order[j] = order[j], order[i]
+			cand, err := evaluate(g, capacity, order)
+			if err != nil {
+				return nil, 0, -1, err
 			}
-		} else {
-			order[i], order[j] = order[j], order[i] // revert
+			delta := float64(cand - current)
+			if delta <= 0 || rng.Float64() < math.Exp(-delta/temp) {
+				current = cand
+				if cand < best {
+					best = cand
+					copy(bestOrder, order)
+				}
+			} else {
+				order[i], order[j] = order[j], order[i] // revert
+			}
 		}
 		temp *= s.cfg.Cooling
 	}
-
-	out, err := run(g, capacity, bestOrder)
-	if err != nil {
-		return nil, err
-	}
-	out.Algorithm = s.Name()
-	out.Elapsed = time.Since(began)
-	if cancelledAt >= 0 {
-		return out, fmt.Errorf("anneal: search cancelled at iteration %d: %w", cancelledAt, ctx.Err())
-	}
-	return out, nil
+	return bestOrder, temp, cancelledAt, nil
 }
 
 // evaluate executes the order and returns the makespan.

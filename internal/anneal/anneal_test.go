@@ -1,6 +1,8 @@
 package anneal
 
 import (
+	"context"
+	"math"
 	"math/rand"
 	"testing"
 
@@ -94,6 +96,77 @@ func TestOrderSearchCannotEscapeMotivatingTrap(t *testing.T) {
 	}
 	if out.Makespan != 301 {
 		t.Errorf("annealing makespan = %d; expected the work-conserving 301", out.Makespan)
+	}
+}
+
+func TestCoolingReachesFloor(t *testing.T) {
+	// Regression: the swap draw hitting i == j used to `continue` past the
+	// cooling update, so single-task jobs (where i == j on every iteration)
+	// never cooled at all and larger jobs fell short of the schedule's
+	// 1%-of-initial floor. Cooling is now unconditional: after N iterations
+	// the temperature must be initial * Cooling^N, which the normalized
+	// default Cooling pins at 1% of the initial temperature.
+	b := dag.NewBuilder(1)
+	b.AddTask("only", 7, resource.Of(1))
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const iters = 400
+	s := New(Config{Iterations: iters, Seed: 3})
+	_, finalTemp, cancelledAt, err := s.search(context.Background(), g, resource.Of(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cancelledAt != -1 {
+		t.Fatalf("cancelledAt = %d, want -1", cancelledAt)
+	}
+	// Initial temp clamps to 1 (0.05 * makespan 7 < 1), so the floor is 0.01.
+	want := math.Pow(s.cfg.Cooling, iters)
+	if math.Abs(finalTemp-want) > 1e-12 {
+		t.Errorf("final temperature = %g, want %g (cooled every iteration)", finalTemp, want)
+	}
+	if finalTemp > 0.0101 {
+		t.Errorf("final temperature = %g, never reached the 1%% floor", finalTemp)
+	}
+}
+
+func TestCoolingUnconditionalOnCollisions(t *testing.T) {
+	// On a multi-task job the i == j collisions are rare but real; the final
+	// temperature must still be exactly initial * Cooling^N.
+	cfg := workload.DefaultRandomDAGConfig()
+	cfg.NumTasks = 8 // small n makes collisions frequent
+	g, err := workload.RandomDAG(rand.New(rand.NewSource(2)), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const iters = 120
+	s := New(Config{Iterations: iters, Seed: 11})
+	_, finalTemp, _, err := s.search(context.Background(), g, cfg.Capacity())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reconstruct the annealer's starting point: the CP order, executed
+	// work-conservingly.
+	order := make([]dag.TaskID, g.NumTasks())
+	for i := range order {
+		order[i] = dag.TaskID(i)
+	}
+	sortByDesc(order, func(id dag.TaskID) int64 { return g.BLevel(id) })
+	startMakespan, err := evaluate(g, cfg.Capacity(), order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	initial := s.cfg.InitialTemp * float64(startMakespan)
+	if initial < 1 {
+		initial = 1
+	}
+	want := initial
+	for i := 0; i < iters; i++ {
+		want *= s.cfg.Cooling
+	}
+	if math.Abs(finalTemp-want)/want > 1e-9 {
+		t.Errorf("final temperature = %g, want %g", finalTemp, want)
 	}
 }
 

@@ -23,10 +23,11 @@ var randConstructors = map[string]bool{"New": true, "NewSource": true, "NewZipf"
 // name, mapped to whether the metric is a Prometheus counter (and must
 // therefore end in _total).
 var obsConstructors = map[string]bool{
-	"Counter": true,
-	"Gauge":   false,
-	"Float":   false,
-	"Timer":   false,
+	"Counter":    true,
+	"Gauge":      false,
+	"Float":      false,
+	"FloatGauge": false,
+	"Timer":      false,
 }
 
 // metricSite is one literal metric registration call site.

@@ -64,7 +64,9 @@ func (e *LoadError) Error() string {
 // defaultDeterministic lists the module-relative packages whose fixed-seed
 // reproducibility the determinism check protects. internal/anneal rides along
 // with the seven packages named by the search/training path: simulated
-// annealing is seeded the same way and breaks the same way.
+// annealing is seeded the same way and breaks the same way. internal/serve
+// joins them because byte-identical run-log replay depends on the serving
+// loop never touching wall clocks or the global rand source.
 var defaultDeterministic = []string{
 	"internal/mcts",
 	"internal/nn",
@@ -74,6 +76,7 @@ var defaultDeterministic = []string{
 	"internal/cluster",
 	"internal/drl",
 	"internal/anneal",
+	"internal/serve",
 }
 
 // Check names, in the order the passes run. The first four are the

@@ -1,6 +1,10 @@
 package obs
 
-import "time"
+import (
+	"fmt"
+	"strings"
+	"time"
+)
 
 // SimMetrics is the instrumentation bundle of the simulation substrate
 // (simenv.Env and cluster.Space). One bundle is shared by an episode and
@@ -163,6 +167,121 @@ func NewTrainMetrics(r *Registry) *TrainMetrics {
 
 // Snapshot renders the bundle's registry.
 func (m *TrainMetrics) Snapshot() Snapshot { return m.reg.Snapshot() }
+
+// ServeMetrics is the instrumentation bundle of the online serving loop
+// (internal/serve): job lifecycle counters, queue/in-flight gauges, the
+// simulated clock, the cross-tenant Jain fairness index, and the
+// accumulated planning time. Everything is driven by the simulated clock —
+// the serving loop never reads wall time, so metrics do not perturb replay
+// determinism.
+type ServeMetrics struct {
+	// Arrivals counts jobs offered to the server, admitted or not.
+	Arrivals *Counter
+	// Admitted counts jobs accepted into the backlog by admission control.
+	Admitted *Counter
+	// Rejected counts jobs turned away by admission control.
+	Rejected *Counter
+	// Planned counts jobs whose schedule was committed onto the timeline.
+	Planned *Counter
+	// Completed counts jobs that finished all tasks.
+	Completed *Counter
+	// Replans counts planning passes triggered by arrival or completion
+	// events (each pass may plan zero or more backlog jobs).
+	Replans *Counter
+	// Backlog is the number of admitted jobs waiting to be planned.
+	Backlog *Gauge
+	// InFlight is the number of planned-but-unfinished jobs.
+	InFlight *Gauge
+	// Clock is the current simulated time in slots.
+	Clock *Gauge
+	// JainFairness is Jain's index over per-tenant mean makespan stretch,
+	// updated at every completion: 1 = all tenants equally served.
+	JainFairness *FloatGauge
+	// PlanTime accumulates the schedulers' self-reported Elapsed per
+	// planning call (observed, not measured — the loop reads no clock).
+	PlanTime *Timer
+}
+
+// NewServeMetrics registers the serving-loop metrics in r (a nil r gets a
+// private registry) and returns the bundle.
+func NewServeMetrics(r *Registry) *ServeMetrics {
+	if r == nil {
+		r = NewRegistry()
+	}
+	return &ServeMetrics{
+		Arrivals:     r.Counter("spear_serve_arrivals_total", "Jobs offered to the serving loop"),
+		Admitted:     r.Counter("spear_serve_admitted_total", "Jobs accepted into the backlog by admission control"),
+		Rejected:     r.Counter("spear_serve_rejected_total", "Jobs turned away by admission control"),
+		Planned:      r.Counter("spear_serve_planned_total", "Jobs whose schedule was committed onto the cluster timeline"),
+		Completed:    r.Counter("spear_serve_completed_total", "Jobs that finished all tasks"),
+		Replans:      r.Counter("spear_serve_replans_total", "Planning passes triggered by arrival/completion events"),
+		Backlog:      r.Gauge("spear_serve_backlog_jobs", "Admitted jobs waiting to be planned"),
+		InFlight:     r.Gauge("spear_serve_inflight_jobs", "Planned-but-unfinished jobs"),
+		Clock:        r.Gauge("spear_serve_clock_slots", "Current simulated time in slots"),
+		JainFairness: r.FloatGauge("spear_serve_jain_fairness", "Jain fairness index over per-tenant mean makespan stretch"),
+		PlanTime:     r.Timer("spear_serve_plan_time", "Scheduler-reported wall-clock time of planning calls"),
+	}
+}
+
+// ServeClassMetrics is the per-SLO-class slice of the serving-loop
+// instrumentation. Metric names embed the sanitized class name
+// (spear_serve_class_<class>_...), so every class shows up as its own
+// series in the Prometheus exposition.
+type ServeClassMetrics struct {
+	// Arrivals, Rejected and Completed count the class's job lifecycle.
+	Arrivals  *Counter
+	Rejected  *Counter
+	Completed *Counter
+	// JCTSum accumulates job completion times (finish - arrival) in slots;
+	// mean JCT = JCTSum / Completed.
+	JCTSum *FloatCounter
+	// QueueDelaySum accumulates queueing delays (plan start - arrival).
+	QueueDelaySum *FloatCounter
+	// StretchSum accumulates makespan stretches (JCT / planned makespan).
+	StretchSum *FloatCounter
+	// JainFairness is Jain's index over the class's per-job completion
+	// times so far: how consistently the class is being served.
+	JainFairness *FloatGauge
+}
+
+// NewServeClassMetrics registers the per-class serving metrics for the
+// given SLO class in r (a nil r gets a private registry). The class name is
+// sanitized into the metric names; two classes sanitizing to the same
+// string share series.
+func NewServeClassMetrics(r *Registry, class string) *ServeClassMetrics {
+	if r == nil {
+		r = NewRegistry()
+	}
+	c := SanitizeMetricName(class)
+	return &ServeClassMetrics{
+		Arrivals:      r.Counter(fmt.Sprintf("spear_serve_class_%s_arrivals_total", c), "Jobs of this SLO class offered to the serving loop"),
+		Rejected:      r.Counter(fmt.Sprintf("spear_serve_class_%s_rejected_total", c), "Jobs of this SLO class turned away by admission control"),
+		Completed:     r.Counter(fmt.Sprintf("spear_serve_class_%s_completed_total", c), "Jobs of this SLO class that finished all tasks"),
+		JCTSum:        r.Float(fmt.Sprintf("spear_serve_class_%s_jct_slots_sum", c), "Accumulated job completion times (finish - arrival) in slots"),
+		QueueDelaySum: r.Float(fmt.Sprintf("spear_serve_class_%s_queue_delay_slots_sum", c), "Accumulated queueing delays (plan start - arrival) in slots"),
+		StretchSum:    r.Float(fmt.Sprintf("spear_serve_class_%s_stretch_sum", c), "Accumulated makespan stretches (JCT / planned makespan)"),
+		JainFairness:  r.FloatGauge(fmt.Sprintf("spear_serve_class_%s_jain_fairness", c), "Jain fairness index over this class's per-job completion times"),
+	}
+}
+
+// SanitizeMetricName lowercases s and folds every character outside
+// [a-z0-9] to '_', so arbitrary class/tenant names embed safely into the
+// spear_[a-z0-9_]+ metric naming scheme.
+func SanitizeMetricName(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	for _, r := range strings.ToLower(s) {
+		if (r >= 'a' && r <= 'z') || (r >= '0' && r <= '9') {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "unnamed"
+	}
+	return b.String()
+}
 
 // TrainStats is the Go-struct rendering of TrainMetrics.
 type TrainStats struct {

@@ -71,6 +71,17 @@ func (f *FloatCounter) Add(x float64) {
 // Load returns the accumulated value.
 func (f *FloatCounter) Load() float64 { return math.Float64frombits(f.bits.Load()) }
 
+// FloatGauge is an atomic float64 last-value metric (store on the bit
+// pattern), for gauges whose value is fractional — e.g. a fairness index in
+// [0, 1] that an int64 Gauge would truncate.
+type FloatGauge struct{ bits atomic.Uint64 }
+
+// Set replaces the value.
+func (g *FloatGauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Load returns the current value.
+func (g *FloatGauge) Load() float64 { return math.Float64frombits(g.bits.Load()) }
+
 // Timer accumulates wall-clock durations and an observation count.
 type Timer struct{ nanos, count atomic.Int64 }
 
@@ -97,6 +108,7 @@ const (
 	kindCounter metricKind = iota + 1
 	kindGauge
 	kindFloatCounter
+	kindFloatGauge
 	kindTimer
 )
 
@@ -229,6 +241,16 @@ func (r *Registry) Float(name, help string) *FloatCounter {
 			return []Sample{{Name: name, Help: help, Type: "counter", Value: f.Load()}}
 		}
 	}).(*FloatCounter)
+}
+
+// FloatGauge registers (or finds) a float-valued gauge with the given name.
+func (r *Registry) FloatGauge(name, help string) *FloatGauge {
+	return r.register(name, help, kindFloatGauge, func() (any, func() []Sample) {
+		g := &FloatGauge{}
+		return g, func() []Sample {
+			return []Sample{{Name: name, Help: help, Type: "gauge", Value: g.Load()}}
+		}
+	}).(*FloatGauge)
 }
 
 // Timer registers (or finds) a timer. It exposes two samples:

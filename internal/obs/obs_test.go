@@ -202,3 +202,73 @@ func TestMergeSnapshots(t *testing.T) {
 		t.Errorf("empty merge has %d samples", len(got))
 	}
 }
+
+func TestFloatGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.FloatGauge("spear_test_fairness", "a fractional gauge")
+	if g.Load() != 0 {
+		t.Errorf("zero value = %v", g.Load())
+	}
+	g.Set(0.875)
+	if g.Load() != 0.875 {
+		t.Errorf("Load = %v, want 0.875", g.Load())
+	}
+	g.Set(0.25) // last value wins, unlike a counter
+	snap := r.Snapshot()
+	v, ok := snap.Value("spear_test_fairness")
+	if !ok || v != 0.25 {
+		t.Errorf("snapshot value = %v, %v", v, ok)
+	}
+	if len(snap) != 1 || snap[0].Type != "gauge" {
+		t.Errorf("snapshot = %+v, want one gauge sample", snap)
+	}
+	// Same name re-registered returns the same metric.
+	if r.FloatGauge("spear_test_fairness", "a fractional gauge") != g {
+		t.Error("re-registration returned a different gauge")
+	}
+}
+
+func TestServeMetricsBundles(t *testing.T) {
+	r := NewRegistry()
+	m := NewServeMetrics(r)
+	m.Arrivals.Inc()
+	m.JainFairness.Set(0.5)
+	cm := NewServeClassMetrics(r, "Gold-SLO")
+	cm.Completed.Inc()
+	cm.JCTSum.Add(42)
+	snap := r.Snapshot()
+	for _, name := range []string{
+		"spear_serve_arrivals_total",
+		"spear_serve_jain_fairness",
+		"spear_serve_class_gold_slo_completed_total",
+		"spear_serve_class_gold_slo_jct_slots_sum",
+		"spear_serve_class_gold_slo_jain_fairness",
+	} {
+		if _, ok := snap.Value(name); !ok {
+			t.Errorf("snapshot missing %s", name)
+		}
+	}
+	if v, _ := snap.Value("spear_serve_class_gold_slo_jct_slots_sum"); v != 42 {
+		t.Errorf("jct sum = %v", v)
+	}
+	// A nil registry gets a private one.
+	if NewServeMetrics(nil) == nil || NewServeClassMetrics(nil, "x") == nil {
+		t.Error("nil registry rejected")
+	}
+}
+
+func TestSanitizeMetricName(t *testing.T) {
+	cases := map[string]string{
+		"gold":      "gold",
+		"Gold-SLO":  "gold_slo",
+		"a b.c/d":   "a_b_c_d",
+		"ÜBER":      "_ber",
+		"":          "unnamed",
+		"tenant 42": "tenant_42",
+	}
+	for in, want := range cases {
+		if got := SanitizeMetricName(in); got != want {
+			t.Errorf("SanitizeMetricName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

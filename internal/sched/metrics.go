@@ -2,6 +2,7 @@ package sched
 
 import (
 	"fmt"
+	"sort"
 
 	"spear/internal/dag"
 	"spear/internal/resource"
@@ -45,18 +46,45 @@ func ComputeUtilization(g *dag.Graph, capacity resource.Vector, s *Schedule) (Ut
 	}
 	u.Mean /= float64(dims)
 
-	// Sweep the busy intervals to count fully idle slots.
-	busy := make([]bool, s.Makespan)
+	// Sweep the busy intervals to count fully idle slots. The sweep merges
+	// the placement intervals instead of materializing a per-slot bitmap:
+	// its cost is O(tasks log tasks) regardless of the recorded makespan, so
+	// a corrupt multi-billion Makespan in a JSON-loaded schedule cannot OOM
+	// the process — the worst it can do is inflate IdleSlots.
+	busy := make([]busyInterval, 0, len(s.Placements))
 	for _, p := range s.Placements {
 		task := g.Task(p.Task)
-		for t := p.Start; t < p.Start+task.Runtime && t < s.Makespan; t++ {
-			busy[t] = true
+		start, end := p.Start, p.Start+task.Runtime
+		if start < 0 {
+			start = 0
+		}
+		if end > s.Makespan {
+			end = s.Makespan
+		}
+		if start < end {
+			busy = append(busy, busyInterval{start, end})
 		}
 	}
-	for _, b := range busy {
-		if !b {
-			u.IdleSlots++
+	sort.Slice(busy, func(i, j int) bool {
+		if busy[i].start != busy[j].start {
+			return busy[i].start < busy[j].start
 		}
+		return busy[i].end < busy[j].end
+	})
+	var covered, frontier int64
+	for _, iv := range busy {
+		if iv.end <= frontier {
+			continue
+		}
+		if iv.start > frontier {
+			frontier = iv.start
+		}
+		covered += iv.end - frontier
+		frontier = iv.end
 	}
+	u.IdleSlots = s.Makespan - covered
 	return u, nil
 }
+
+// busyInterval is one half-open [start, end) busy span of the cluster.
+type busyInterval struct{ start, end int64 }

@@ -72,6 +72,46 @@ func TestComputeUtilizationErrors(t *testing.T) {
 	}
 }
 
+func TestComputeUtilizationIdleGaps(t *testing.T) {
+	// a at [0,3), b at [5,7): slots 3 and 4 are fully idle. (Not a
+	// Validate-tight schedule — utilization is also used on hand-edited
+	// schedules.)
+	g := twoTaskChain(t)
+	s := &Schedule{Placements: []Placement{{Task: 0, Start: 0}, {Task: 1, Start: 5}}, Makespan: 7}
+	u, err := ComputeUtilization(g, resource.Of(5), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.IdleSlots != 2 {
+		t.Errorf("IdleSlots = %d, want 2", u.IdleSlots)
+	}
+}
+
+func TestComputeUtilizationCorruptMakespanNoOOM(t *testing.T) {
+	// Regression: the idle-slot sweep used to allocate a []bool of length
+	// Makespan, so a corrupt multi-billion makespan in an untrusted
+	// JSON-loaded schedule would OOM the process. The interval sweep keeps
+	// the cost proportional to the placement count.
+	g := twoTaskChain(t)
+	crafted := `{
+		"algorithm": "corrupt",
+		"placements": [{"task": 0, "start": 0}, {"task": 1, "start": 3}],
+		"makespan": 4000000000000
+	}`
+	var s Schedule
+	if err := json.Unmarshal([]byte(crafted), &s); err != nil {
+		t.Fatal(err)
+	}
+	u, err := ComputeUtilization(g, resource.Of(5), &s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tasks cover [0,3) and [3,5): 5 busy slots out of the claimed 4e12.
+	if want := int64(4000000000000 - 5); u.IdleSlots != want {
+		t.Errorf("IdleSlots = %d, want %d", u.IdleSlots, want)
+	}
+}
+
 func TestScheduleJSONRoundTrip(t *testing.T) {
 	_, s := validChain(t)
 	data, err := json.Marshal(s)

@@ -11,6 +11,7 @@ import (
 	"sort"
 	"strings"
 	"time"
+	"unicode/utf8"
 
 	"spear/internal/cluster"
 	"spear/internal/dag"
@@ -208,9 +209,13 @@ func (s *Schedule) Gantt(g *dag.Graph, width int) string {
 	return b.String()
 }
 
+// truncate shortens s to at most n runes, replacing the tail with an
+// ellipsis. It counts runes, not bytes: byte slicing would split multi-byte
+// UTF-8 sequences and emit invalid output for non-ASCII task names.
 func truncate(s string, n int) string {
-	if len(s) <= n {
+	if utf8.RuneCountInString(s) <= n {
 		return s
 	}
-	return s[:n-1] + "…"
+	runes := []rune(s)
+	return string(runes[:n-1]) + "…"
 }

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"strings"
 	"testing"
+	"unicode/utf8"
 
 	"spear/internal/dag"
 	"spear/internal/resource"
@@ -136,5 +137,55 @@ func TestTruncate(t *testing.T) {
 	}
 	if got := truncate("averylongtaskname", 8); len([]rune(got)) > 8 {
 		t.Errorf("truncate long = %q (len %d)", got, len(got))
+	}
+}
+
+func TestTruncateMultiByte(t *testing.T) {
+	// Regression: truncate used to slice bytes, splitting multi-byte UTF-8
+	// runes of non-ASCII task names and emitting invalid output.
+	name := "データ処理タスク長い名前" // 12 runes, 36 bytes
+	got := truncate(name, 8)
+	if !utf8.ValidString(got) {
+		t.Errorf("truncate produced invalid UTF-8: %q", got)
+	}
+	if n := utf8.RuneCountInString(got); n != 8 {
+		t.Errorf("truncate to 8 runes produced %d runes: %q", n, got)
+	}
+	if want := "データ処理タス" /* 7 runes */ + "…"; got != want {
+		t.Errorf("truncate = %q, want %q", got, want)
+	}
+	// A 12-rune name fits in 12 exactly — no truncation even though it is
+	// 36 bytes long.
+	if got := truncate(name, 12); got != name {
+		t.Errorf("12-rune name truncated: %q", got)
+	}
+}
+
+func TestGanttMultiByteNames(t *testing.T) {
+	b := dag.NewBuilder(1)
+	first := b.AddTask("長時間実行されるマップタスク", 3, resource.Of(1)) // > 12 runes, forces truncation
+	second := b.AddTask("縮小", 2, resource.Of(1))
+	b.AddDep(first, second)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &Schedule{
+		Algorithm:  "test",
+		Placements: []Placement{{Task: first, Start: 0}, {Task: second, Start: 3}},
+		Makespan:   5,
+	}
+	if err := Validate(g, resource.Of(1), s); err != nil {
+		t.Fatal(err)
+	}
+	out := s.Gantt(g, 20)
+	if !utf8.ValidString(out) {
+		t.Errorf("Gantt output is not valid UTF-8:\n%q", out)
+	}
+	if !strings.Contains(out, "…") {
+		t.Errorf("long name was not truncated with an ellipsis:\n%s", out)
+	}
+	if strings.Contains(out, "�") {
+		t.Errorf("Gantt output contains replacement characters:\n%s", out)
 	}
 }

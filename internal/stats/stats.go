@@ -109,6 +109,27 @@ func Max[T number](xs []T) (T, error) {
 	return m, nil
 }
 
+// JainFairness returns Jain's fairness index (Σx)² / (n·Σx²) of the
+// allocations xs — 1 when every entity receives the same share, 1/n when a
+// single entity receives everything. The serving loop reports it over
+// per-tenant mean makespan stretch. An all-zero sample is perfectly fair by
+// convention (every entity got the same nothing).
+func JainFairness[T number](xs []T) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	var sum, sumSq float64
+	for _, x := range xs {
+		v := float64(x)
+		sum += v
+		sumSq += v * v
+	}
+	if sumSq == 0 { //spear:floateq — exact zero means an all-zero sample, not a tolerance question
+		return 1, nil
+	}
+	return sum * sum / (float64(len(xs)) * sumSq), nil
+}
+
 // CDFPoint is one (value, cumulative fraction) pair.
 type CDFPoint struct {
 	Value    float64

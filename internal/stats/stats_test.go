@@ -115,3 +115,35 @@ func TestFractionBelow(t *testing.T) {
 		t.Errorf("empty FractionBelow = %v", got)
 	}
 }
+
+func TestJainFairness(t *testing.T) {
+	// Equal allocations are perfectly fair.
+	if got, err := JainFairness([]float64{5, 5, 5, 5}); err != nil || math.Abs(got-1) > 1e-12 {
+		t.Errorf("equal shares = %v, %v; want 1", got, err)
+	}
+	// One entity hogging everything scores 1/n.
+	if got, err := JainFairness([]float64{10, 0, 0, 0}); err != nil || math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("single hog = %v, %v; want 0.25", got, err)
+	}
+	// Hand-computed mixed case: xs = [1, 2, 3] -> 36 / (3 * 14) = 6/7.
+	if got, err := JainFairness([]int64{1, 2, 3}); err != nil || math.Abs(got-6.0/7) > 1e-12 {
+		t.Errorf("mixed = %v, %v; want 6/7", got, err)
+	}
+	// Scale invariance: k*xs scores the same as xs.
+	a, _ := JainFairness([]float64{1, 2, 3, 4})
+	b, _ := JainFairness([]float64{10, 20, 30, 40})
+	if math.Abs(a-b) > 1e-12 {
+		t.Errorf("not scale invariant: %v vs %v", a, b)
+	}
+	// All-zero sample is fair by convention; empty errors.
+	if got, err := JainFairness([]float64{0, 0}); err != nil || got != 1 {
+		t.Errorf("all-zero = %v, %v; want 1", got, err)
+	}
+	if _, err := JainFairness([]float64{}); err == nil {
+		t.Error("empty sample accepted")
+	}
+	// A single entity is trivially fair.
+	if got, err := JainFairness([]int{7}); err != nil || got != 1 {
+		t.Errorf("singleton = %v, %v; want 1", got, err)
+	}
+}

@@ -1,0 +1,166 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNewArrivalProcessValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  ArrivalConfig
+		ok   bool
+	}{
+		{"poisson", ArrivalConfig{Kind: ArrivalPoisson, Mean: 10}, true},
+		{"gamma bursty", ArrivalConfig{Kind: ArrivalGamma, Mean: 10, Shape: 0.5}, true},
+		{"weibull default shape", ArrivalConfig{Kind: ArrivalWeibull, Mean: 3}, true},
+		{"zero mean", ArrivalConfig{Kind: ArrivalPoisson, Mean: 0}, false},
+		{"negative mean", ArrivalConfig{Kind: ArrivalGamma, Mean: -4}, false},
+		{"negative shape", ArrivalConfig{Kind: ArrivalWeibull, Mean: 4, Shape: -1}, false},
+		{"unknown kind", ArrivalConfig{Kind: "lognormal", Mean: 4}, false},
+		{"empty kind", ArrivalConfig{Mean: 4}, false},
+	}
+	for _, tc := range cases {
+		p, err := NewArrivalProcess(tc.cfg)
+		if tc.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("%s: config %+v accepted", tc.name, tc.cfg)
+		}
+		if tc.ok && p.Config().Shape == 0 {
+			t.Errorf("%s: shape not normalized: %+v", tc.name, p.Config())
+		}
+	}
+}
+
+// TestArrivalDeterminism is the property the serving replay depends on:
+// the same seed must yield the same gap sequence, draw for draw.
+func TestArrivalDeterminism(t *testing.T) {
+	for _, cfg := range []ArrivalConfig{
+		{Kind: ArrivalPoisson, Mean: 7},
+		{Kind: ArrivalGamma, Mean: 12, Shape: 0.4},
+		{Kind: ArrivalGamma, Mean: 12, Shape: 3},
+		{Kind: ArrivalWeibull, Mean: 9, Shape: 0.7},
+	} {
+		p, err := NewArrivalProcess(cfg)
+		if err != nil {
+			t.Fatalf("%+v: %v", cfg, err)
+		}
+		draw := func(seed int64) []int64 {
+			r := rand.New(rand.NewSource(seed))
+			gaps := make([]int64, 200)
+			for i := range gaps {
+				gaps[i] = p.NextGap(r)
+			}
+			return gaps
+		}
+		a, b := draw(42), draw(42)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: draw %d differs across identical seeds: %d vs %d", cfg.Kind, i, a[i], b[i])
+			}
+		}
+		c := draw(43)
+		same := true
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Errorf("%s: different seeds produced identical 200-gap sequences", cfg.Kind)
+		}
+	}
+}
+
+// TestArrivalMeanConverges checks the empirical mean of many draws lands
+// near the configured mean for every distribution, which pins both the
+// parameterization (scale vs rate mix-ups) and the sampling algorithms.
+func TestArrivalMeanConverges(t *testing.T) {
+	const n = 40000
+	for _, cfg := range []ArrivalConfig{
+		{Kind: ArrivalPoisson, Mean: 20},
+		{Kind: ArrivalGamma, Mean: 20, Shape: 0.5},
+		{Kind: ArrivalGamma, Mean: 20, Shape: 4},
+		{Kind: ArrivalWeibull, Mean: 20, Shape: 0.8},
+		{Kind: ArrivalWeibull, Mean: 20, Shape: 2},
+	} {
+		p, err := NewArrivalProcess(cfg)
+		if err != nil {
+			t.Fatalf("%+v: %v", cfg, err)
+		}
+		r := rand.New(rand.NewSource(1))
+		var sum int64
+		for i := 0; i < n; i++ {
+			sum += p.NextGap(r)
+		}
+		got := float64(sum) / n
+		// Integer rounding and sampling noise both stay well inside 10%
+		// at this sample size for means of 20 slots.
+		if math.Abs(got-cfg.Mean) > 0.1*cfg.Mean {
+			t.Errorf("%s shape=%v: empirical mean %.2f, want %.0f±%.0f",
+				cfg.Kind, cfg.Shape, got, cfg.Mean, 0.1*cfg.Mean)
+		}
+	}
+}
+
+// TestArrivalBurstiness verifies shape < 1 actually over-disperses: the
+// bursty gamma's gap variance must exceed the Poisson's at equal mean,
+// and bursts must put several arrivals on the same slot (zero gaps).
+func TestArrivalBurstiness(t *testing.T) {
+	const n = 20000
+	variance := func(cfg ArrivalConfig) (float64, int) {
+		p, err := NewArrivalProcess(cfg)
+		if err != nil {
+			t.Fatalf("%+v: %v", cfg, err)
+		}
+		r := rand.New(rand.NewSource(7))
+		gaps := make([]float64, n)
+		var mean float64
+		zeros := 0
+		for i := range gaps {
+			g := float64(p.NextGap(r))
+			gaps[i] = g
+			mean += g
+			if g == 0 {
+				zeros++
+			}
+		}
+		mean /= n
+		var v float64
+		for _, g := range gaps {
+			v += (g - mean) * (g - mean)
+		}
+		return v / n, zeros
+	}
+	poissonVar, _ := variance(ArrivalConfig{Kind: ArrivalPoisson, Mean: 10})
+	burstyVar, burstyZeros := variance(ArrivalConfig{Kind: ArrivalGamma, Mean: 10, Shape: 0.3})
+	if burstyVar < 1.5*poissonVar {
+		t.Errorf("gamma(0.3) variance %.1f not over-dispersed vs poisson %.1f", burstyVar, poissonVar)
+	}
+	if burstyZeros == 0 {
+		t.Error("bursty process produced no same-slot arrivals in 20000 draws")
+	}
+}
+
+func TestArrivalGapsNonNegative(t *testing.T) {
+	for _, cfg := range []ArrivalConfig{
+		{Kind: ArrivalPoisson, Mean: 0.1},
+		{Kind: ArrivalGamma, Mean: 0.5, Shape: 0.1},
+		{Kind: ArrivalWeibull, Mean: 0.5, Shape: 0.2},
+	} {
+		p, err := NewArrivalProcess(cfg)
+		if err != nil {
+			t.Fatalf("%+v: %v", cfg, err)
+		}
+		r := rand.New(rand.NewSource(3))
+		for i := 0; i < 5000; i++ {
+			if g := p.NextGap(r); g < 0 {
+				t.Fatalf("%s: negative gap %d", cfg.Kind, g)
+			}
+		}
+	}
+}

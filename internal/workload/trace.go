@@ -226,7 +226,9 @@ func (t *Trace) Save(w io.Writer) error {
 	return enc.Encode(t)
 }
 
-// LoadTrace reads a trace previously written by Save.
+// LoadTrace reads a trace previously written by Save and validates it, so a
+// hand-edited file fails here with a precise error instead of panicking
+// later in TraceJob.Graph or resource.Of.
 func LoadTrace(r io.Reader) (*Trace, error) {
 	var t Trace
 	if err := json.NewDecoder(r).Decode(&t); err != nil {
@@ -235,7 +237,42 @@ func LoadTrace(r io.Reader) (*Trace, error) {
 	if len(t.Capacity) == 0 || len(t.Jobs) == 0 {
 		return nil, fmt.Errorf("workload: trace is empty")
 	}
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("workload: invalid trace: %w", err)
+	}
 	return &t, nil
+}
+
+// Validate checks the structural invariants every trace must satisfy:
+// positive capacity in every dimension, every task a known stage ("map" or
+// "reduce"), runtimes >= 1, and demand dimensionality matching the
+// capacity's.
+func (t *Trace) Validate() error {
+	dims := len(t.Capacity)
+	for d, c := range t.Capacity {
+		if c < 1 {
+			return fmt.Errorf("capacity dimension %d is %d, must be >= 1", d, c)
+		}
+	}
+	for ji := range t.Jobs {
+		job := &t.Jobs[ji]
+		for ti := range job.Tasks {
+			task := &job.Tasks[ti]
+			if task.Stage != "map" && task.Stage != "reduce" {
+				return fmt.Errorf("job %q task %q: unknown stage %q (want \"map\" or \"reduce\")",
+					job.Name, task.Name, task.Stage)
+			}
+			if task.Runtime < 1 {
+				return fmt.Errorf("job %q task %q: runtime %d, must be >= 1",
+					job.Name, task.Name, task.Runtime)
+			}
+			if len(task.Demand) != dims {
+				return fmt.Errorf("job %q task %q: demand has %d dimensions, capacity has %d",
+					job.Name, task.Name, len(task.Demand), dims)
+			}
+		}
+	}
+	return nil
 }
 
 // TraceStats summarizes a trace the way Fig. 9(a)/9(b) present it.
@@ -257,11 +294,14 @@ func (t *Trace) Stats() TraceStats {
 		var nm, nr int
 		var sumM, sumR int64
 		for _, task := range t.Jobs[i].Tasks {
-			if task.Stage == "map" {
+			// Switch on the stage explicitly: an unknown stage must not be
+			// silently counted as a reduce task.
+			switch task.Stage {
+			case "map":
 				nm++
 				sumM += task.Runtime
 				s.MapRuntimes = append(s.MapRuntimes, task.Runtime)
-			} else {
+			case "reduce":
 				nr++
 				sumR += task.Runtime
 				s.RedRuntimes = append(s.RedRuntimes, task.Runtime)

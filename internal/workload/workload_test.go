@@ -3,6 +3,7 @@ package workload
 import (
 	"bytes"
 	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -354,6 +355,84 @@ func TestTraceSaveLoadRoundTrip(t *testing.T) {
 	}
 	if _, err := LoadTrace(bytes.NewBufferString("not json")); err == nil {
 		t.Error("bad json accepted")
+	}
+}
+
+func TestLoadTraceRejectsHandEditedCorruption(t *testing.T) {
+	// A hand-edited trace must fail at load time with a wrapped error, not
+	// panic later in TraceJob.Graph / resource.Of.
+	cases := []struct {
+		name string
+		body string
+		want string
+	}{
+		{
+			name: "unknown stage",
+			body: `{"capacity":[10,10],"jobs":[{"name":"j","tasks":[
+				{"name":"t","stage":"shuffle","runtimeSecs":5,"demand":[1,1]}]}]}`,
+			want: "unknown stage",
+		},
+		{
+			name: "zero runtime",
+			body: `{"capacity":[10,10],"jobs":[{"name":"j","tasks":[
+				{"name":"t","stage":"map","runtimeSecs":0,"demand":[1,1]}]}]}`,
+			want: "runtime",
+		},
+		{
+			name: "demand dimensionality mismatch",
+			body: `{"capacity":[10,10],"jobs":[{"name":"j","tasks":[
+				{"name":"t","stage":"map","runtimeSecs":5,"demand":[1]}]}]}`,
+			want: "dimensions",
+		},
+		{
+			name: "non-positive capacity",
+			body: `{"capacity":[10,0],"jobs":[{"name":"j","tasks":[
+				{"name":"t","stage":"map","runtimeSecs":5,"demand":[1,1]}]}]}`,
+			want: "capacity",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := LoadTrace(bytes.NewBufferString(tc.body))
+			if err == nil {
+				t.Fatal("corrupt trace accepted")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+	// The same shape with the corruption fixed loads fine.
+	good := `{"capacity":[10,10],"jobs":[{"name":"j","tasks":[
+		{"name":"t","stage":"map","runtimeSecs":5,"demand":[1,1]}]}]}`
+	if _, err := LoadTrace(bytes.NewBufferString(good)); err != nil {
+		t.Fatalf("valid trace rejected: %v", err)
+	}
+}
+
+func TestTraceStatsIgnoresUnknownStages(t *testing.T) {
+	// Regression: Stats used to count every non-"map" stage as a reduce
+	// task, so a corrupt stage inflated the reduce statistics.
+	trace := &Trace{
+		Capacity: []int64{10},
+		Jobs: []TraceJob{{
+			Name: "j",
+			Tasks: []TraceTask{
+				{Name: "m", Stage: "map", Runtime: 10, Demand: []int64{1}},
+				{Name: "r", Stage: "reduce", Runtime: 20, Demand: []int64{1}},
+				{Name: "x", Stage: "shuffle", Runtime: 999, Demand: []int64{1}},
+			},
+		}},
+	}
+	s := trace.Stats()
+	if s.MaxMaps != 1 || s.MaxReduces != 1 {
+		t.Errorf("counts = %d maps / %d reduces, want 1 / 1", s.MaxMaps, s.MaxReduces)
+	}
+	if len(s.RedRuntimes) != 1 || s.RedRuntimes[0] != 20 {
+		t.Errorf("reduce runtimes = %v, want [20]", s.RedRuntimes)
+	}
+	if s.MaxMeanRedRT != 20 {
+		t.Errorf("MaxMeanRedRT = %v, want 20 (unknown stage leaked in)", s.MaxMeanRedRT)
 	}
 }
 
