@@ -65,7 +65,7 @@ func benchJobs(b *testing.B, n, tasks int, seed int64) ([]*spear.Job, spear.Vect
 
 func mustSchedule(b *testing.B, s spear.Scheduler, job *spear.Job, capacity spear.Vector) int64 {
 	b.Helper()
-	out, err := s.Schedule(job, capacity)
+	out, err := s.Schedule(job, spear.SingleMachine(capacity))
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -20,6 +20,7 @@ import (
 	"testing"
 	"time"
 
+	"spear/internal/cluster"
 	"spear/internal/drl"
 	"spear/internal/mcts"
 	"spear/internal/workload"
@@ -174,7 +175,7 @@ func run() error {
 		r := measure(fmt.Sprintf("mcts_schedule_root_k%d", k), 0, func(b *testing.B) {
 			rollouts, elapsed = 0, 0
 			for i := 0; i < b.N; i++ {
-				if _, err := s.Schedule(graph, capacity); err != nil {
+				if _, err := s.Schedule(graph, cluster.Single(capacity)); err != nil {
 					b.Fatal(err)
 				}
 				st := s.LastStats()

@@ -7,6 +7,7 @@
 // Usage:
 //
 //	spear-serve -seed 7 -horizon 2000 -algo cp -out run.json
+//	spear-serve -seed 7 -machines 4 -algo tetris    # 4-machine cluster
 //	spear-serve -replay run.json            # re-execute and diff byte-wise
 //	spear-serve -seed 7 -admission token-bucket -bucket-cap 4 -bucket-refill 0.05
 //	spear-serve -seed 7 -class gold:poisson:120 -class batch:gamma:40:0.4 -metrics
@@ -53,6 +54,8 @@ func run() error {
 		bucketCap    = flag.Float64("bucket-cap", 8, "token-bucket burst capacity in jobs")
 		bucketRefill = flag.Float64("bucket-refill", 0.02, "token-bucket refill rate in jobs per slot")
 		maxInFlight  = flag.Int("max-inflight", 0, "max planned-but-unfinished jobs (0 = unbounded)")
+		machines     = flag.Int("machines", 1, "number of identical machines in the serving cluster")
+		dumpPlans    = flag.Bool("dump-schedules", false, "embed each committed plan's schedule in its plan event")
 		budget       = flag.Duration("decision-timeout", 0, "wall-clock budget per planning call (0 = unbounded)")
 		out          = flag.String("out", "", "write the run log to this file")
 		replay       = flag.String("replay", "", "re-execute the run recorded in this log and diff byte-wise")
@@ -66,6 +69,9 @@ func run() error {
 		return replayRun(*replay, *metrics)
 	}
 
+	if *machines < 1 {
+		return fmt.Errorf("machines %d must be >= 1", *machines)
+	}
 	cfg := serve.Config{
 		Seed:           *seed,
 		Horizon:        *horizon,
@@ -73,6 +79,12 @@ func run() error {
 		Algorithm:      *algo,
 		DecisionBudget: *budget,
 		Admission:      serve.AdmissionConfig{Policy: *admission, BucketCap: *bucketCap, RefillPerSlot: *bucketRefill},
+		DumpSchedules:  *dumpPlans,
+	}
+	if *machines > 1 {
+		// A 1-machine cluster is the config's zero value; leaving it absent
+		// keeps old run logs byte-identical.
+		cfg.Machines = *machines
 	}
 	if cfg.Admission.Policy == serve.PolicyAlways {
 		cfg.Admission.BucketCap, cfg.Admission.RefillPerSlot = 0, 0

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	spear-sim -n 10 -tasks 100 -algos spear,graphene,tetris,cp,sjf
+//	spear-sim -n 10 -machines 4 -algos heft,tetris,cp
 //	spear-sim -motivating -algos spear,graphene
 package main
 
@@ -41,6 +42,7 @@ func run() error {
 		capFlag    = flag.String("capacity", "", "cluster capacity for -job, comma-separated (e.g. 1000,1000)")
 		svgPath    = flag.String("svg", "", "write the first scheduler's first schedule as SVG to this path")
 		metrics    = flag.Bool("metrics", false, "print a Prometheus-format metrics snapshot after the run")
+		machines   = flag.Int("machines", 1, "number of identical machines, each with the full capacity vector")
 	)
 	flag.Parse()
 
@@ -48,6 +50,10 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	if *machines < 1 {
+		return fmt.Errorf("machines %d must be >= 1", *machines)
+	}
+	spec := spear.UniformCluster(*machines, capacity)
 
 	var reg *spear.MetricsRegistry
 	if *metrics {
@@ -75,11 +81,11 @@ func run() error {
 	for ji, job := range jobs {
 		fmt.Fprintf(w, "%d", ji)
 		for si, s := range schedulers {
-			out, err := s.Schedule(job, capacity)
+			out, err := s.Schedule(job, spec)
 			if err != nil {
 				return fmt.Errorf("%s on job %d: %w", s.Name(), ji, err)
 			}
-			if err := spear.Validate(job, capacity, out); err != nil {
+			if err := spear.Validate(job, spec, out); err != nil {
 				return fmt.Errorf("%s produced an invalid schedule on job %d: %w", s.Name(), ji, err)
 			}
 			totals[si] += out.Makespan

@@ -96,7 +96,7 @@ func TestWriteSVGFile(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := spear.NewTetris().Schedule(jobs[0], capacity)
+	out, err := spear.NewTetris().Schedule(jobs[0], spear.SingleMachine(capacity))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -24,13 +24,13 @@ func Example() {
 	}
 
 	capacity := spear.Resources(1000, 1000)
-	schedule, err := spear.NewCP().Schedule(job, capacity)
+	schedule, err := spear.NewCP().Schedule(job, spear.SingleMachine(capacity))
 	if err != nil {
 		fmt.Println(err)
 		return
 	}
 	fmt.Println("makespan:", schedule.Makespan)
-	fmt.Println("valid:", spear.Validate(job, capacity, schedule) == nil)
+	fmt.Println("valid:", spear.Validate(job, spear.SingleMachine(capacity), schedule) == nil)
 	// Output:
 	// makespan: 13
 	// valid: true
@@ -73,7 +73,7 @@ func ExampleNewOptimal() {
 	}
 	job, _ := b.Build()
 
-	schedule, err := spear.NewOptimal(0).Schedule(job, spear.Resources(2))
+	schedule, err := spear.NewOptimal(0).Schedule(job, spear.SingleMachine(spear.Resources(2)))
 	fmt.Println(schedule.Makespan, err)
 	// Output: 8 <nil>
 }

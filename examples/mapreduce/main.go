@@ -65,15 +65,15 @@ func run() error {
 	var wins int
 	for i := 0; i < *jobsN; i++ {
 		job := graphs[i]
-		gOut, err := graphene.Schedule(job, capacity)
+		gOut, err := graphene.Schedule(job, spear.SingleMachine(capacity))
 		if err != nil {
 			return err
 		}
-		sOut, err := spearSched.Schedule(job, capacity)
+		sOut, err := spearSched.Schedule(job, spear.SingleMachine(capacity))
 		if err != nil {
 			return err
 		}
-		if err := spear.Validate(job, capacity, sOut); err != nil {
+		if err := spear.Validate(job, spear.SingleMachine(capacity), sOut); err != nil {
 			return err
 		}
 		maps := len(job.Entries())

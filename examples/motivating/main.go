@@ -51,11 +51,11 @@ func run() error {
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "algorithm\tmakespan\tin units of T")
 	for _, s := range schedulers {
-		out, err := s.Schedule(job, capacity)
+		out, err := s.Schedule(job, spear.SingleMachine(capacity))
 		if err != nil {
 			return fmt.Errorf("%s: %w", s.Name(), err)
 		}
-		if err := spear.Validate(job, capacity, out); err != nil {
+		if err := spear.Validate(job, spear.SingleMachine(capacity), out); err != nil {
 			return fmt.Errorf("%s: %w", s.Name(), err)
 		}
 		label := s.Name()

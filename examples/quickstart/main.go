@@ -73,11 +73,11 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	schedule, err := scheduler.Schedule(job, capacity)
+	schedule, err := scheduler.Schedule(job, spear.SingleMachine(capacity))
 	if err != nil {
 		return err
 	}
-	if err := spear.Validate(job, capacity, schedule); err != nil {
+	if err := spear.Validate(job, spear.SingleMachine(capacity), schedule); err != nil {
 		return fmt.Errorf("schedule failed validation: %w", err)
 	}
 
@@ -87,7 +87,7 @@ func run() error {
 	// Compare against the heuristics.
 	fmt.Println("\nbaselines on the same job:")
 	for _, s := range []spear.Scheduler{spear.NewGraphene(), spear.NewTetris(), spear.NewCP(), spear.NewSJF()} {
-		out, err := s.Schedule(job, capacity)
+		out, err := s.Schedule(job, spear.SingleMachine(capacity))
 		if err != nil {
 			return err
 		}

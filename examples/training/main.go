@@ -40,11 +40,11 @@ func run() error {
 	}
 	refTetris, refSJF := 0.0, 0.0
 	for _, job := range jobs {
-		t, err := spear.NewTetris().Schedule(job, cfg.Capacity())
+		t, err := spear.NewTetris().Schedule(job, spear.SingleMachine(cfg.Capacity()))
 		if err != nil {
 			return err
 		}
-		s, err := spear.NewSJF().Schedule(job, cfg.Capacity())
+		s, err := spear.NewSJF().Schedule(job, spear.SingleMachine(cfg.Capacity()))
 		if err != nil {
 			return err
 		}

@@ -89,14 +89,14 @@ func run() error {
 	}
 	rows := make([]row, 0, len(schedulers))
 	for _, s := range schedulers {
-		out, err := s.Schedule(job, capacity)
+		out, err := s.Schedule(job, spear.SingleMachine(capacity))
 		if err != nil {
 			return fmt.Errorf("%s: %w", s.Name(), err)
 		}
-		if err := spear.Validate(job, capacity, out); err != nil {
+		if err := spear.Validate(job, spear.SingleMachine(capacity), out); err != nil {
 			return fmt.Errorf("%s produced an invalid schedule: %w", s.Name(), err)
 		}
-		u, err := spear.ComputeUtilization(job, capacity, out)
+		u, err := spear.ComputeUtilization(job, spear.SingleMachine(capacity), out)
 		if err != nil {
 			return err
 		}

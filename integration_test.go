@@ -37,11 +37,11 @@ func TestIntegrationTracePipeline(t *testing.T) {
 	for i := 0; i < 3; i++ {
 		job := graphs[i]
 		for _, s := range []spear.Scheduler{spearSched, graphene} {
-			out, err := s.Schedule(job, capacity)
+			out, err := s.Schedule(job, spear.SingleMachine(capacity))
 			if err != nil {
 				t.Fatalf("%s on job %d: %v", s.Name(), i, err)
 			}
-			if err := spear.Validate(job, capacity, out); err != nil {
+			if err := spear.Validate(job, spear.SingleMachine(capacity), out); err != nil {
 				t.Fatalf("%s on job %d: %v", s.Name(), i, err)
 			}
 			lb, err := spear.MakespanLowerBound(job, capacity)
@@ -51,7 +51,7 @@ func TestIntegrationTracePipeline(t *testing.T) {
 			if out.Makespan < lb {
 				t.Errorf("%s on job %d: makespan %d below bound %d", s.Name(), i, out.Makespan, lb)
 			}
-			u, err := spear.ComputeUtilization(job, capacity, out)
+			u, err := spear.ComputeUtilization(job, spear.SingleMachine(capacity), out)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -76,14 +76,14 @@ func TestIntegrationMotivatingGap(t *testing.T) {
 	capacity := spear.MotivatingCapacity()
 
 	search := spear.NewMCTS(spear.MCTSConfig{InitialBudget: 3000, MinBudget: 300, Seed: 1})
-	searchOut, err := search.Schedule(job, capacity)
+	searchOut, err := search.Schedule(job, spear.SingleMachine(capacity))
 	if err != nil {
 		t.Fatal(err)
 	}
 
 	worst := int64(0)
 	for _, s := range []spear.Scheduler{spear.NewGraphene(), spear.NewTetris(), spear.NewCP(), spear.NewSJF()} {
-		out, err := s.Schedule(job, capacity)
+		out, err := s.Schedule(job, spear.SingleMachine(capacity))
 		if err != nil {
 			t.Fatal(err)
 		}

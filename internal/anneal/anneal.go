@@ -18,8 +18,8 @@ import (
 	"time"
 
 	"spear/internal/baselines"
+	"spear/internal/cluster"
 	"spear/internal/dag"
-	"spear/internal/resource"
 	"spear/internal/sched"
 	"spear/internal/simenv"
 )
@@ -68,8 +68,8 @@ func (s *Scheduler) Name() string { return "Annealing" }
 
 // Schedule implements sched.Scheduler. It is ScheduleContext with an
 // uncancellable background context.
-func (s *Scheduler) Schedule(g *dag.Graph, capacity resource.Vector) (*sched.Schedule, error) {
-	return s.ScheduleContext(context.Background(), g, capacity)
+func (s *Scheduler) Schedule(g *dag.Graph, spec cluster.Spec) (*sched.Schedule, error) {
+	return s.ScheduleContext(context.Background(), g, spec)
 }
 
 // ScheduleContext implements sched.ContextScheduler. The context is checked
@@ -79,13 +79,13 @@ func (s *Scheduler) Schedule(g *dag.Graph, capacity resource.Vector) (*sched.Sch
 // driven by the seeded rng and never branches on time.
 //
 //spear:timing
-func (s *Scheduler) ScheduleContext(ctx context.Context, g *dag.Graph, capacity resource.Vector) (*sched.Schedule, error) {
+func (s *Scheduler) ScheduleContext(ctx context.Context, g *dag.Graph, spec cluster.Spec) (*sched.Schedule, error) {
 	began := time.Now()
-	bestOrder, _, cancelledAt, err := s.search(ctx, g, capacity)
+	bestOrder, _, cancelledAt, err := s.search(ctx, g, spec)
 	if err != nil {
 		return nil, err
 	}
-	out, err := run(g, capacity, bestOrder)
+	out, err := run(g, spec, bestOrder)
 	if err != nil {
 		return nil, err
 	}
@@ -103,7 +103,7 @@ func (s *Scheduler) ScheduleContext(ctx context.Context, g *dag.Graph, capacity 
 // unconditionally — including iterations whose swap draw hits i == j and
 // proposes nothing — so the normalized geometric schedule reaches its
 // 1%-of-initial floor exactly at the last iteration.
-func (s *Scheduler) search(ctx context.Context, g *dag.Graph, capacity resource.Vector) (bestOrder []dag.TaskID, finalTemp float64, cancelledAt int, err error) {
+func (s *Scheduler) search(ctx context.Context, g *dag.Graph, spec cluster.Spec) (bestOrder []dag.TaskID, finalTemp float64, cancelledAt int, err error) {
 	rng := rand.New(rand.NewSource(s.cfg.Seed))
 	n := g.NumTasks()
 
@@ -115,7 +115,7 @@ func (s *Scheduler) search(ctx context.Context, g *dag.Graph, capacity resource.
 	blevel := func(id dag.TaskID) int64 { return g.BLevel(id) }
 	sortByDesc(order, blevel)
 
-	current, err := evaluate(g, capacity, order)
+	current, err := evaluate(g, spec, order)
 	if err != nil {
 		return nil, 0, -1, err
 	}
@@ -135,7 +135,7 @@ func (s *Scheduler) search(ctx context.Context, g *dag.Graph, capacity resource.
 		i, j := rng.Intn(n), rng.Intn(n)
 		if i != j {
 			order[i], order[j] = order[j], order[i]
-			cand, err := evaluate(g, capacity, order)
+			cand, err := evaluate(g, spec, order)
 			if err != nil {
 				return nil, 0, -1, err
 			}
@@ -156,20 +156,20 @@ func (s *Scheduler) search(ctx context.Context, g *dag.Graph, capacity resource.
 }
 
 // evaluate executes the order and returns the makespan.
-func evaluate(g *dag.Graph, capacity resource.Vector, order []dag.TaskID) (int64, error) {
-	out, err := run(g, capacity, order)
+func evaluate(g *dag.Graph, spec cluster.Spec, order []dag.TaskID) (int64, error) {
+	out, err := run(g, spec, order)
 	if err != nil {
 		return 0, err
 	}
 	return out.Makespan, nil
 }
 
-func run(g *dag.Graph, capacity resource.Vector, order []dag.TaskID) (*sched.Schedule, error) {
+func run(g *dag.Graph, spec cluster.Spec, order []dag.TaskID) (*sched.Schedule, error) {
 	policy, err := baselines.NewOrderPolicy("Annealing", order, g.NumTasks())
 	if err != nil {
 		return nil, err
 	}
-	e, err := simenv.New(g, capacity, simenv.Config{Mode: simenv.NextCompletion})
+	e, err := simenv.NewCluster(g, spec, simenv.Config{Mode: simenv.NextCompletion})
 	if err != nil {
 		return nil, err
 	}

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"spear/internal/baselines"
+	"spear/internal/cluster"
 	"spear/internal/dag"
 	"spear/internal/resource"
 	"spear/internal/sched"
@@ -22,11 +23,11 @@ func TestProducesValidSchedules(t *testing.T) {
 			t.Fatal(err)
 		}
 		s := New(Config{Iterations: 100, Seed: seed})
-		out, err := s.Schedule(g, cfg.Capacity())
+		out, err := s.Schedule(g, cluster.Single(cfg.Capacity()))
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
-		if err := sched.Validate(g, cfg.Capacity(), out); err != nil {
+		if err := sched.Validate(g, cluster.Single(cfg.Capacity()), out); err != nil {
 			t.Errorf("seed %d: %v", seed, err)
 		}
 	}
@@ -40,7 +41,7 @@ func TestDeterministic(t *testing.T) {
 		t.Fatal(err)
 	}
 	run := func() int64 {
-		out, err := New(Config{Iterations: 80, Seed: 5}).Schedule(g, cfg.Capacity())
+		out, err := New(Config{Iterations: 80, Seed: 5}).Schedule(g, cluster.Single(cfg.Capacity()))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -61,11 +62,11 @@ func TestNotWorseThanCPStart(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		annealed, err := New(Config{Iterations: 200, Seed: seed}).Schedule(g, cfg.Capacity())
+		annealed, err := New(Config{Iterations: 200, Seed: seed}).Schedule(g, cluster.Single(cfg.Capacity()))
 		if err != nil {
 			t.Fatal(err)
 		}
-		cp, err := baselines.NewCPScheduler().Schedule(g, cfg.Capacity())
+		cp, err := baselines.NewCPScheduler().Schedule(g, cluster.Single(cfg.Capacity()))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -87,11 +88,11 @@ func TestOrderSearchCannotEscapeMotivatingTrap(t *testing.T) {
 		t.Fatal(err)
 	}
 	capacity := workload.MotivatingCapacity()
-	out, err := New(Config{Iterations: 800, Seed: 1}).Schedule(g, capacity)
+	out, err := New(Config{Iterations: 800, Seed: 1}).Schedule(g, cluster.Single(capacity))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := sched.Validate(g, capacity, out); err != nil {
+	if err := sched.Validate(g, cluster.Single(capacity), out); err != nil {
 		t.Fatal(err)
 	}
 	if out.Makespan != 301 {
@@ -114,7 +115,7 @@ func TestCoolingReachesFloor(t *testing.T) {
 	}
 	const iters = 400
 	s := New(Config{Iterations: iters, Seed: 3})
-	_, finalTemp, cancelledAt, err := s.search(context.Background(), g, resource.Of(1))
+	_, finalTemp, cancelledAt, err := s.search(context.Background(), g, cluster.Single(resource.Of(1)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +143,7 @@ func TestCoolingUnconditionalOnCollisions(t *testing.T) {
 	}
 	const iters = 120
 	s := New(Config{Iterations: iters, Seed: 11})
-	_, finalTemp, _, err := s.search(context.Background(), g, cfg.Capacity())
+	_, finalTemp, _, err := s.search(context.Background(), g, cluster.Single(cfg.Capacity()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,7 +154,7 @@ func TestCoolingUnconditionalOnCollisions(t *testing.T) {
 		order[i] = dag.TaskID(i)
 	}
 	sortByDesc(order, func(id dag.TaskID) int64 { return g.BLevel(id) })
-	startMakespan, err := evaluate(g, cfg.Capacity(), order)
+	startMakespan, err := evaluate(g, cluster.Single(cfg.Capacity()), order)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,7 +197,7 @@ func TestSingleTask(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := New(Config{Iterations: 10, Seed: 1}).Schedule(g, resource.Of(1))
+	out, err := New(Config{Iterations: 10, Seed: 1}).Schedule(g, cluster.Single(resource.Of(1)))
 	if err != nil {
 		t.Fatal(err)
 	}

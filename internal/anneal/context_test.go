@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"spear/internal/cluster"
 	"spear/internal/sched"
 	"spear/internal/workload"
 )
@@ -21,7 +22,7 @@ func TestCancelledContextReturnsBestOrderSoFar(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	s := New(Config{Iterations: 100, Seed: 11})
-	out, err := s.ScheduleContext(ctx, g, capacity)
+	out, err := s.ScheduleContext(ctx, g, cluster.Single(capacity))
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want wrapping context.Canceled", err)
 	}
@@ -30,7 +31,7 @@ func TestCancelledContextReturnsBestOrderSoFar(t *testing.T) {
 	}
 	// Even a pre-cancelled run executes the CP starting order, so the
 	// result must be a complete, valid schedule.
-	if err := sched.Validate(g, capacity, out); err != nil {
+	if err := sched.Validate(g, cluster.Single(capacity), out); err != nil {
 		t.Errorf("cancelled schedule is invalid: %v", err)
 	}
 }
@@ -43,11 +44,11 @@ func TestBackgroundContextMatchesSchedule(t *testing.T) {
 		t.Fatal(err)
 	}
 	capacity := cfg.Capacity()
-	want, err := New(Config{Iterations: 80, Seed: 13}).Schedule(g, capacity)
+	want, err := New(Config{Iterations: 80, Seed: 13}).Schedule(g, cluster.Single(capacity))
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := New(Config{Iterations: 80, Seed: 13}).ScheduleContext(context.Background(), g, capacity)
+	got, err := New(Config{Iterations: 80, Seed: 13}).ScheduleContext(context.Background(), g, cluster.Single(capacity))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"spear/internal/cluster"
 	"spear/internal/dag"
 	"spear/internal/resource"
 	"spear/internal/sched"
@@ -70,11 +71,11 @@ func TestAllBaselinesProduceValidSchedules(t *testing.T) {
 			t.Fatal(err)
 		}
 		for _, s := range schedulers {
-			out, err := s.Schedule(g, capacity)
+			out, err := s.Schedule(g, cluster.Single(capacity))
 			if err != nil {
 				t.Fatalf("trial %d %s: %v", trial, s.Name(), err)
 			}
-			if err := sched.Validate(g, capacity, out); err != nil {
+			if err := sched.Validate(g, cluster.Single(capacity), out); err != nil {
 				t.Errorf("trial %d %s: invalid schedule: %v", trial, s.Name(), err)
 			}
 			if out.Makespan < lb {
@@ -264,7 +265,7 @@ func TestGrapheneBeatsNothingFancyOnChain(t *testing.T) {
 	}, [][2]int{{0, 1}, {1, 2}})
 	capacity := resource.Of(10)
 	for _, s := range []sched.Scheduler{NewGrapheneScheduler(), NewTetrisScheduler(), NewCPScheduler(), NewSJFScheduler()} {
-		out, err := s.Schedule(g, capacity)
+		out, err := s.Schedule(g, cluster.Single(capacity))
 		if err != nil {
 			t.Fatalf("%s: %v", s.Name(), err)
 		}
@@ -358,16 +359,16 @@ func TestGrapheneCustomThresholds(t *testing.T) {
 		{runtime: 2, demand: []int64{1}},
 	}, nil)
 	gr := &Graphene{Thresholds: []float64{0.5}}
-	out, err := gr.Schedule(g, resource.Of(2))
+	out, err := gr.Schedule(g, cluster.Single(resource.Of(2)))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := sched.Validate(g, resource.Of(2), out); err != nil {
+	if err := sched.Validate(g, cluster.Single(resource.Of(2)), out); err != nil {
 		t.Error(err)
 	}
 
 	empty := &Graphene{Thresholds: []float64{}}
-	if _, err := empty.Schedule(g, resource.Of(2)); err == nil {
+	if _, err := empty.Schedule(g, cluster.Single(resource.Of(2))); err == nil {
 		t.Error("empty thresholds accepted")
 	}
 }
@@ -384,11 +385,11 @@ func TestPropertyBaselinesAlwaysValid(t *testing.T) {
 		g := randomLayeredGraph(r, 5+r.Intn(30))
 		capacity := resource.Of(500+r.Int63n(500), 500+r.Int63n(500))
 		for _, s := range schedulers {
-			out, err := s.Schedule(g, capacity)
+			out, err := s.Schedule(g, cluster.Single(capacity))
 			if err != nil {
 				return false
 			}
-			if err := sched.Validate(g, capacity, out); err != nil {
+			if err := sched.Validate(g, cluster.Single(capacity), out); err != nil {
 				return false
 			}
 		}

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"spear/internal/cluster"
 	"spear/internal/resource"
 	"spear/internal/sched"
 )
@@ -20,7 +21,7 @@ func BenchmarkBaselines100Tasks(b *testing.B) {
 		b.Run(s.Name(), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := s.Schedule(g, capacity); err != nil {
+				if _, err := s.Schedule(g, cluster.Single(capacity)); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -23,15 +23,15 @@ func (CP) Choose(e *simenv.Env, legal []simenv.Action, _ *rand.Rand) (simenv.Act
 	visible := e.VisibleReady()
 	g := e.Graph()
 	return pickBest(legal, func(a, b simenv.Action) bool {
-		ba, bb := g.BLevel(visible[a]), g.BLevel(visible[b])
+		ba, bb := g.BLevel(visible[a.Slot()]), g.BLevel(visible[b.Slot()])
 		if ba != bb {
 			return ba > bb
 		}
-		ca, cb := g.NumChildren(visible[a]), g.NumChildren(visible[b])
+		ca, cb := g.NumChildren(visible[a.Slot()]), g.NumChildren(visible[b.Slot()])
 		if ca != cb {
 			return ca > cb
 		}
-		return visible[a] < visible[b]
+		return visible[a.Slot()] < visible[b.Slot()]
 	}), nil
 }
 

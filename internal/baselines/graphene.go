@@ -44,8 +44,14 @@ func (gr *Graphene) Name() string { return "Graphene" }
 // Schedule implements sched.Scheduler. It evaluates every
 // (threshold, direction) candidate order online and returns the schedule
 // with the smallest makespan.
-func (gr *Graphene) Schedule(g *dag.Graph, capacity resource.Vector) (*sched.Schedule, error) {
+func (gr *Graphene) Schedule(g *dag.Graph, spec cluster.Spec) (*sched.Schedule, error) {
 	began := time.Now()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	// Virtual placement reasons about the aggregate resource-time volume;
+	// the online execution below enforces real per-machine boundaries.
+	capacity := spec.Total()
 	thresholds := gr.Thresholds
 	if thresholds == nil {
 		thresholds = defaultGrapheneThresholds
@@ -66,7 +72,7 @@ func (gr *Graphene) Schedule(g *dag.Graph, capacity resource.Vector) (*sched.Sch
 			if err != nil {
 				return nil, err
 			}
-			e, err := simenv.New(g, capacity, simenv.Config{Mode: simenv.NextCompletion})
+			e, err := simenv.NewCluster(g, spec, simenv.Config{Mode: simenv.NextCompletion})
 			if err != nil {
 				return nil, err
 			}

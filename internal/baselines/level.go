@@ -43,7 +43,7 @@ func (LevelByLevel) Choose(e *simenv.Env, legal []simenv.Action, _ *rand.Rand) (
 	candidates := scheduleActions(legal)
 	best := simenv.Process
 	for _, a := range candidates {
-		id := visible[a]
+		id := visible[a.Slot()]
 		if levels[id] != minLevel {
 			continue
 		}
@@ -51,7 +51,7 @@ func (LevelByLevel) Choose(e *simenv.Env, legal []simenv.Action, _ *rand.Rand) (
 			best = a
 			continue
 		}
-		ra, rb := g.Task(id).Runtime, g.Task(visible[best]).Runtime
+		ra, rb := g.Task(id).Runtime, g.Task(visible[best.Slot()]).Runtime
 		if ra > rb {
 			best = a
 		}

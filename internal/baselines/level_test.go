@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"spear/internal/cluster"
 	"spear/internal/resource"
 	"spear/internal/sched"
 	"spear/internal/simenv"
@@ -30,7 +31,7 @@ func TestLevelByLevelWaitsForCurrentLevel(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := sched.Validate(g, capacity, s); err != nil {
+	if err := sched.Validate(g, cluster.Single(capacity), s); err != nil {
 		t.Fatal(err)
 	}
 	starts := s.StartTimes(4)
@@ -41,7 +42,7 @@ func TestLevelByLevelWaitsForCurrentLevel(t *testing.T) {
 	}
 	// A work-conserving policy overlaps d with a and finishes earlier —
 	// that is exactly the sub-optimality the related work describes.
-	work, err := NewTetrisScheduler().Schedule(g, capacity)
+	work, err := NewTetrisScheduler().Schedule(g, cluster.Single(capacity))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,11 +57,11 @@ func TestLevelByLevelValidOnRandomGraphs(t *testing.T) {
 	s := NewLevelByLevelScheduler()
 	for i := 0; i < 4; i++ {
 		g := randomLayeredGraph(r, 30)
-		out, err := s.Schedule(g, capacity)
+		out, err := s.Schedule(g, cluster.Single(capacity))
 		if err != nil {
 			t.Fatalf("graph %d: %v", i, err)
 		}
-		if err := sched.Validate(g, capacity, out); err != nil {
+		if err := sched.Validate(g, cluster.Single(capacity), out); err != nil {
 			t.Errorf("graph %d: %v", i, err)
 		}
 	}
@@ -71,17 +72,17 @@ func TestTetrisSRPTWeightZeroMatchesTetris(t *testing.T) {
 	capacity := resource.Of(1000, 1000)
 	for i := 0; i < 3; i++ {
 		g := randomLayeredGraph(r, 25)
-		pure, err := NewTetrisScheduler().Schedule(g, capacity)
+		pure, err := NewTetrisScheduler().Schedule(g, cluster.Single(capacity))
 		if err != nil {
 			t.Fatal(err)
 		}
-		combo, err := NewTetrisSRPTScheduler(0).Schedule(g, capacity)
+		combo, err := NewTetrisSRPTScheduler(0).Schedule(g, cluster.Single(capacity))
 		if err != nil {
 			t.Fatal(err)
 		}
 		// Tie-breaks differ slightly (Tetris breaks ties on runtime), so
 		// allow small deviation but both must validate.
-		if err := sched.Validate(g, capacity, combo); err != nil {
+		if err := sched.Validate(g, cluster.Single(capacity), combo); err != nil {
 			t.Fatal(err)
 		}
 		diff := pure.Makespan - combo.Makespan
@@ -120,11 +121,11 @@ func TestTetrisSRPTValidSchedules(t *testing.T) {
 	for _, weight := range []float64{0, 0.5, 2} {
 		s := NewTetrisSRPTScheduler(weight)
 		g := randomLayeredGraph(r, 30)
-		out, err := s.Schedule(g, capacity)
+		out, err := s.Schedule(g, cluster.Single(capacity))
 		if err != nil {
 			t.Fatalf("weight %v: %v", weight, err)
 		}
-		if err := sched.Validate(g, capacity, out); err != nil {
+		if err := sched.Validate(g, cluster.Single(capacity), out); err != nil {
 			t.Errorf("weight %v: %v", weight, err)
 		}
 	}

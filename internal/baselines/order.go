@@ -49,6 +49,6 @@ func (p *OrderPolicy) Name() string { return p.name }
 func (p *OrderPolicy) Choose(e *simenv.Env, legal []simenv.Action, _ *rand.Rand) (simenv.Action, error) {
 	visible := e.VisibleReady()
 	return pickBest(legal, func(a, b simenv.Action) bool {
-		return p.rank[visible[a]] < p.rank[visible[b]]
+		return p.rank[visible[a.Slot()]] < p.rank[visible[b.Slot()]]
 	}), nil
 }

@@ -16,8 +16,8 @@ import (
 	"math/rand"
 	"time"
 
+	"spear/internal/cluster"
 	"spear/internal/dag"
-	"spear/internal/resource"
 	"spear/internal/sched"
 	"spear/internal/simenv"
 )
@@ -41,9 +41,24 @@ func newPolicyScheduler(p simenv.Policy, cfg simenv.Config, seed int64) *PolicyS
 // Name implements sched.Scheduler.
 func (s *PolicyScheduler) Name() string { return s.policy.Name() }
 
+// WithRouting overrides how the wrapped policy picks machines on
+// multi-machine specs: the policy still selects which task to start (by
+// slot), but the machine among those the task currently fits is chosen by
+// the routing policy instead of first-fit. A nil routing policy restores
+// first-fit. Single-machine schedules are unaffected. Returns s.
+func (s *PolicyScheduler) WithRouting(r cluster.RoutingPolicy) *PolicyScheduler {
+	if base, ok := s.policy.(*routedPolicy); ok {
+		s.policy = base.policy
+	}
+	if r != nil {
+		s.policy = &routedPolicy{policy: s.policy, route: r}
+	}
+	return s
+}
+
 // Schedule implements sched.Scheduler.
-func (s *PolicyScheduler) Schedule(g *dag.Graph, capacity resource.Vector) (*sched.Schedule, error) {
-	e, err := simenv.New(g, capacity, s.cfg)
+func (s *PolicyScheduler) Schedule(g *dag.Graph, spec cluster.Spec) (*sched.Schedule, error) {
+	e, err := simenv.NewCluster(g, spec, s.cfg)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", s.policy.Name(), err)
 	}
@@ -54,6 +69,50 @@ func (s *PolicyScheduler) Schedule(g *dag.Graph, capacity resource.Vector) (*sch
 	}
 	out.Elapsed = time.Since(began)
 	return out, nil
+}
+
+// routedPolicy decorates a task-selection policy with a machine-selection
+// routing policy: the base policy picks an action, and when that action
+// starts a task, the machine is re-picked by the router among the machines
+// the task legally fits right now.
+type routedPolicy struct {
+	policy simenv.Policy
+	route  cluster.RoutingPolicy
+
+	machines []int // scratch candidate buffer
+}
+
+var _ simenv.Policy = (*routedPolicy)(nil)
+
+// Name implements simenv.Policy.
+func (p *routedPolicy) Name() string { return p.policy.Name() + "+" + p.route.Name() }
+
+// Choose implements simenv.Policy.
+func (p *routedPolicy) Choose(e *simenv.Env, legal []simenv.Action, rng *rand.Rand) (simenv.Action, error) {
+	a, err := p.policy.Choose(e, legal, rng)
+	if err != nil || a == simenv.Process || e.NumMachines() == 1 {
+		return a, err
+	}
+	slot := a.Slot()
+	p.machines = p.machines[:0]
+	for _, la := range legal {
+		if la != simenv.Process && la.Slot() == slot {
+			p.machines = append(p.machines, la.Machine())
+		}
+	}
+	if len(p.machines) == 0 {
+		return a, nil
+	}
+	task := e.Graph().Task(e.VisibleTask(slot))
+	m := p.route.Route(e.Cluster(), p.machines, task.Demand, task.Runtime, e.Now())
+	for _, c := range p.machines {
+		if c == m {
+			return simenv.At(slot, m), nil
+		}
+	}
+	// A router returning a non-candidate machine is a bug; fall back to the
+	// base policy's pick rather than emit an illegal action.
+	return a, nil
 }
 
 // scheduleActions filters legal down to task-scheduling actions (everything

@@ -20,12 +20,12 @@ func (SJF) Name() string { return "SJF" }
 func (SJF) Choose(e *simenv.Env, legal []simenv.Action, _ *rand.Rand) (simenv.Action, error) {
 	visible := e.VisibleReady()
 	return pickBest(legal, func(a, b simenv.Action) bool {
-		ra := e.Graph().Task(visible[a]).Runtime
-		rb := e.Graph().Task(visible[b]).Runtime
+		ra := e.Graph().Task(visible[a.Slot()]).Runtime
+		rb := e.Graph().Task(visible[b.Slot()]).Runtime
 		if ra != rb {
 			return ra < rb
 		}
-		return visible[a] < visible[b]
+		return visible[a.Slot()] < visible[b.Slot()]
 	}), nil
 }
 

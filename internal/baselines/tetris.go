@@ -23,7 +23,7 @@ func (Tetris) Choose(e *simenv.Env, legal []simenv.Action, _ *rand.Rand) (simenv
 	visible := e.VisibleReady()
 	avail := e.AvailableNow()
 	score := func(a simenv.Action) int64 {
-		task := e.Graph().Task(visible[a])
+		task := e.Graph().Task(visible[a.Slot()])
 		// Demands and availability are validated to share dimensions.
 		s, _ := task.Demand.Dot(avail)
 		return s
@@ -35,8 +35,8 @@ func (Tetris) Choose(e *simenv.Env, legal []simenv.Action, _ *rand.Rand) (simenv
 		}
 		// Tie-break on longer runtime (pack big rocks first), then keep the
 		// earlier action.
-		ra := e.Graph().Task(visible[a]).Runtime
-		rb := e.Graph().Task(visible[b]).Runtime
+		ra := e.Graph().Task(visible[a.Slot()]).Runtime
+		rb := e.Graph().Task(visible[b.Slot()]).Runtime
 		return ra > rb
 	}), nil
 }

@@ -38,7 +38,7 @@ func (p TetrisSRPT) Choose(e *simenv.Env, legal []simenv.Action, _ *rand.Rand) (
 	maxRT := float64(g.MaxRuntime())
 
 	score := func(a simenv.Action) float64 {
-		task := g.Task(visible[a])
+		task := g.Task(visible[a.Slot()])
 		dot, _ := task.Demand.Dot(avail)
 		align := float64(dot) / maxAlign
 		srpt := 1 - float64(task.Runtime)/maxRT // shorter is better

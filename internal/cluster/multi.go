@@ -1,0 +1,282 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+
+	"spear/internal/obs"
+	"spear/internal/resource"
+)
+
+// parallelProbeMachines is the machine count at and above which
+// EarliestStartAny probes machines concurrently. Small specs stay serial:
+// the goroutine fan-out costs more than the probes it parallelizes.
+const parallelProbeMachines = 8
+
+// Multi is the multi-machine resource-time space: one occupancy grid per
+// machine of a Spec, sharing a single clock. A one-machine Multi behaves
+// exactly like the Space it wraps. Like Space, a Multi is cloned per
+// rollout episode, so cloning reuses storage.
+type Multi struct {
+	spec   Spec // read-only after construction; shared across clones
+	spaces []*Space
+	total  resource.Vector // aggregate capacity across machines
+}
+
+// NewMulti returns an empty multi-machine space for the spec. The spec is
+// retained without copying and must not be mutated afterwards.
+func NewMulti(spec Spec) (*Multi, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Multi{spec: spec, spaces: make([]*Space, len(spec)), total: spec.Total()}
+	for i, mc := range spec {
+		sp, err := NewSpace(mc.Capacity)
+		if err != nil {
+			return nil, err
+		}
+		m.spaces[i] = sp
+	}
+	return m, nil
+}
+
+// NumMachines reports the number of machines.
+func (m *Multi) NumMachines() int { return len(m.spaces) }
+
+// Spec returns the cluster spec backing the space. The caller must treat it
+// as read-only.
+func (m *Multi) Spec() Spec { return m.spec }
+
+// Dims reports the number of resource dimensions.
+func (m *Multi) Dims() int { return m.total.Dims() }
+
+// TotalCapacity returns a copy of the aggregate capacity across machines.
+func (m *Multi) TotalCapacity() resource.Vector { return m.total.Clone() }
+
+// TotalCapacityDim returns one dimension of the aggregate capacity without
+// copying the vector.
+func (m *Multi) TotalCapacityDim(d int) int64 { return m.total[d] }
+
+// Machine returns machine i's occupancy grid.
+func (m *Multi) Machine(i int) *Space { return m.spaces[i] }
+
+// Instrument attaches pool-reuse counters to every machine's grid.
+func (m *Multi) Instrument(slotReuse, slotGrow *obs.Counter) {
+	for _, sp := range m.spaces {
+		sp.Instrument(slotReuse, slotGrow)
+	}
+}
+
+// Clone returns a deep copy of the multi-space.
+func (m *Multi) Clone() *Multi { return m.CloneInto(nil) }
+
+// CloneInto copies m into dst, reusing dst's per-machine grids where
+// possible so rollout loops can recycle one scratch space. A nil dst
+// allocates. Returns dst.
+func (m *Multi) CloneInto(dst *Multi) *Multi {
+	if dst == nil {
+		dst = &Multi{}
+	}
+	dst.spec = m.spec
+	dst.total = append(dst.total[:0], m.total...)
+	if cap(dst.spaces) >= len(m.spaces) {
+		dst.spaces = dst.spaces[:len(m.spaces)]
+	} else {
+		grown := make([]*Space, len(m.spaces))
+		copy(grown, dst.spaces[:cap(dst.spaces)])
+		dst.spaces = grown
+	}
+	for i, sp := range m.spaces {
+		dst.spaces[i] = sp.CloneInto(dst.spaces[i])
+	}
+	return dst
+}
+
+// Origin returns the earliest absolute time still tracked (shared clock).
+func (m *Multi) Origin() int64 { return m.spaces[0].Origin() }
+
+// MaxBusy returns the first absolute time at and after which every machine
+// is empty.
+func (m *Multi) MaxBusy() int64 {
+	busy := m.spaces[0].MaxBusy()
+	for _, sp := range m.spaces[1:] {
+		if b := sp.MaxBusy(); b > busy {
+			busy = b
+		}
+	}
+	return busy
+}
+
+// Advance discards occupancy strictly before absolute time to on every
+// machine.
+func (m *Multi) Advance(to int64) {
+	for _, sp := range m.spaces {
+		sp.Advance(to)
+	}
+}
+
+//spear:slowpath
+func errNoSuchMachine(machine, n int) error {
+	return fmt.Errorf("%w: %d of %d", errMachineRange, machine, n)
+}
+
+// FitsAt reports whether the task fits on the given machine starting at
+// start. Out-of-range machines never fit.
+func (m *Multi) FitsAt(machine int, start int64, demand resource.Vector, duration int64) bool {
+	if machine < 0 || machine >= len(m.spaces) {
+		return false
+	}
+	return m.spaces[machine].FitsAt(start, demand, duration)
+}
+
+// Place reserves demand on the given machine for [start, start+duration).
+func (m *Multi) Place(machine int, start int64, demand resource.Vector, duration int64) error {
+	if machine < 0 || machine >= len(m.spaces) {
+		return errNoSuchMachine(machine, len(m.spaces))
+	}
+	return m.spaces[machine].Place(start, demand, duration)
+}
+
+// Remove releases a previous placement on the given machine.
+func (m *Multi) Remove(machine int, start int64, demand resource.Vector, duration int64) error {
+	if machine < 0 || machine >= len(m.spaces) {
+		return errNoSuchMachine(machine, len(m.spaces))
+	}
+	return m.spaces[machine].Remove(start, demand, duration)
+}
+
+// EarliestStart returns the earliest time >= from at which the task fits on
+// the given machine.
+func (m *Multi) EarliestStart(machine int, from int64, demand resource.Vector, duration int64) (int64, error) {
+	if machine < 0 || machine >= len(m.spaces) {
+		return 0, errNoSuchMachine(machine, len(m.spaces))
+	}
+	return m.spaces[machine].EarliestStart(from, demand, duration)
+}
+
+// EarliestStartAny probes every machine for the earliest start >= from and
+// returns the machine achieving the minimum, ties broken toward the lowest
+// machine index — the earliest-finish-time rule, since runtimes don't vary
+// by machine. Machines too small for the demand are skipped; if none can
+// hold it, ErrNeverFits is returned. Specs with at least
+// parallelProbeMachines machines are probed concurrently; the reduction is
+// serial in index order, so the result does not depend on goroutine timing.
+func (m *Multi) EarliestStartAny(from int64, demand resource.Vector, duration int64) (int, int64, error) {
+	if duration <= 0 {
+		return 0, 0, errBadDuration(duration)
+	}
+	if demand.Dims() != m.total.Dims() {
+		return 0, 0, resource.ErrDimensionMismatch
+	}
+	n := len(m.spaces)
+	if n < parallelProbeMachines {
+		best, bestStart := -1, int64(0)
+		for i, sp := range m.spaces {
+			if !demand.FitsWithin(m.spec[i].Capacity) {
+				continue
+			}
+			start, err := sp.EarliestStart(from, demand, duration)
+			if err != nil {
+				return 0, 0, err
+			}
+			if best < 0 || start < bestStart {
+				best, bestStart = i, start
+			}
+		}
+		if best < 0 {
+			return 0, 0, fmt.Errorf("%w: demand %v", ErrNoMachine, demand)
+		}
+		return best, bestStart, nil
+	}
+
+	type probe struct {
+		start int64
+		ok    bool
+		err   error
+	}
+	results := make([]probe, n)
+	var wg sync.WaitGroup
+	for i, sp := range m.spaces {
+		if !demand.FitsWithin(m.spec[i].Capacity) {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, sp *Space) {
+			defer wg.Done()
+			start, err := sp.EarliestStart(from, demand, duration)
+			results[i] = probe{start: start, ok: err == nil, err: err}
+		}(i, sp)
+	}
+	wg.Wait()
+	best, bestStart := -1, int64(0)
+	for i := range results {
+		r := &results[i]
+		if r.err != nil {
+			return 0, 0, r.err
+		}
+		if r.ok && (best < 0 || r.start < bestStart) {
+			best, bestStart = i, r.start
+		}
+	}
+	if best < 0 {
+		return 0, 0, fmt.Errorf("%w: demand %v", ErrNoMachine, demand)
+	}
+	return best, bestStart, nil
+}
+
+// Eligible appends to buf the indices of machines whose capacity can hold
+// the demand and returns the extended slice.
+func (m *Multi) Eligible(demand resource.Vector, buf []int) []int {
+	for i := range m.spec {
+		if demand.FitsWithin(m.spec[i].Capacity) {
+			buf = append(buf, i)
+		}
+	}
+	return buf
+}
+
+// AvailableAt returns the aggregate free capacity across machines at
+// absolute time t. For a one-machine cluster it equals the machine's own
+// AvailableAt.
+func (m *Multi) AvailableAt(t int64) resource.Vector {
+	avail := m.total.Clone()
+	for _, sp := range m.spaces {
+		i := t - sp.origin
+		if i >= 0 && i < int64(len(sp.used)) {
+			for d := range avail {
+				avail[d] -= sp.used[i][d]
+			}
+		}
+	}
+	return avail
+}
+
+// FillOccupancy writes the aggregate normalized occupancy of horizon slots
+// starting at absolute time from into out, laid out out[d*horizon+k] —
+// occupancy summed across machines over total capacity. For a one-machine
+// cluster the result is bit-identical to the machine's own FillOccupancy.
+func (m *Multi) FillOccupancy(from int64, horizon, dims int, out []float64) {
+	if d := m.total.Dims(); dims > d {
+		dims = d
+	}
+	region := out[:dims*horizon]
+	for i := range region {
+		region[i] = 0
+	}
+	for _, sp := range m.spaces {
+		for k := 0; k < horizon; k++ {
+			i := from + int64(k) - sp.origin
+			if i < 0 || i >= int64(len(sp.used)) {
+				continue
+			}
+			for d := 0; d < dims; d++ {
+				region[d*horizon+k] += float64(sp.used[i][d])
+			}
+		}
+	}
+	for k := 0; k < horizon; k++ {
+		for d := 0; d < dims; d++ {
+			region[d*horizon+k] /= float64(m.total[d])
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package cluster
+
+import "spear/internal/resource"
+
+// RoutingPolicy picks the machine a task should run on. It is the cheap
+// first level of the two-level (machine, start) decision used by the list
+// and baseline schedulers; search-based schedulers instead explore
+// placement directly through their action space.
+//
+// Route receives the shared multi-machine space, the candidate machine
+// indices (each can hold the demand on an empty machine; never empty), the
+// task's demand and duration, and the earliest time the task could start.
+// It must return one of the candidates. Implementations must be
+// deterministic; they may keep internal state (e.g. a round-robin cursor)
+// but must not consult wall-clock time or global randomness.
+type RoutingPolicy interface {
+	Name() string
+	Route(m *Multi, candidates []int, demand resource.Vector, duration int64, from int64) int
+}
+
+// roundRobin cycles through machines in index order, skipping machines that
+// are not candidates for the current task.
+type roundRobin struct {
+	next int
+}
+
+// NewRoundRobin returns a routing policy that spreads tasks across machines
+// in cyclic index order.
+func NewRoundRobin() RoutingPolicy { return &roundRobin{} }
+
+func (r *roundRobin) Name() string { return "round-robin" }
+
+func (r *roundRobin) Route(m *Multi, candidates []int, demand resource.Vector, duration int64, from int64) int {
+	n := m.NumMachines()
+	for off := 0; off < n; off++ {
+		want := (r.next + off) % n
+		for _, c := range candidates {
+			if c == want {
+				r.next = (want + 1) % n
+				return c
+			}
+		}
+	}
+	return candidates[0]
+}
+
+// leastLoaded picks the machine with the lowest mean occupancy fraction at
+// the task's earliest start time.
+type leastLoaded struct{}
+
+// NewLeastLoaded returns a routing policy that picks the machine with the
+// lowest mean occupancy fraction at the task's earliest start time, ties
+// broken toward the lowest machine index.
+func NewLeastLoaded() RoutingPolicy { return leastLoaded{} }
+
+func (leastLoaded) Name() string { return "least-loaded" }
+
+func (leastLoaded) Route(m *Multi, candidates []int, demand resource.Vector, duration int64, from int64) int {
+	best, bestLoad := candidates[0], 0.0
+	for i, c := range candidates {
+		sp := m.Machine(c)
+		capv := m.Spec()[c].Capacity
+		load := 0.0
+		used := sp.UsedAt(from)
+		for d := range used {
+			load += float64(used[d]) / float64(capv[d])
+		}
+		load /= float64(len(used))
+		if i == 0 || load < bestLoad {
+			best, bestLoad = c, load
+		}
+	}
+	return best
+}
+
+// weightedScore scores each machine by the weighted free capacity aligned
+// with the task's demand — a Tetris-style dot product of demand and
+// availability at the earliest start, scaled by per-dimension weights.
+type weightedScore struct {
+	weights []float64
+}
+
+// NewWeightedScore returns a routing policy that picks the machine
+// maximizing the weighted demand-availability alignment score, ties broken
+// toward the lowest machine index. A nil weights slice weighs every
+// dimension equally; otherwise weights[d] scales dimension d's
+// contribution (missing trailing dimensions default to 1).
+func NewWeightedScore(weights []float64) RoutingPolicy {
+	return &weightedScore{weights: weights}
+}
+
+func (w *weightedScore) Name() string { return "weighted-score" }
+
+func (w *weightedScore) Route(m *Multi, candidates []int, demand resource.Vector, duration int64, from int64) int {
+	best, bestScore := candidates[0], 0.0
+	for i, c := range candidates {
+		sp := m.Machine(c)
+		capv := m.Spec()[c].Capacity
+		avail := sp.AvailableAt(from)
+		score := 0.0
+		for d := range avail {
+			wd := 1.0
+			if d < len(w.weights) {
+				wd = w.weights[d]
+			}
+			score += wd * float64(demand[d]) * float64(avail[d]) / float64(capv[d])
+		}
+		if i == 0 || score > bestScore {
+			best, bestScore = c, score
+		}
+	}
+	return best
+}

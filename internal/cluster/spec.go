@@ -1,0 +1,110 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+
+	"spear/internal/resource"
+)
+
+// Errors reported by Spec validation.
+var (
+	ErrEmptySpec    = errors.New("cluster: spec has no machines")
+	ErrMixedDims    = errors.New("cluster: machines disagree on resource dimensions")
+	errMachineRange = errors.New("cluster: machine index out of range")
+	ErrNoMachine    = errors.New("cluster: no machine can hold the demand")
+	ErrDuplicateID  = errors.New("cluster: duplicate machine name")
+)
+
+// Machine describes one machine of a cluster: a stable name and its
+// per-dimension resource capacity.
+type Machine struct {
+	Name     string
+	Capacity resource.Vector
+}
+
+// Spec describes a cluster as an ordered list of machines. Machine indices
+// into the spec are the machine identifiers used throughout scheduling; a
+// one-element spec is exactly the old single-box cluster. The zero value is
+// invalid; build specs with Single or Uniform, or literally.
+type Spec []Machine
+
+// Single returns a one-machine spec with the given capacity — the
+// single-box cluster every pre-multi-machine call site used.
+func Single(capacity resource.Vector) Spec {
+	return Spec{{Name: "m0", Capacity: capacity}}
+}
+
+// Uniform returns an n-machine spec where every machine has the same
+// capacity. Machines are named m0..m{n-1}.
+func Uniform(n int, capacity resource.Vector) Spec {
+	s := make(Spec, n)
+	for i := range s {
+		s[i] = Machine{Name: fmt.Sprintf("m%d", i), Capacity: capacity.Clone()}
+	}
+	return s
+}
+
+// Validate checks that the spec is usable: at least one machine, every
+// capacity positive, all machines agreeing on the number of resource
+// dimensions, and no duplicate names.
+func (s Spec) Validate() error {
+	if len(s) == 0 {
+		return ErrEmptySpec
+	}
+	dims := s[0].Capacity.Dims()
+	for i, m := range s {
+		if !m.Capacity.Positive() {
+			return fmt.Errorf("%w: machine %d (%s): %v", ErrBadCapacity, i, m.Name, m.Capacity)
+		}
+		if m.Capacity.Dims() != dims {
+			return fmt.Errorf("%w: machine %d (%s) has %d dims, machine 0 has %d",
+				ErrMixedDims, i, m.Name, m.Capacity.Dims(), dims)
+		}
+		for j := 0; j < i; j++ {
+			if s[j].Name == m.Name {
+				return fmt.Errorf("%w: %q (machines %d and %d)", ErrDuplicateID, m.Name, j, i)
+			}
+		}
+	}
+	return nil
+}
+
+// Dims reports the number of resource dimensions. It is 0 for an empty spec.
+func (s Spec) Dims() int {
+	if len(s) == 0 {
+		return 0
+	}
+	return s[0].Capacity.Dims()
+}
+
+// Total returns the aggregate capacity across all machines.
+func (s Spec) Total() resource.Vector {
+	total := resource.New(s.Dims())
+	for _, m := range s {
+		for d := range total {
+			total[d] += m.Capacity[d]
+		}
+	}
+	return total
+}
+
+// Fits reports whether at least one machine can hold the demand on an
+// otherwise empty cluster.
+func (s Spec) Fits(demand resource.Vector) bool {
+	for _, m := range s {
+		if demand.FitsWithin(m.Capacity) {
+			return true
+		}
+	}
+	return false
+}
+
+// Clone returns a deep copy of the spec.
+func (s Spec) Clone() Spec {
+	out := make(Spec, len(s))
+	for i, m := range s {
+		out[i] = Machine{Name: m.Name, Capacity: m.Capacity.Clone()}
+	}
+	return out
+}

@@ -12,6 +12,7 @@ import (
 	"math/rand"
 	"time"
 
+	"spear/internal/cluster"
 	"spear/internal/dag"
 	"spear/internal/drl"
 	"spear/internal/mcts"
@@ -109,15 +110,15 @@ func New(net *nn.Network, feat drl.Features, cfg Config) (*Spear, error) {
 func (s *Spear) Name() string { return s.search.Name() }
 
 // Schedule implements sched.Scheduler.
-func (s *Spear) Schedule(g *dag.Graph, capacity resource.Vector) (*sched.Schedule, error) {
-	return s.search.Schedule(g, capacity)
+func (s *Spear) Schedule(g *dag.Graph, spec cluster.Spec) (*sched.Schedule, error) {
+	return s.search.Schedule(g, spec)
 }
 
 // ScheduleContext implements sched.ContextScheduler, delegating to the
 // underlying search: on cancellation it returns the best incumbent schedule
 // together with an error wrapping ctx.Err().
-func (s *Spear) ScheduleContext(ctx context.Context, g *dag.Graph, capacity resource.Vector) (*sched.Schedule, error) {
-	return s.search.ScheduleContext(ctx, g, capacity)
+func (s *Spear) ScheduleContext(ctx context.Context, g *dag.Graph, spec cluster.Spec) (*sched.Schedule, error) {
+	return s.search.ScheduleContext(ctx, g, spec)
 }
 
 // LastStats exposes the underlying search counters.

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"spear/internal/cluster"
 	"spear/internal/drl"
 	"spear/internal/mcts"
 	"spear/internal/nn"
@@ -60,11 +61,11 @@ func TestSpearProducesValidSchedules(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		out, err := s.Schedule(g, cfg.Capacity())
+		out, err := s.Schedule(g, cluster.Single(cfg.Capacity()))
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
-		if err := sched.Validate(g, cfg.Capacity(), out); err != nil {
+		if err := sched.Validate(g, cluster.Single(cfg.Capacity()), out); err != nil {
 			t.Errorf("seed %d: %v", seed, err)
 		}
 		if s.LastStats().Decisions == 0 {
@@ -84,11 +85,11 @@ func TestSpearSolvesMotivatingExample(t *testing.T) {
 		t.Fatal(err)
 	}
 	capacity := workload.MotivatingCapacity()
-	out, err := s.Schedule(g, capacity)
+	out, err := s.Schedule(g, cluster.Single(capacity))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := sched.Validate(g, capacity, out); err != nil {
+	if err := sched.Validate(g, cluster.Single(capacity), out); err != nil {
 		t.Fatal(err)
 	}
 	if out.Makespan >= 301 {
@@ -108,11 +109,11 @@ func TestSpearGreedyRollout(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := s.Schedule(g, cfg.Capacity())
+	out, err := s.Schedule(g, cluster.Single(cfg.Capacity()))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := sched.Validate(g, cfg.Capacity(), out); err != nil {
+	if err := sched.Validate(g, cluster.Single(cfg.Capacity()), out); err != nil {
 		t.Error(err)
 	}
 }
@@ -138,11 +139,11 @@ func TestSpearSmallBudgetTracksMCTSBigBudget(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		so, err := spear.Schedule(g, cfg.Capacity())
+		so, err := spear.Schedule(g, cluster.Single(cfg.Capacity()))
 		if err != nil {
 			t.Fatal(err)
 		}
-		mo, err := pure.Schedule(g, cfg.Capacity())
+		mo, err := pure.Schedule(g, cluster.Single(cfg.Capacity()))
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"spear/internal/baselines"
+	"spear/internal/cluster"
 	"spear/internal/dag"
 	"spear/internal/nn"
 	"spear/internal/resource"
@@ -192,7 +193,7 @@ func TestAgentProducesValidSchedules(t *testing.T) {
 			if err != nil {
 				t.Fatalf("greedy=%v job %d: %v", greedy, ji, err)
 			}
-			if err := sched.Validate(g, capacity, s); err != nil {
+			if err := sched.Validate(g, cluster.Single(capacity), s); err != nil {
 				t.Errorf("greedy=%v job %d: %v", greedy, ji, err)
 			}
 		}

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"spear/internal/cluster"
 	"spear/internal/obs"
 	"spear/internal/sched"
 	"spear/internal/workload"
@@ -20,7 +21,7 @@ func TestPreCancelledContextFailsFast(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	s := New(0)
-	if _, err := s.ScheduleContext(ctx, g, workload.MotivatingCapacity()); !errors.Is(err, context.Canceled) {
+	if _, err := s.ScheduleContext(ctx, g, cluster.Single(workload.MotivatingCapacity())); !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want wrapping context.Canceled", err)
 	}
 }
@@ -36,14 +37,14 @@ func TestMidSolveCancellationReturnsIncumbent(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
 	defer cancel()
 	s := New(0)
-	out, err := s.ScheduleContext(ctx, g, capacity)
+	out, err := s.ScheduleContext(ctx, g, cluster.Single(capacity))
 	if !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("err = %v, want wrapping context.DeadlineExceeded", err)
 	}
 	if out == nil {
 		t.Fatal("no incumbent schedule returned on cancellation")
 	}
-	if err := sched.Validate(g, capacity, out); err != nil {
+	if err := sched.Validate(g, cluster.Single(capacity), out); err != nil {
 		t.Errorf("cancelled incumbent is invalid: %v", err)
 	}
 	if s.Optimal() {
@@ -59,7 +60,7 @@ func TestSolverMetricsPopulated(t *testing.T) {
 	reg := obs.NewRegistry()
 	s := New(0)
 	s.Obs = reg
-	if _, err := s.Schedule(g, workload.MotivatingCapacity()); err != nil {
+	if _, err := s.Schedule(g, cluster.Single(workload.MotivatingCapacity())); err != nil {
 		t.Fatal(err)
 	}
 	snap := s.Metrics()

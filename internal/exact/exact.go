@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"spear/internal/baselines"
+	"spear/internal/cluster"
 	"spear/internal/dag"
 	"spear/internal/obs"
 	"spear/internal/resource"
@@ -92,20 +93,20 @@ type searchState struct {
 	nextCtxCheck int64
 	cancelled    bool
 	g            *dag.Graph
-	capacity     resource.Vector
+	total        resource.Vector // aggregate capacity across machines
 }
 
 // Schedule implements sched.Scheduler. It is ScheduleContext with an
 // uncancellable background context.
-func (s *Solver) Schedule(g *dag.Graph, capacity resource.Vector) (*sched.Schedule, error) {
-	return s.ScheduleContext(context.Background(), g, capacity)
+func (s *Solver) Schedule(g *dag.Graph, spec cluster.Spec) (*sched.Schedule, error) {
+	return s.ScheduleContext(context.Background(), g, spec)
 }
 
 // ScheduleContext implements sched.ContextScheduler. The context is checked
 // on entry and every ctxCheckInterval explored nodes; on cancellation the
 // best incumbent schedule found so far is returned together with an error
 // wrapping ctx.Err().
-func (s *Solver) ScheduleContext(ctx context.Context, g *dag.Graph, capacity resource.Vector) (*sched.Schedule, error) {
+func (s *Solver) ScheduleContext(ctx context.Context, g *dag.Graph, spec cluster.Spec) (*sched.Schedule, error) {
 	began := time.Now()
 	s.explored = 0
 	s.optimal = false
@@ -123,12 +124,12 @@ func (s *Solver) ScheduleContext(ctx context.Context, g *dag.Graph, capacity res
 
 	// Incumbent: a greedy packing run gives an upper bound that prunes
 	// most of the tree immediately.
-	incumbent, err := baselines.NewTetrisScheduler().Schedule(g, capacity)
+	incumbent, err := baselines.NewTetrisScheduler().Schedule(g, spec)
 	if err != nil {
 		return nil, fmt.Errorf("exact: incumbent: %w", err)
 	}
 
-	root, err := simenv.New(g, capacity, simenv.Config{Mode: simenv.NextCompletion})
+	root, err := simenv.NewCluster(g, spec, simenv.Config{Mode: simenv.NextCompletion})
 	if err != nil {
 		return nil, err
 	}
@@ -138,7 +139,7 @@ func (s *Solver) ScheduleContext(ctx context.Context, g *dag.Graph, capacity res
 		limit:        limit,
 		nextCtxCheck: ctxCheckInterval,
 		g:            g,
-		capacity:     capacity,
+		total:        spec.Total(),
 	}
 	exhausted := st.dfs(root, -1)
 	s.explored = st.explored
@@ -207,7 +208,7 @@ func (st *searchState) dfs(e *simenv.Env, minTaskID dag.TaskID) bool {
 		}
 		var nextMin dag.TaskID
 		if a != simenv.Process {
-			id := visible[a]
+			id := visible[a.Slot()]
 			if id <= minTaskID {
 				continue // symmetric permutation already covered
 			}
@@ -268,12 +269,14 @@ func (st *searchState) lowerBound(e *simenv.Env) int64 {
 			}
 		}
 	}
-	// (d) remaining work must fit under the capacity from now on.
+	// (d) remaining work must fit under the aggregate capacity from now
+	// on — admissible for any machine split, since fragmenting the
+	// capacity across machines can only delay completion.
 	for d := 0; d < dims; d++ {
 		if remaining[d] == 0 {
 			continue
 		}
-		cand := now + (remaining[d]+st.capacity[d]-1)/st.capacity[d]
+		cand := now + (remaining[d]+st.total[d]-1)/st.total[d]
 		if cand > bound {
 			bound = cand
 		}

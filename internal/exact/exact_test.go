@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"spear/internal/baselines"
+	"spear/internal/cluster"
 	"spear/internal/dag"
 	"spear/internal/mcts"
 	"spear/internal/resource"
@@ -29,7 +30,7 @@ func TestChainOptimal(t *testing.T) {
 		t.Fatal(err)
 	}
 	s := New(0)
-	out, err := s.Schedule(g, resource.Of(1))
+	out, err := s.Schedule(g, cluster.Single(resource.Of(1)))
 	if err != nil {
 		t.Fatalf("Schedule: %v", err)
 	}
@@ -39,7 +40,7 @@ func TestChainOptimal(t *testing.T) {
 	if !s.Optimal() {
 		t.Error("optimality not proven on a chain")
 	}
-	if err := sched.Validate(g, resource.Of(1), out); err != nil {
+	if err := sched.Validate(g, cluster.Single(resource.Of(1)), out); err != nil {
 		t.Error(err)
 	}
 }
@@ -55,7 +56,7 @@ func TestIndependentTasksPackOptimally(t *testing.T) {
 		t.Fatal(err)
 	}
 	s := New(0)
-	out, err := s.Schedule(g, resource.Of(2))
+	out, err := s.Schedule(g, cluster.Single(resource.Of(2)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,11 +75,11 @@ func TestMotivatingExampleOptimalIs202(t *testing.T) {
 	}
 	capacity := workload.MotivatingCapacity()
 	s := New(0)
-	out, err := s.Schedule(g, capacity)
+	out, err := s.Schedule(g, cluster.Single(capacity))
 	if err != nil {
 		t.Fatalf("Schedule: %v (explored %d)", err, s.Explored())
 	}
-	if err := sched.Validate(g, capacity, out); err != nil {
+	if err := sched.Validate(g, cluster.Single(capacity), out); err != nil {
 		t.Fatal(err)
 	}
 	if out.Makespan != 202 {
@@ -98,7 +99,7 @@ func TestBudgetExceeded(t *testing.T) {
 		t.Fatal(err)
 	}
 	s := New(50)
-	out, err := s.Schedule(g, cfg.Capacity())
+	out, err := s.Schedule(g, cluster.Single(cfg.Capacity()))
 	if !errors.Is(err, ErrBudgetExceeded) {
 		t.Fatalf("err = %v, want ErrBudgetExceeded", err)
 	}
@@ -120,11 +121,11 @@ func TestOptimalNeverWorseThanHeuristics(t *testing.T) {
 			t.Fatal(err)
 		}
 		solver := New(0)
-		opt, err := solver.Schedule(g, cfg.Capacity())
+		opt, err := solver.Schedule(g, cluster.Single(cfg.Capacity()))
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
-		if err := sched.Validate(g, cfg.Capacity(), opt); err != nil {
+		if err := sched.Validate(g, cluster.Single(cfg.Capacity()), opt); err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
 		lb, err := g.MakespanLowerBound(cfg.Capacity())
@@ -140,7 +141,7 @@ func TestOptimalNeverWorseThanHeuristics(t *testing.T) {
 			baselines.NewSJFScheduler(),
 			baselines.NewGrapheneScheduler(),
 		} {
-			ho, err := h.Schedule(g, cfg.Capacity())
+			ho, err := h.Schedule(g, cluster.Single(cfg.Capacity()))
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -163,12 +164,12 @@ func TestMCTSReachesOptimalOnSmallJobs(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		opt, err := New(0).Schedule(g, cfg.Capacity())
+		opt, err := New(0).Schedule(g, cluster.Single(cfg.Capacity()))
 		if err != nil {
 			t.Fatal(err)
 		}
 		searcher := mcts.New(mcts.Config{InitialBudget: 500, MinBudget: 100, Seed: seed})
-		mo, err := searcher.Schedule(g, cfg.Capacity())
+		mo, err := searcher.Schedule(g, cluster.Single(cfg.Capacity()))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -193,7 +194,7 @@ func BenchmarkExact8Tasks(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := New(0).Schedule(g, cfg.Capacity()); err != nil {
+		if _, err := New(0).Schedule(g, cluster.Single(cfg.Capacity())); err != nil {
 			b.Fatal(err)
 		}
 	}

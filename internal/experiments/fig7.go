@@ -6,6 +6,7 @@ import (
 	"text/tabwriter"
 
 	"spear/internal/baselines"
+	"spear/internal/cluster"
 	"spear/internal/mcts"
 	"spear/internal/stats"
 )
@@ -51,7 +52,7 @@ func (s *Suite) Fig7() (*Fig7Result, error) {
 	tetris := baselines.NewTetrisScheduler()
 	tetrisMakespans := make([]int64, len(graphs))
 	for i, g := range graphs {
-		out, err := tetris.Schedule(g, capacity)
+		out, err := tetris.Schedule(g, cluster.Single(capacity))
 		if err != nil {
 			return nil, err
 		}
@@ -67,7 +68,7 @@ func (s *Suite) Fig7() (*Fig7Result, error) {
 		var makespans []int64
 		var elapsedMS []float64
 		for i, g := range graphs {
-			out, err := searcher.Schedule(g, capacity)
+			out, err := searcher.Schedule(g, cluster.Single(capacity))
 			if err != nil {
 				return nil, err
 			}

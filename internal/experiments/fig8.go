@@ -5,6 +5,7 @@ import (
 	"strings"
 	"text/tabwriter"
 
+	"spear/internal/cluster"
 	"spear/internal/drl"
 	"spear/internal/mcts"
 	"spear/internal/sched"
@@ -103,7 +104,7 @@ func (s *Suite) Fig8b() (*Fig8bResult, error) {
 			{baselineSetByName("Tetris"), &tetrisMakespans},
 			{baselineSetByName("SJF"), &sjfMakespans},
 		} {
-			out, err := entry.s.Schedule(g, capacity)
+			out, err := entry.s.Schedule(g, cluster.Single(capacity))
 			if err != nil {
 				return nil, err
 			}

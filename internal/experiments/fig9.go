@@ -7,6 +7,7 @@ import (
 	"text/tabwriter"
 
 	"spear/internal/baselines"
+	"spear/internal/cluster"
 	"spear/internal/sched"
 	"spear/internal/stats"
 	"spear/internal/workload"
@@ -102,14 +103,14 @@ func (s *Suite) Fig9c() (*Fig9cResult, error) {
 	result := &Fig9cResult{Jobs: jobs}
 	for i := 0; i < jobs; i++ {
 		g := graphs[i]
-		so, err := spear.Schedule(g, capacity)
+		so, err := spear.Schedule(g, cluster.Single(capacity))
 		if err != nil {
 			return nil, fmt.Errorf("spear job %d: %w", i, err)
 		}
-		if err := sched.Validate(g, capacity, so); err != nil {
+		if err := sched.Validate(g, cluster.Single(capacity), so); err != nil {
 			return nil, fmt.Errorf("spear job %d: %w", i, err)
 		}
-		go_, err := graphene.Schedule(g, capacity)
+		go_, err := graphene.Schedule(g, cluster.Single(capacity))
 		if err != nil {
 			return nil, fmt.Errorf("graphene job %d: %w", i, err)
 		}

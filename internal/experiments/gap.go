@@ -7,6 +7,7 @@ import (
 	"strings"
 	"text/tabwriter"
 
+	"spear/internal/cluster"
 	"spear/internal/exact"
 	"spear/internal/mcts"
 	"spear/internal/sched"
@@ -40,7 +41,7 @@ func (s *Suite) Gap() (*GapResult, error) {
 	solver.Obs = s.Obs
 	optimal := make([]int64, len(graphs))
 	for i, g := range graphs {
-		out, err := solver.Schedule(g, capacity)
+		out, err := solver.Schedule(g, cluster.Single(capacity))
 		if err != nil {
 			return nil, fmt.Errorf("exact on graph %d: %w", i, err)
 		}

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"spear/internal/baselines"
+	"spear/internal/cluster"
 	"spear/internal/core"
 	"spear/internal/dag"
 	"spear/internal/drl"
@@ -165,11 +166,11 @@ func runAll(graphs []*dag.Graph, capacity resource.Vector, schedulers []sched.Sc
 	for i, sc := range schedulers {
 		out[i].Name = sc.Name()
 		for gi, g := range graphs {
-			res, err := sc.Schedule(g, capacity)
+			res, err := sc.Schedule(g, cluster.Single(capacity))
 			if err != nil {
 				return nil, fmt.Errorf("%s on graph %d: %w", sc.Name(), gi, err)
 			}
-			if err := sched.Validate(g, capacity, res); err != nil {
+			if err := sched.Validate(g, cluster.Single(capacity), res); err != nil {
 				return nil, fmt.Errorf("%s on graph %d: %w", sc.Name(), gi, err)
 			}
 			out[i].Makespans = append(out[i].Makespans, res.Makespan)

@@ -6,6 +6,7 @@ import (
 	"text/tabwriter"
 	"time"
 
+	"spear/internal/cluster"
 	"spear/internal/mcts"
 )
 
@@ -36,7 +37,7 @@ func (s *Suite) Table1() (*Table1Result, error) {
 		for _, budget := range budgets {
 			s.logf("table1: size %d budget %d\n", size, budget)
 			searcher := mcts.New(mcts.Config{InitialBudget: budget, MinBudget: budget / 10, Seed: s.Seed, RootParallelism: s.RootParallelism, Obs: s.Obs})
-			out, err := searcher.Schedule(graphs[0], capacity)
+			out, err := searcher.Schedule(graphs[0], cluster.Single(capacity))
 			if err != nil {
 				return nil, err
 			}

@@ -16,7 +16,6 @@ import (
 
 	"spear/internal/cluster"
 	"spear/internal/dag"
-	"spear/internal/resource"
 	"spear/internal/sched"
 )
 
@@ -25,9 +24,14 @@ import (
 type priority func(g *dag.Graph, id dag.TaskID) float64
 
 // Scheduler is an offline list scheduler with insertion-based placement.
+// On multi-machine specs it places each task with the earliest-finish-time
+// rule by default (earliest feasible start across machines, ties to the
+// lower machine index — classic multi-processor HEFT); WithRouting swaps in
+// a different machine-selection policy.
 type Scheduler struct {
-	name string
-	prio priority
+	name  string
+	prio  priority
+	route cluster.RoutingPolicy // nil = earliest-finish-time across machines
 }
 
 var _ sched.Scheduler = (*Scheduler)(nil)
@@ -77,16 +81,35 @@ func NewBLoad() *Scheduler {
 // Name implements sched.Scheduler.
 func (s *Scheduler) Name() string { return s.name }
 
+// WithRouting returns the scheduler with its machine-selection policy
+// replaced: instead of the earliest-finish-time rule, each task is routed
+// to the machine the policy picks and then inserted at its earliest
+// feasible start there. A nil policy restores the default.
+func (s *Scheduler) WithRouting(r cluster.RoutingPolicy) *Scheduler {
+	s.route = r
+	return s
+}
+
 // Schedule implements sched.Scheduler: repeatedly take the highest-priority
 // task whose parents are all placed and insert it at its earliest feasible
-// start at or after its parents' latest finish.
-func (s *Scheduler) Schedule(g *dag.Graph, capacity resource.Vector) (*sched.Schedule, error) {
+// start at or after its parents' latest finish, on the machine chosen by
+// the earliest-finish-time rule or the configured routing policy.
+func (s *Scheduler) Schedule(g *dag.Graph, spec cluster.Spec) (*sched.Schedule, error) {
 	began := time.Now()
-	if !g.MaxDemand().FitsWithin(capacity) {
-		return nil, fmt.Errorf("listsched: %w: max demand %v, capacity %v",
-			cluster.ErrNeverFits, g.MaxDemand(), capacity)
+	if len(spec) == 1 {
+		if !g.MaxDemand().FitsWithin(spec[0].Capacity) {
+			return nil, fmt.Errorf("listsched: %w: max demand %v, capacity %v",
+				cluster.ErrNeverFits, g.MaxDemand(), spec[0].Capacity)
+		}
+	} else {
+		for id := 0; id < g.NumTasks(); id++ {
+			if d := g.Task(dag.TaskID(id)).Demand; !spec.Fits(d) {
+				return nil, fmt.Errorf("listsched: %w: task %d demand %v fits no machine",
+					cluster.ErrNeverFits, id, d)
+			}
+		}
 	}
-	space, err := cluster.NewSpace(capacity)
+	space, err := cluster.NewMulti(spec)
 	if err != nil {
 		return nil, err
 	}
@@ -105,6 +128,7 @@ func (s *Scheduler) Schedule(g *dag.Graph, capacity resource.Vector) (*sched.Sch
 	}
 
 	placements := make([]sched.Placement, 0, n)
+	var candidates []int
 	var makespan int64
 	for len(placements) < n {
 		best := -1
@@ -121,15 +145,26 @@ func (s *Scheduler) Schedule(g *dag.Graph, capacity resource.Vector) (*sched.Sch
 			return nil, errors.New("listsched: no placeable task (cycle?)")
 		}
 		task := g.Task(dag.TaskID(best))
-		start, err := space.EarliestStart(ready[best], task.Demand, task.Runtime)
+		var machine int
+		var start int64
+		if s.route != nil {
+			candidates = space.Eligible(task.Demand, candidates[:0])
+			if len(candidates) == 0 {
+				return nil, fmt.Errorf("listsched: place task %d: %w: demand %v", best, cluster.ErrNoMachine, task.Demand)
+			}
+			machine = s.route.Route(space, candidates, task.Demand, task.Runtime, ready[best])
+			start, err = space.EarliestStart(machine, ready[best], task.Demand, task.Runtime)
+		} else {
+			machine, start, err = space.EarliestStartAny(ready[best], task.Demand, task.Runtime)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("listsched: place task %d: %w", best, err)
 		}
-		if err := space.Place(start, task.Demand, task.Runtime); err != nil {
+		if err := space.Place(machine, start, task.Demand, task.Runtime); err != nil {
 			return nil, fmt.Errorf("listsched: place task %d: %w", best, err)
 		}
 		placed[best] = true
-		placements = append(placements, sched.Placement{Task: dag.TaskID(best), Start: start})
+		placements = append(placements, sched.Placement{Task: dag.TaskID(best), Start: start, Machine: machine})
 		finish := start + task.Runtime
 		if finish > makespan {
 			makespan = finish
@@ -142,7 +177,12 @@ func (s *Scheduler) Schedule(g *dag.Graph, capacity resource.Vector) (*sched.Sch
 		}
 	}
 
+	format := 0
+	if len(spec) > 1 {
+		format = sched.FormatMulti
+	}
 	return &sched.Schedule{
+		Format:     format,
 		Algorithm:  s.name,
 		Placements: placements,
 		Makespan:   makespan,

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"spear/internal/cluster"
 	"spear/internal/dag"
 	"spear/internal/resource"
 	"spear/internal/sched"
@@ -31,14 +32,14 @@ func TestHEFTChain(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := NewHEFT().Schedule(g, resource.Of(10))
+	out, err := NewHEFT().Schedule(g, cluster.Single(resource.Of(10)))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if out.Makespan != 7 {
 		t.Errorf("makespan = %d, want 7", out.Makespan)
 	}
-	if err := sched.Validate(g, resource.Of(10), out); err != nil {
+	if err := sched.Validate(g, cluster.Single(resource.Of(10)), out); err != nil {
 		t.Error(err)
 	}
 }
@@ -59,11 +60,11 @@ func TestHEFTFillsGaps(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := NewHEFT().Schedule(g, resource.Of(10))
+	out, err := NewHEFT().Schedule(g, cluster.Single(resource.Of(10)))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := sched.Validate(g, resource.Of(10), out); err != nil {
+	if err := sched.Validate(g, cluster.Single(resource.Of(10)), out); err != nil {
 		t.Fatal(err)
 	}
 	if out.Makespan != 8 {
@@ -86,11 +87,11 @@ func TestSchedulersProduceValidSchedules(t *testing.T) {
 			t.Fatal(err)
 		}
 		for _, s := range schedulers {
-			out, err := s.Schedule(g, cfg.Capacity())
+			out, err := s.Schedule(g, cluster.Single(cfg.Capacity()))
 			if err != nil {
 				t.Fatalf("%s seed %d: %v", s.Name(), seed, err)
 			}
-			if err := sched.Validate(g, cfg.Capacity(), out); err != nil {
+			if err := sched.Validate(g, cluster.Single(cfg.Capacity()), out); err != nil {
 				t.Errorf("%s seed %d: %v", s.Name(), seed, err)
 			}
 			if out.Makespan < lb {
@@ -107,7 +108,7 @@ func TestInfeasibleDemandRejected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := NewHEFT().Schedule(g, resource.Of(10)); err == nil {
+	if _, err := NewHEFT().Schedule(g, cluster.Single(resource.Of(10))); err == nil {
 		t.Error("infeasible demand accepted")
 	}
 }
@@ -122,11 +123,11 @@ func TestPropertyAlwaysValid(t *testing.T) {
 			return false
 		}
 		for _, s := range []*Scheduler{NewHEFT(), NewLPT(), NewBLoad()} {
-			out, err := s.Schedule(g, cfg.Capacity())
+			out, err := s.Schedule(g, cluster.Single(cfg.Capacity()))
 			if err != nil {
 				return false
 			}
-			if err := sched.Validate(g, cfg.Capacity(), out); err != nil {
+			if err := sched.Validate(g, cluster.Single(cfg.Capacity()), out); err != nil {
 				return false
 			}
 		}
@@ -147,7 +148,7 @@ func BenchmarkHEFT100Tasks(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := s.Schedule(g, cfg.Capacity()); err != nil {
+		if _, err := s.Schedule(g, cluster.Single(cfg.Capacity())); err != nil {
 			b.Fatal(err)
 		}
 	}

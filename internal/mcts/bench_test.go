@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"spear/internal/cluster"
 	"spear/internal/drl"
 )
 
@@ -13,7 +14,7 @@ func BenchmarkSchedule30Tasks(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := s.Schedule(g, capacity); err != nil {
+		if _, err := s.Schedule(g, cluster.Single(capacity)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -46,7 +47,7 @@ func BenchmarkRootParallel(b *testing.B) {
 			var rollouts int64
 			var elapsed float64
 			for i := 0; i < b.N; i++ {
-				if _, err := s.Schedule(g, capacity); err != nil {
+				if _, err := s.Schedule(g, cluster.Single(capacity)); err != nil {
 					b.Fatal(err)
 				}
 				st := s.LastStats()
@@ -92,7 +93,7 @@ func BenchmarkScheduleDRLRollout(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := s.Schedule(g, capacity); err != nil {
+		if _, err := s.Schedule(g, cluster.Single(capacity)); err != nil {
 			b.Fatal(err)
 		}
 	}

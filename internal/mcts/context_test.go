@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"spear/internal/cluster"
 	"spear/internal/obs"
 	"spear/internal/sched"
 )
@@ -14,11 +15,11 @@ func TestScheduleContextBackgroundMatchesSchedule(t *testing.T) {
 	g, capacity := smallRandomDAG(1, 20)
 	a := New(Config{InitialBudget: 40, MinBudget: 10, Seed: 1})
 	b := New(Config{InitialBudget: 40, MinBudget: 10, Seed: 1})
-	want, err := a.Schedule(g, capacity)
+	want, err := a.Schedule(g, cluster.Single(capacity))
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := b.ScheduleContext(context.Background(), g, capacity)
+	got, err := b.ScheduleContext(context.Background(), g, cluster.Single(capacity))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -33,7 +34,7 @@ func TestPreCancelledContextReturnsIncumbentPromptly(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	began := time.Now()
-	out, err := s.ScheduleContext(ctx, g, capacity)
+	out, err := s.ScheduleContext(ctx, g, cluster.Single(capacity))
 	elapsed := time.Since(began)
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want wrapping context.Canceled", err)
@@ -41,7 +42,7 @@ func TestPreCancelledContextReturnsIncumbentPromptly(t *testing.T) {
 	if out == nil {
 		t.Fatal("no incumbent schedule returned on cancellation")
 	}
-	if err := sched.Validate(g, capacity, out); err != nil {
+	if err := sched.Validate(g, cluster.Single(capacity), out); err != nil {
 		t.Errorf("cancelled incumbent is invalid: %v", err)
 	}
 	if !s.LastStats().Cancelled {
@@ -59,14 +60,14 @@ func TestMidSearchCancellationReturnsIncumbent(t *testing.T) {
 	s := New(Config{InitialBudget: 1_000_000, MinBudget: 1_000_000, Seed: 3})
 	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
 	defer cancel()
-	out, err := s.ScheduleContext(ctx, g, capacity)
+	out, err := s.ScheduleContext(ctx, g, cluster.Single(capacity))
 	if !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("err = %v, want wrapping context.DeadlineExceeded", err)
 	}
 	if out == nil {
 		t.Fatal("no incumbent schedule returned on mid-search cancellation")
 	}
-	if err := sched.Validate(g, capacity, out); err != nil {
+	if err := sched.Validate(g, cluster.Single(capacity), out); err != nil {
 		t.Errorf("cancelled incumbent is invalid: %v", err)
 	}
 }
@@ -75,7 +76,7 @@ func TestStatsAndMetricsPopulated(t *testing.T) {
 	g, capacity := smallRandomDAG(4, 25)
 	reg := obs.NewRegistry()
 	s := New(Config{InitialBudget: 60, MinBudget: 10, Seed: 4, Obs: reg})
-	if _, err := s.Schedule(g, capacity); err != nil {
+	if _, err := s.Schedule(g, cluster.Single(capacity)); err != nil {
 		t.Fatal(err)
 	}
 	st := s.LastStats()
@@ -123,10 +124,10 @@ func TestSharedRegistryAggregatesAcrossSchedulers(t *testing.T) {
 	reg := obs.NewRegistry()
 	a := New(Config{InitialBudget: 30, MinBudget: 10, Seed: 5, Obs: reg})
 	b := New(Config{InitialBudget: 30, MinBudget: 10, Seed: 6, Obs: reg})
-	if _, err := a.Schedule(g, capacity); err != nil {
+	if _, err := a.Schedule(g, cluster.Single(capacity)); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := b.Schedule(g, capacity); err != nil {
+	if _, err := b.Schedule(g, cluster.Single(capacity)); err != nil {
 		t.Fatal(err)
 	}
 	want := float64(a.LastStats().Decisions + b.LastStats().Decisions)

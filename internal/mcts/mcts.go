@@ -20,9 +20,9 @@ import (
 	"time"
 
 	"spear/internal/baselines"
+	"spear/internal/cluster"
 	"spear/internal/dag"
 	"spear/internal/obs"
-	"spear/internal/resource"
 	"spear/internal/sched"
 	"spear/internal/simenv"
 )
@@ -417,8 +417,8 @@ func (s *Scheduler) collect(tw *treeWorker) {
 
 // Schedule implements sched.Scheduler. It is ScheduleContext with an
 // uncancellable background context.
-func (s *Scheduler) Schedule(g *dag.Graph, capacity resource.Vector) (*sched.Schedule, error) {
-	return s.ScheduleContext(context.Background(), g, capacity)
+func (s *Scheduler) Schedule(g *dag.Graph, spec cluster.Spec) (*sched.Schedule, error) {
+	return s.ScheduleContext(context.Background(), g, spec)
 }
 
 // ScheduleContext implements sched.ContextScheduler. The context is checked
@@ -430,7 +430,7 @@ func (s *Scheduler) Schedule(g *dag.Graph, capacity resource.Vector) (*sched.Sch
 // itself is driven by the seeded worker rngs.
 //
 //spear:timing
-func (s *Scheduler) ScheduleContext(ctx context.Context, g *dag.Graph, capacity resource.Vector) (*sched.Schedule, error) {
+func (s *Scheduler) ScheduleContext(ctx context.Context, g *dag.Graph, spec cluster.Spec) (*sched.Schedule, error) {
 	began := time.Now()
 	K := s.cfg.RootParallelism
 	s.stats = Stats{RootWorkers: K}
@@ -446,12 +446,12 @@ func (s *Scheduler) ScheduleContext(ctx context.Context, g *dag.Graph, capacity 
 		s.sm.RootWorkers.Set(int64(K))
 	}()
 
-	env, err := simenv.New(g, capacity, simenv.Config{Window: s.cfg.Window, Mode: simenv.NextCompletion, Metrics: s.sim})
+	env, err := simenv.NewCluster(g, spec, simenv.Config{Window: s.cfg.Window, Mode: simenv.NextCompletion, Metrics: s.sim})
 	if err != nil {
 		return nil, fmt.Errorf("mcts: %w", err)
 	}
 
-	c, err := s.explorationConstant(g, capacity)
+	c, err := s.explorationConstant(g, spec)
 	if err != nil {
 		return nil, err
 	}
@@ -683,8 +683,8 @@ func (s *Scheduler) finishCancelled(ctx context.Context, root *node, rng *rand.R
 // (deterministic) feeds the constant.
 //
 //spear:timing
-func (s *Scheduler) explorationConstant(g *dag.Graph, capacity resource.Vector) (float64, error) {
-	est, err := baselines.NewTetrisScheduler().Schedule(g, capacity)
+func (s *Scheduler) explorationConstant(g *dag.Graph, spec cluster.Spec) (float64, error) {
+	est, err := baselines.NewTetrisScheduler().Schedule(g, spec)
 	if err != nil {
 		return 0, fmt.Errorf("mcts: greedy estimate: %w", err)
 	}

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"spear/internal/baselines"
+	"spear/internal/cluster"
 	"spear/internal/dag"
 	"spear/internal/resource"
 	"spear/internal/sched"
@@ -27,11 +28,11 @@ func TestMCTSProducesValidSchedules(t *testing.T) {
 	for seed := int64(0); seed < 3; seed++ {
 		g, capacity := smallRandomDAG(seed, 30)
 		s := New(Config{InitialBudget: 60, MinBudget: 10, Seed: seed})
-		out, err := s.Schedule(g, capacity)
+		out, err := s.Schedule(g, cluster.Single(capacity))
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
-		if err := sched.Validate(g, capacity, out); err != nil {
+		if err := sched.Validate(g, cluster.Single(capacity), out); err != nil {
 			t.Errorf("seed %d: %v", seed, err)
 		}
 		lb, err := g.MakespanLowerBound(capacity)
@@ -52,7 +53,7 @@ func TestMCTSDeterministicGivenSeed(t *testing.T) {
 	g, capacity := smallRandomDAG(11, 25)
 	run := func() int64 {
 		s := New(Config{InitialBudget: 50, MinBudget: 10, Seed: 3})
-		out, err := s.Schedule(g, capacity)
+		out, err := s.Schedule(g, cluster.Single(capacity))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -70,11 +71,11 @@ func TestMCTSSolvesMotivatingExample(t *testing.T) {
 	}
 	capacity := workload.MotivatingCapacity()
 	s := New(Config{InitialBudget: 3000, MinBudget: 300, Seed: 1})
-	out, err := s.Schedule(g, capacity)
+	out, err := s.Schedule(g, cluster.Single(capacity))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := sched.Validate(g, capacity, out); err != nil {
+	if err := sched.Validate(g, cluster.Single(capacity), out); err != nil {
 		t.Fatal(err)
 	}
 	// The work-conserving heuristics are stuck at 301 (~3T); the search must
@@ -92,13 +93,13 @@ func TestMCTSBeatsRandomOnAverage(t *testing.T) {
 	for seed := int64(0); seed < 3; seed++ {
 		g, capacity := smallRandomDAG(seed+100, 40)
 		s := New(Config{InitialBudget: 80, MinBudget: 20, Seed: seed})
-		out, err := s.Schedule(g, capacity)
+		out, err := s.Schedule(g, cluster.Single(capacity))
 		if err != nil {
 			t.Fatal(err)
 		}
 		mctsTotal += out.Makespan
 
-		r, err := baselines.NewRandomScheduler(seed).Schedule(g, capacity)
+		r, err := baselines.NewRandomScheduler(seed).Schedule(g, cluster.Single(capacity))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -116,11 +117,11 @@ func TestMCTSMoreBudgetNotWorse(t *testing.T) {
 	g, capacity := smallRandomDAG(42, 30)
 	small := New(Config{InitialBudget: 5, MinBudget: 2, Seed: 7})
 	big := New(Config{InitialBudget: 400, MinBudget: 80, Seed: 7})
-	outSmall, err := small.Schedule(g, capacity)
+	outSmall, err := small.Schedule(g, cluster.Single(capacity))
 	if err != nil {
 		t.Fatal(err)
 	}
-	outBig, err := big.Schedule(g, capacity)
+	outBig, err := big.Schedule(g, cluster.Single(capacity))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +150,7 @@ func TestNamedScheduler(t *testing.T) {
 		t.Errorf("Name = %q", s.Name())
 	}
 	g, capacity := smallRandomDAG(1, 10)
-	out, err := s.Schedule(g, capacity)
+	out, err := s.Schedule(g, cluster.Single(capacity))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,11 +163,11 @@ func TestTreeReuseMatchesNoReuseValidity(t *testing.T) {
 	g, capacity := smallRandomDAG(5, 20)
 	for _, disable := range []bool{false, true} {
 		s := New(Config{InitialBudget: 40, MinBudget: 10, Seed: 2, DisableTreeReuse: disable})
-		out, err := s.Schedule(g, capacity)
+		out, err := s.Schedule(g, cluster.Single(capacity))
 		if err != nil {
 			t.Fatalf("reuse=%v: %v", !disable, err)
 		}
-		if err := sched.Validate(g, capacity, out); err != nil {
+		if err := sched.Validate(g, cluster.Single(capacity), out); err != nil {
 			t.Errorf("reuse=%v: %v", !disable, err)
 		}
 	}
@@ -187,7 +188,7 @@ func TestForcedMovesSkipSearch(t *testing.T) {
 		t.Fatal(err)
 	}
 	s := New(Config{InitialBudget: 100, MinBudget: 10, Seed: 1})
-	out, err := s.Schedule(g, resource.Of(1))
+	out, err := s.Schedule(g, cluster.Single(resource.Of(1)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -319,11 +320,11 @@ var errTest = dag.ErrEmpty // any sentinel will do for matching
 func TestExpanderFailureInjection(t *testing.T) {
 	g, capacity := smallRandomDAG(6, 15)
 	s := New(Config{InitialBudget: 20, MinBudget: 5, Seed: 1, Expand: badExpander{}})
-	if _, err := s.Schedule(g, capacity); err == nil {
+	if _, err := s.Schedule(g, cluster.Single(capacity)); err == nil {
 		t.Error("out-of-range expander index accepted")
 	}
 	s = New(Config{InitialBudget: 20, MinBudget: 5, Seed: 1, Expand: erroringExpander{}})
-	if _, err := s.Schedule(g, capacity); err == nil {
+	if _, err := s.Schedule(g, cluster.Single(capacity)); err == nil {
 		t.Error("expander error swallowed")
 	}
 }
@@ -332,7 +333,7 @@ func TestCustomExpanderIsUsed(t *testing.T) {
 	g, capacity := smallRandomDAG(3, 15)
 	exp := &fixedExpander{}
 	s := New(Config{InitialBudget: 30, MinBudget: 5, Seed: 1, Expand: exp})
-	if _, err := s.Schedule(g, capacity); err != nil {
+	if _, err := s.Schedule(g, cluster.Single(capacity)); err != nil {
 		t.Fatal(err)
 	}
 	if exp.calls == 0 {
@@ -345,11 +346,11 @@ func TestCustomExpanderIsUsed(t *testing.T) {
 func TestCustomRolloutIsUsed(t *testing.T) {
 	g, capacity := smallRandomDAG(4, 25)
 	s := New(Config{InitialBudget: 30, MinBudget: 5, Seed: 1, Rollout: baselines.CP{}})
-	out, err := s.Schedule(g, capacity)
+	out, err := s.Schedule(g, cluster.Single(capacity))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := sched.Validate(g, capacity, out); err != nil {
+	if err := sched.Validate(g, cluster.Single(capacity), out); err != nil {
 		t.Error(err)
 	}
 }
@@ -358,11 +359,11 @@ func TestParallelRolloutsValidAndDeterministic(t *testing.T) {
 	g, capacity := smallRandomDAG(6, 25)
 	run := func() int64 {
 		s := New(Config{InitialBudget: 30, MinBudget: 8, Seed: 4, RolloutsPerExpansion: 4, Parallelism: 2})
-		out, err := s.Schedule(g, capacity)
+		out, err := s.Schedule(g, cluster.Single(capacity))
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := sched.Validate(g, capacity, out); err != nil {
+		if err := sched.Validate(g, cluster.Single(capacity), out); err != nil {
 			t.Fatal(err)
 		}
 		return out.Makespan
@@ -379,7 +380,7 @@ func TestParallelRolloutsIncreaseVisits(t *testing.T) {
 	// count iterations, not rollouts.
 	g, capacity := smallRandomDAG(8, 20)
 	s := New(Config{InitialBudget: 10, MinBudget: 4, Seed: 2, RolloutsPerExpansion: 3})
-	if _, err := s.Schedule(g, capacity); err != nil {
+	if _, err := s.Schedule(g, cluster.Single(capacity)); err != nil {
 		t.Fatal(err)
 	}
 	if s.LastStats().Iterations == 0 {
@@ -401,11 +402,11 @@ func TestDisableBudgetDecaySpendsFullBudget(t *testing.T) {
 	capacity := resource.Of(1)
 
 	decayed := New(Config{InitialBudget: 40, MinBudget: 1, Seed: 1})
-	if _, err := decayed.Schedule(g, capacity); err != nil {
+	if _, err := decayed.Schedule(g, cluster.Single(capacity)); err != nil {
 		t.Fatal(err)
 	}
 	constant := New(Config{InitialBudget: 40, MinBudget: 1, Seed: 1, DisableBudgetDecay: true})
-	if _, err := constant.Schedule(g, capacity); err != nil {
+	if _, err := constant.Schedule(g, cluster.Single(capacity)); err != nil {
 		t.Fatal(err)
 	}
 	if constant.LastStats().Iterations < decayed.LastStats().Iterations {
@@ -426,11 +427,11 @@ func TestWindowLimitsVisibleActions(t *testing.T) {
 	}
 	capacity := resource.Of(3)
 	s := New(Config{InitialBudget: 20, MinBudget: 5, Seed: 1, Window: 3})
-	out, err := s.Schedule(g, capacity)
+	out, err := s.Schedule(g, cluster.Single(capacity))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := sched.Validate(g, capacity, out); err != nil {
+	if err := sched.Validate(g, cluster.Single(capacity), out); err != nil {
 		t.Error(err)
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"spear/internal/baselines"
+	"spear/internal/cluster"
 	"spear/internal/obs"
 	"spear/internal/sched"
 	"spear/internal/simenv"
@@ -31,7 +32,7 @@ func TestRootParallelDeterministicGivenSeed(t *testing.T) {
 	g, capacity := smallRandomDAG(13, 25)
 	run := func() *sched.Schedule {
 		s := New(Config{InitialBudget: 60, MinBudget: 12, Seed: 5, RootParallelism: 4})
-		out, err := s.Schedule(g, capacity)
+		out, err := s.Schedule(g, cluster.Single(capacity))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -61,7 +62,7 @@ func TestRootParallelDeterministicGivenSeed(t *testing.T) {
 func TestRootParallelValidAndComparable(t *testing.T) {
 	g, capacity := smallRandomDAG(42, 30)
 	tiny := New(Config{InitialBudget: 5, MinBudget: 2, Seed: 7})
-	outTiny, err := tiny.Schedule(g, capacity)
+	outTiny, err := tiny.Schedule(g, cluster.Single(capacity))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,11 +72,11 @@ func TestRootParallelValidAndComparable(t *testing.T) {
 	}
 	for _, k := range []int{2, 4} {
 		s := New(Config{InitialBudget: 400, MinBudget: 80, Seed: 7, RootParallelism: k})
-		out, err := s.Schedule(g, capacity)
+		out, err := s.Schedule(g, cluster.Single(capacity))
 		if err != nil {
 			t.Fatalf("K=%d: %v", k, err)
 		}
-		if err := sched.Validate(g, capacity, out); err != nil {
+		if err := sched.Validate(g, cluster.Single(capacity), out); err != nil {
 			t.Fatalf("K=%d: %v", k, err)
 		}
 		if out.Makespan < lb {
@@ -101,11 +102,11 @@ func TestRootParallelValidAndComparable(t *testing.T) {
 func TestRootParallelBudgetSplit(t *testing.T) {
 	g, capacity := smallRandomDAG(17, 20)
 	single := New(Config{InitialBudget: 45, MinBudget: 9, Seed: 3})
-	if _, err := single.Schedule(g, capacity); err != nil {
+	if _, err := single.Schedule(g, cluster.Single(capacity)); err != nil {
 		t.Fatal(err)
 	}
 	parallel := New(Config{InitialBudget: 45, MinBudget: 9, Seed: 3, RootParallelism: 4})
-	if _, err := parallel.Schedule(g, capacity); err != nil {
+	if _, err := parallel.Schedule(g, cluster.Single(capacity)); err != nil {
 		t.Fatal(err)
 	}
 	// The two searches can commit different moves and so face different
@@ -134,11 +135,11 @@ func TestRootParallelRaceHammer(t *testing.T) {
 		RootParallelism: 4, RolloutsPerExpansion: 2, Parallelism: 2,
 		Obs: reg,
 	})
-	out, err := s.Schedule(g, capacity)
+	out, err := s.Schedule(g, cluster.Single(capacity))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := sched.Validate(g, capacity, out); err != nil {
+	if err := sched.Validate(g, cluster.Single(capacity), out); err != nil {
 		t.Fatal(err)
 	}
 	stats := s.LastStats()
@@ -189,7 +190,7 @@ func TestBatchedRolloutsMatchUnbatched(t *testing.T) {
 		if !disable && s.worker(0).brc == nil {
 			t.Fatal("batched rollout context not built for a BatchPolicy rollout")
 		}
-		out, err := s.Schedule(g, capacity)
+		out, err := s.Schedule(g, cluster.Single(capacity))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -219,7 +220,7 @@ func TestNewExpanderFactoryPerWorker(t *testing.T) {
 		t.Errorf("factory built %d expanders for 3 workers", built)
 	}
 	g, capacity := smallRandomDAG(31, 15)
-	if _, err := s.Schedule(g, capacity); err != nil {
+	if _, err := s.Schedule(g, cluster.Single(capacity)); err != nil {
 		t.Fatal(err)
 	}
 }

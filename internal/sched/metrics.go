@@ -4,47 +4,89 @@ import (
 	"fmt"
 	"sort"
 
+	"spear/internal/cluster"
 	"spear/internal/dag"
-	"spear/internal/resource"
 )
+
+// MachineUtilization is one machine's share of a schedule's work.
+type MachineUtilization struct {
+	// Machine names the machine (from the cluster spec).
+	Machine string
+	// PerDim is, per resource dimension, the occupied fraction of this
+	// machine's capacity x makespan rectangle, in [0, 1].
+	PerDim []float64
+	// Mean averages PerDim.
+	Mean float64
+	// Tasks counts placements routed to this machine.
+	Tasks int
+}
 
 // Utilization summarizes how densely a schedule packs the cluster.
 type Utilization struct {
 	// PerDim is, per resource dimension, the occupied fraction of the
-	// capacity x makespan rectangle, in [0, 1].
+	// aggregate capacity x makespan rectangle, in [0, 1].
 	PerDim []float64
 	// Mean averages PerDim.
 	Mean float64
-	// IdleSlots counts time slots in [0, makespan) where the cluster is
-	// completely empty (possible only through scheduler idling, since a
+	// IdleSlots counts time slots in [0, makespan) where the whole cluster
+	// is completely empty (possible only through scheduler idling, since a
 	// valid schedule's makespan is tight).
 	IdleSlots int64
+	// PerMachine breaks the utilization down by machine, in spec order.
+	// For a one-machine spec it has a single entry equal to the aggregate.
+	PerMachine []MachineUtilization
 }
 
 // ComputeUtilization reports the resource utilization of a schedule that
-// has passed Validate.
-func ComputeUtilization(g *dag.Graph, capacity resource.Vector, s *Schedule) (Utilization, error) {
+// has passed Validate against the same spec, both aggregated across the
+// cluster and per machine.
+func ComputeUtilization(g *dag.Graph, spec cluster.Spec, s *Schedule) (Utilization, error) {
 	if s == nil || s.Makespan <= 0 {
 		return Utilization{}, fmt.Errorf("sched: cannot compute utilization of an empty schedule")
 	}
-	if capacity.Dims() != g.Dims() {
-		return Utilization{}, resource.ErrDimensionMismatch
+	if err := spec.Validate(); err != nil {
+		return Utilization{}, err
+	}
+	if spec.Dims() != g.Dims() {
+		return Utilization{}, fmt.Errorf("sched: spec has %d dims, job has %d", spec.Dims(), g.Dims())
 	}
 	dims := g.Dims()
+	total := spec.Total()
 	work := make([]int64, dims)
+	perMachineWork := make([][]int64, len(spec))
+	perMachineTasks := make([]int, len(spec))
+	for i := range perMachineWork {
+		perMachineWork[i] = make([]int64, dims)
+	}
 	for _, p := range s.Placements {
 		task := g.Task(p.Task)
+		if p.Machine < 0 || p.Machine >= len(spec) {
+			return Utilization{}, fmt.Errorf("%w: task %d on machine %d of %d", ErrBadMachine, p.Task, p.Machine, len(spec))
+		}
+		perMachineTasks[p.Machine]++
 		for d := 0; d < dims; d++ {
 			work[d] += task.Runtime * task.Demand[d]
+			perMachineWork[p.Machine][d] += task.Runtime * task.Demand[d]
 		}
 	}
 
 	u := Utilization{PerDim: make([]float64, dims)}
 	for d := 0; d < dims; d++ {
-		u.PerDim[d] = float64(work[d]) / float64(capacity[d]*s.Makespan)
+		u.PerDim[d] = float64(work[d]) / float64(total[d]*s.Makespan)
 		u.Mean += u.PerDim[d]
 	}
 	u.Mean /= float64(dims)
+
+	u.PerMachine = make([]MachineUtilization, len(spec))
+	for i, m := range spec {
+		mu := MachineUtilization{Machine: m.Name, PerDim: make([]float64, dims), Tasks: perMachineTasks[i]}
+		for d := 0; d < dims; d++ {
+			mu.PerDim[d] = float64(perMachineWork[i][d]) / float64(m.Capacity[d]*s.Makespan)
+			mu.Mean += mu.PerDim[d]
+		}
+		mu.Mean /= float64(dims)
+		u.PerMachine[i] = mu
+	}
 
 	// Sweep the busy intervals to count fully idle slots. The sweep merges
 	// the placement intervals instead of materializing a per-slot bitmap:

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"spear/internal/cluster"
 	"spear/internal/dag"
 	"spear/internal/resource"
 )
@@ -25,10 +26,10 @@ func TestComputeUtilization(t *testing.T) {
 		Makespan:   4,
 	}
 	capacity := resource.Of(2)
-	if err := Validate(g, capacity, s); err != nil {
+	if err := Validate(g, cluster.Single(capacity), s); err != nil {
 		t.Fatal(err)
 	}
-	u, err := ComputeUtilization(g, capacity, s)
+	u, err := ComputeUtilization(g, cluster.Single(capacity), s)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,7 +50,7 @@ func TestComputeUtilizationHalf(t *testing.T) {
 		t.Fatal(err)
 	}
 	s := &Schedule{Placements: []Placement{{Task: 0, Start: 0}}, Makespan: 5}
-	u, err := ComputeUtilization(g, resource.Of(10, 10), s)
+	u, err := ComputeUtilization(g, cluster.Single(resource.Of(10, 10)), s)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,11 +64,11 @@ func TestComputeUtilizationHalf(t *testing.T) {
 
 func TestComputeUtilizationErrors(t *testing.T) {
 	g := twoTaskChain(t)
-	if _, err := ComputeUtilization(g, resource.Of(5), nil); err == nil {
+	if _, err := ComputeUtilization(g, cluster.Single(resource.Of(5)), nil); err == nil {
 		t.Error("nil schedule accepted")
 	}
 	s := &Schedule{Placements: []Placement{{Task: 0, Start: 0}, {Task: 1, Start: 3}}, Makespan: 5}
-	if _, err := ComputeUtilization(g, resource.Of(5, 5), s); err == nil {
+	if _, err := ComputeUtilization(g, cluster.Single(resource.Of(5, 5)), s); err == nil {
 		t.Error("dim mismatch accepted")
 	}
 }
@@ -78,7 +79,7 @@ func TestComputeUtilizationIdleGaps(t *testing.T) {
 	// schedules.)
 	g := twoTaskChain(t)
 	s := &Schedule{Placements: []Placement{{Task: 0, Start: 0}, {Task: 1, Start: 5}}, Makespan: 7}
-	u, err := ComputeUtilization(g, resource.Of(5), s)
+	u, err := ComputeUtilization(g, cluster.Single(resource.Of(5)), s)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,7 +103,7 @@ func TestComputeUtilizationCorruptMakespanNoOOM(t *testing.T) {
 	if err := json.Unmarshal([]byte(crafted), &s); err != nil {
 		t.Fatal(err)
 	}
-	u, err := ComputeUtilization(g, resource.Of(5), &s)
+	u, err := ComputeUtilization(g, cluster.Single(resource.Of(5)), &s)
 	if err != nil {
 		t.Fatal(err)
 	}

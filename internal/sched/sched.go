@@ -1,13 +1,15 @@
 // Package sched defines the common contract between scheduling algorithms:
 // the Scheduler interface, the Schedule result type, and a validator that
 // checks the two correctness invariants every schedule must satisfy —
-// dependency order and per-slot capacity.
+// dependency order and per-slot, per-machine capacity.
 package sched
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"sort"
 	"strings"
 	"time"
@@ -15,18 +17,41 @@ import (
 
 	"spear/internal/cluster"
 	"spear/internal/dag"
-	"spear/internal/resource"
 )
 
-// Placement records when a single task starts. Its finish time is
-// Start + task runtime.
+// Schedule JSON documents are versioned by the "format" field. A document
+// with no format field (0) is the original single-machine layout, as is an
+// explicit FormatSingle; FormatMulti adds a machine index per placement.
+// Loaders accept all three and reject anything newer with a precise error.
+const (
+	FormatSingle = 1
+	FormatMulti  = 2
+)
+
+// CheckFormat validates a schedule document's format field.
+func CheckFormat(format int) error {
+	if format < 0 || format > FormatMulti {
+		return fmt.Errorf("sched: unknown schedule format %d (this build understands formats up to %d)", format, FormatMulti)
+	}
+	return nil
+}
+
+// Placement records where and when a single task starts: the machine index
+// into the cluster spec and the start slot. Its finish time is Start + task
+// runtime. Machine is omitted from JSON when 0, so single-machine
+// schedules serialize exactly as they did before machines existed.
 type Placement struct {
-	Task  dag.TaskID `json:"task"`
-	Start int64      `json:"start"`
+	Task    dag.TaskID `json:"task"`
+	Start   int64      `json:"start"`
+	Machine int        `json:"machine,omitempty"`
 }
 
 // Schedule is the output of a scheduling algorithm for one job DAG.
 type Schedule struct {
+	// Format is the JSON document version (see FormatSingle/FormatMulti).
+	// It is 0, and omitted, for single-machine schedules — the legacy
+	// layout — and FormatMulti when placements carry machine indices.
+	Format int `json:"format,omitempty"`
 	// Algorithm names the scheduler that produced this schedule.
 	Algorithm string `json:"algorithm"`
 	// Placements holds one entry per task in the DAG.
@@ -40,6 +65,20 @@ type Schedule struct {
 	Elapsed time.Duration `json:"elapsedNanos"`
 }
 
+// LoadSchedule reads a schedule document previously serialized as JSON,
+// accepting both the legacy single-machine layout and the current
+// multi-machine one. Unknown format versions are rejected.
+func LoadSchedule(r io.Reader) (*Schedule, error) {
+	var s Schedule
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("sched: decode schedule: %w", err)
+	}
+	if err := CheckFormat(s.Format); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
 // Scheduler is a dependency- and resource-aware scheduling algorithm.
 // Implementations must be safe for sequential reuse across jobs; they need
 // not be safe for concurrent use.
@@ -47,9 +86,10 @@ type Scheduler interface {
 	// Name returns a short human-readable algorithm name ("Spear",
 	// "Graphene", "Tetris", "SJF", "CP", ...).
 	Name() string
-	// Schedule computes a full schedule for the job on a cluster with the
-	// given capacity.
-	Schedule(g *dag.Graph, capacity resource.Vector) (*Schedule, error)
+	// Schedule computes a full schedule for the job on the cluster
+	// described by spec. A one-machine spec is the classic single-box
+	// setting; see cluster.Single.
+	Schedule(g *dag.Graph, spec cluster.Spec) (*Schedule, error)
 }
 
 // ContextScheduler is a Scheduler whose search can be cancelled or
@@ -61,20 +101,20 @@ type Scheduler interface {
 type ContextScheduler interface {
 	Scheduler
 	// ScheduleContext computes a schedule, honoring ctx.
-	ScheduleContext(ctx context.Context, g *dag.Graph, capacity resource.Vector) (*Schedule, error)
+	ScheduleContext(ctx context.Context, g *dag.Graph, spec cluster.Spec) (*Schedule, error)
 }
 
 // ScheduleContext schedules with s honoring ctx when s supports
 // cancellation, and falls back to a plain (uncancellable) Schedule call
 // otherwise — after a fast-path check that ctx is still live.
-func ScheduleContext(ctx context.Context, s Scheduler, g *dag.Graph, capacity resource.Vector) (*Schedule, error) {
+func ScheduleContext(ctx context.Context, s Scheduler, g *dag.Graph, spec cluster.Spec) (*Schedule, error) {
 	if cs, ok := s.(ContextScheduler); ok {
-		return cs.ScheduleContext(ctx, g, capacity)
+		return cs.ScheduleContext(ctx, g, spec)
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	return s.Schedule(g, capacity)
+	return s.Schedule(g, spec)
 }
 
 // Validation errors.
@@ -82,22 +122,26 @@ var (
 	ErrMissingTask     = errors.New("sched: schedule is missing a task")
 	ErrDuplicateTask   = errors.New("sched: task placed more than once")
 	ErrNegativeStart   = errors.New("sched: task starts before time 0")
+	ErrBadMachine      = errors.New("sched: placement names a machine outside the cluster spec")
 	ErrDependencyOrder = errors.New("sched: task starts before a parent finishes")
 	ErrOverCapacity    = errors.New("sched: schedule exceeds cluster capacity")
 	ErrWrongMakespan   = errors.New("sched: recorded makespan does not match placements")
 	ErrNilSchedule     = errors.New("sched: nil schedule")
 )
 
-// Validate checks that s is a correct schedule for g on a cluster with the
-// given capacity: every task placed exactly once, no task starting before
-// time 0 or before its parents finish, occupancy within capacity at every
-// slot, and the recorded makespan consistent with the placements.
-func Validate(g *dag.Graph, capacity resource.Vector, s *Schedule) error {
+// Validate checks that s is a correct schedule for g on the cluster
+// described by spec: every task placed exactly once on a machine the spec
+// names, no task starting before time 0 or before its parents finish,
+// per-machine occupancy within that machine's capacity at every slot, and
+// the recorded makespan consistent with the placements. Two tasks may
+// overlap in time iff they run on different machines.
+func Validate(g *dag.Graph, spec cluster.Spec, s *Schedule) error {
 	if s == nil {
 		return ErrNilSchedule
 	}
 	n := g.NumTasks()
 	start := make([]int64, n)
+	machine := make([]int, n)
 	seen := make([]bool, n)
 	for _, p := range s.Placements {
 		if int(p.Task) < 0 || int(p.Task) >= n {
@@ -110,7 +154,11 @@ func Validate(g *dag.Graph, capacity resource.Vector, s *Schedule) error {
 		if p.Start < 0 {
 			return fmt.Errorf("%w: task %d at %d", ErrNegativeStart, p.Task, p.Start)
 		}
+		if p.Machine < 0 || p.Machine >= len(spec) {
+			return fmt.Errorf("%w: task %d on machine %d of %d", ErrBadMachine, p.Task, p.Machine, len(spec))
+		}
 		start[p.Task] = p.Start
+		machine[p.Task] = p.Machine
 	}
 	for id := 0; id < n; id++ {
 		if !seen[id] {
@@ -136,7 +184,7 @@ func Validate(g *dag.Graph, capacity resource.Vector, s *Schedule) error {
 		return fmt.Errorf("%w: recorded %d, actual %d", ErrWrongMakespan, s.Makespan, makespan)
 	}
 
-	space, err := cluster.NewSpace(capacity)
+	space, err := cluster.NewMulti(spec)
 	if err != nil {
 		return err
 	}
@@ -148,7 +196,7 @@ func Validate(g *dag.Graph, capacity resource.Vector, s *Schedule) error {
 	sort.Slice(order, func(i, j int) bool { return start[order[i]] < start[order[j]] })
 	for _, id := range order {
 		task := g.Task(id)
-		if err := space.Place(start[id], task.Demand, task.Runtime); err != nil {
+		if err := space.Place(machine[id], start[id], task.Demand, task.Runtime); err != nil {
 			return fmt.Errorf("%w: task %d at %d: %v", ErrOverCapacity, id, start[id], err)
 		}
 	}
@@ -167,8 +215,22 @@ func (s *Schedule) StartTimes(n int) []int64 {
 	return starts
 }
 
+// Machines returns the per-task machine indices indexed by TaskID. It
+// assumes a schedule that has passed Validate.
+func (s *Schedule) Machines(n int) []int {
+	machines := make([]int, n)
+	for _, p := range s.Placements {
+		if int(p.Task) >= 0 && int(p.Task) < n {
+			machines[p.Task] = p.Machine
+		}
+	}
+	return machines
+}
+
 // Gantt renders the schedule as an ASCII chart, one row per task ordered by
 // start time, with the timeline scaled to at most width characters.
+// Multi-machine schedules (FormatMulti) annotate each row with the task's
+// machine index; single-machine output is unchanged.
 func (s *Schedule) Gantt(g *dag.Graph, width int) string {
 	if width < 10 {
 		width = 10
@@ -187,6 +249,7 @@ func (s *Schedule) Gantt(g *dag.Graph, width int) string {
 		return ps[i].Task < ps[j].Task
 	})
 
+	multi := s.Format == FormatMulti
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s  makespan=%d\n", s.Algorithm, s.Makespan)
 	for _, p := range ps {
@@ -199,12 +262,16 @@ func (s *Schedule) Gantt(g *dag.Graph, width int) string {
 		if to > width {
 			to = width
 		}
-		fmt.Fprintf(&b, "%-12s |%s%s%s| [%d,%d)\n",
+		fmt.Fprintf(&b, "%-12s |%s%s%s| [%d,%d)",
 			truncate(task.Name, 12),
 			strings.Repeat(" ", from),
 			strings.Repeat("#", to-from),
 			strings.Repeat(" ", width-to),
 			p.Start, p.Start+task.Runtime)
+		if multi {
+			fmt.Fprintf(&b, " m%d", p.Machine)
+		}
+		b.WriteByte('\n')
 	}
 	return b.String()
 }

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"unicode/utf8"
 
+	"spear/internal/cluster"
 	"spear/internal/dag"
 	"spear/internal/resource"
 )
@@ -35,7 +36,7 @@ func validChain(t *testing.T) (*dag.Graph, *Schedule) {
 
 func TestValidateAcceptsCorrectSchedule(t *testing.T) {
 	g, s := validChain(t)
-	if err := Validate(g, resource.Of(5), s); err != nil {
+	if err := Validate(g, cluster.Single(resource.Of(5)), s); err != nil {
 		t.Errorf("Validate: %v", err)
 	}
 }
@@ -58,7 +59,7 @@ func TestValidateRejections(t *testing.T) {
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
-			if err := Validate(g, capacity, tt.s); !errors.Is(err, tt.want) {
+			if err := Validate(g, cluster.Single(capacity), tt.s); !errors.Is(err, tt.want) {
 				t.Errorf("err = %v, want %v", err, tt.want)
 			}
 		})
@@ -79,11 +80,11 @@ func TestValidateCapacityViolation(t *testing.T) {
 		Placements: []Placement{{Task: 0, Start: 0}, {Task: 1, Start: 1}},
 		Makespan:   4,
 	}
-	if err := Validate(g, resource.Of(5), s); !errors.Is(err, ErrOverCapacity) {
+	if err := Validate(g, cluster.Single(resource.Of(5)), s); !errors.Is(err, ErrOverCapacity) {
 		t.Errorf("err = %v, want ErrOverCapacity", err)
 	}
 	// With enough capacity the same schedule is fine.
-	if err := Validate(g, resource.Of(8), s); err != nil {
+	if err := Validate(g, cluster.Single(resource.Of(8)), s); err != nil {
 		t.Errorf("err = %v, want nil", err)
 	}
 }
@@ -175,7 +176,7 @@ func TestGanttMultiByteNames(t *testing.T) {
 		Placements: []Placement{{Task: first, Start: 0}, {Task: second, Start: 3}},
 		Makespan:   5,
 	}
-	if err := Validate(g, resource.Of(1), s); err != nil {
+	if err := Validate(g, cluster.Single(resource.Of(1)), s); err != nil {
 		t.Fatal(err)
 	}
 	out := s.Gantt(g, 20)

@@ -60,6 +60,7 @@ func (s *Schedule) WriteSVG(w io.Writer, g *dag.Graph, width, rowHeight int) err
 		fmt.Fprintf(&b, `<text x="%d" y="%d" fill="#666">%d</text>`+"\n", x+2, height-8, t)
 	}
 
+	multi := s.Format == FormatMulti
 	for i, p := range ps {
 		task := g.Task(p.Task)
 		y := topPad + i*rowHeight
@@ -69,9 +70,13 @@ func (s *Schedule) WriteSVG(w io.Writer, g *dag.Graph, width, rowHeight int) err
 			barW = 1
 		}
 		color := svgPalette[int(p.Task)%len(svgPalette)]
+		machineTag := ""
+		if multi {
+			machineTag = fmt.Sprintf(" m%d", p.Machine)
+		}
 		fmt.Fprintf(&b, `<text x="4" y="%d">%s</text>`+"\n", y+rowHeight-4, escapeXML(truncate(task.Name, 14)))
-		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="%s" stroke="#333"><title>%s [%d,%d) demand %s</title></rect>`+"\n",
-			x, y+2, barW, rowHeight-4, color, escapeXML(task.Name), p.Start, p.Start+task.Runtime, escapeXML(task.Demand.String()))
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="%s" stroke="#333"><title>%s [%d,%d)%s demand %s</title></rect>`+"\n",
+			x, y+2, barW, rowHeight-4, color, escapeXML(task.Name), p.Start, p.Start+task.Runtime, machineTag, escapeXML(task.Demand.String()))
 	}
 	b.WriteString("</svg>\n")
 	_, err := io.WriteString(w, b.String())

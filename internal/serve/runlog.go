@@ -28,6 +28,9 @@ type LogEvent struct {
 	JCT int64 `json:"jct,omitempty"`
 	// Stretch is JCT divided by the planned makespan (complete).
 	Stretch float64 `json:"stretch,omitempty"`
+	// Schedule is the committed plan, present only when
+	// Config.DumpSchedules is set (plan).
+	Schedule *sched.Schedule `json:"schedule,omitempty"`
 }
 
 // ClassSummary aggregates one class's run outcome.
@@ -67,7 +70,17 @@ type RunLog struct {
 
 // Marshal renders the log in its canonical byte form: indented JSON with a
 // trailing newline. Byte-identity of replays is defined over this form.
+// Dumped schedules have their Elapsed normalized to zero first: planning
+// wall-clock time is the one nondeterministic field a schedule carries, and
+// letting it through would make replay byte-comparison flake.
 func (l *RunLog) Marshal() ([]byte, error) {
+	for i := range l.Events {
+		if s := l.Events[i].Schedule; s != nil && s.Elapsed != 0 {
+			c := *s
+			c.Elapsed = 0
+			l.Events[i].Schedule = &c
+		}
+	}
 	data, err := json.MarshalIndent(l, "", "  ")
 	if err != nil {
 		return nil, err

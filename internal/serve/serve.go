@@ -62,6 +62,13 @@ type Config struct {
 	// treats it as a label; cmd/spear-serve uses it to rebuild the same
 	// scheduler when replaying a log.
 	Algorithm string `json:"algorithm"`
+	// Machines is the number of identical machines in the serving cluster;
+	// 0 means 1 (a single box), keeping old configs byte-identical. Each
+	// machine gets the template's full capacity vector.
+	Machines int `json:"machines,omitempty"`
+	// DumpSchedules embeds each committed plan's full schedule in its "plan"
+	// log event. Off by default: schedules dominate log size.
+	DumpSchedules bool `json:"dumpSchedules,omitempty"`
 	// DecisionBudget bounds each planning call's wall-clock time; 0 means
 	// unbounded. A budget is a safety valve for anytime schedulers: if it
 	// ever fires, the committed plan is the search's incumbent, which can
@@ -154,8 +161,8 @@ type Server struct {
 	cfg       Config
 	scheduler sched.Scheduler
 	admit     Admission
-	capacity  resource.Vector
-	space     *cluster.Space
+	spec      cluster.Spec
+	space     *cluster.Multi
 	templates []*dag.Graph
 	classes   []*classState
 	tenants   []*tenantState
@@ -183,6 +190,9 @@ func New(cfg Config, scheduler sched.Scheduler, reg *obs.Registry) (*Server, err
 	if cfg.MaxInFlight < 0 {
 		return nil, fmt.Errorf("serve: maxInFlight %d must be >= 0", cfg.MaxInFlight)
 	}
+	if cfg.Machines < 0 {
+		return nil, fmt.Errorf("serve: machines %d must be >= 0", cfg.Machines)
+	}
 	if len(cfg.Classes) == 0 {
 		return nil, errors.New("serve: at least one class is required")
 	}
@@ -209,16 +219,21 @@ func New(cfg Config, scheduler sched.Scheduler, reg *obs.Registry) (*Server, err
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
+	machines := cfg.Machines
+	if machines == 0 {
+		machines = 1
+	}
+	spec := cluster.Uniform(machines, resource.Of(trace.Capacity...))
 	s := &Server{
 		cfg:       cfg,
 		scheduler: scheduler,
 		admit:     admit,
-		capacity:  resource.Of(trace.Capacity...),
+		spec:      spec,
 		templates: templates,
 		reg:       reg,
 		met:       obs.NewServeMetrics(reg),
 	}
-	s.space, err = cluster.NewSpace(s.capacity)
+	s.space, err = cluster.NewMulti(spec)
 	if err != nil {
 		return nil, err
 	}
@@ -378,7 +393,7 @@ func (s *Server) planJob(job *activeJob) error {
 		ctx, cancel = context.WithTimeout(ctx, s.cfg.DecisionBudget)
 		defer cancel()
 	}
-	plan, err := sched.ScheduleContext(ctx, s.scheduler, job.graph, s.capacity)
+	plan, err := sched.ScheduleContext(ctx, s.scheduler, job.graph, s.spec)
 	if plan == nil {
 		return fmt.Errorf("serve: scheduling %s: %w", job.name, err)
 	}
@@ -387,7 +402,7 @@ func (s *Server) planJob(job *activeJob) error {
 	if err != nil && !errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, context.Canceled) {
 		return fmt.Errorf("serve: scheduling %s: %w", job.name, err)
 	}
-	if err := sched.Validate(job.graph, s.capacity, plan); err != nil {
+	if err := sched.Validate(job.graph, s.spec, plan); err != nil {
 		return fmt.Errorf("serve: %s produced an invalid plan for %s: %w", s.scheduler.Name(), job.name, err)
 	}
 	t0, err := s.commit(job.graph, plan)
@@ -406,11 +421,15 @@ func (s *Server) planJob(job *activeJob) error {
 	c.qdSum += float64(qd)
 	c.metrics.QueueDelaySum.Add(float64(qd))
 	s.push(&event{time: t0 + plan.Makespan, kind: kindCompletion, seq: s.nextSeq(), job: job})
-	s.log = append(s.log, LogEvent{
+	ev := LogEvent{
 		Time: s.clock, Kind: "plan", Job: job.name,
 		Class: c.cfg.Name, Tenant: c.cfg.Tenant,
 		Start: t0, Makespan: plan.Makespan, QueueDelay: qd,
-	})
+	}
+	if s.cfg.DumpSchedules {
+		ev.Schedule = plan
+	}
+	s.log = append(s.log, ev)
 	return nil
 }
 
@@ -432,19 +451,20 @@ func (s *Server) commit(g *dag.Graph, plan *sched.Schedule) (int64, error) {
 	}
 }
 
-// tryPlace tentatively places every task of the plan at offset t0,
-// rolling the placements back if any task does not fit. Placing task by
-// task (rather than FitsAt checks) accounts for the plan's tasks
-// overlapping each other as well as the existing occupancy.
+// tryPlace tentatively places every task of the plan at offset t0, each on
+// the machine its placement names, rolling the placements back if any task
+// does not fit. Placing task by task (rather than FitsAt checks) accounts
+// for the plan's tasks overlapping each other as well as the existing
+// occupancy.
 func (s *Server) tryPlace(g *dag.Graph, plan *sched.Schedule, t0 int64) (bool, error) {
 	for i, p := range plan.Placements {
 		task := g.Task(p.Task)
-		if s.space.Place(t0+p.Start, task.Demand, task.Runtime) == nil {
+		if s.space.Place(p.Machine, t0+p.Start, task.Demand, task.Runtime) == nil {
 			continue
 		}
 		for _, q := range plan.Placements[:i] {
 			tq := g.Task(q.Task)
-			if err := s.space.Remove(t0+q.Start, tq.Demand, tq.Runtime); err != nil {
+			if err := s.space.Remove(q.Machine, t0+q.Start, tq.Demand, tq.Runtime); err != nil {
 				return false, fmt.Errorf("rollback at offset %d: %w", t0, err)
 			}
 		}

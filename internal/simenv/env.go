@@ -24,11 +24,31 @@ import (
 )
 
 // Action encodes one scheduler decision. Process advances time; any other
-// value is an index into VisibleReady() selecting a task to start now.
+// value packs a placement decision: the low bits are an index into
+// VisibleReady() selecting a task to start now (the slot), the high bits
+// the machine it starts on. Machine-0 actions are numerically identical to
+// the plain slot index, so single-machine episodes see exactly the
+// pre-multi-machine action values.
 type Action int32
 
 // Process is the "let the cluster run" action (the paper's action -1).
 const Process Action = -1
+
+// machineShift is the bit offset of the machine index inside a schedule
+// action; the low 16 bits carry the visible-window slot.
+const machineShift = 16
+
+// At composes the schedule action starting the slot-th visible ready task
+// on the given machine.
+func At(slot, machine int) Action { return Action(slot | machine<<machineShift) }
+
+// Slot extracts the visible-window index of a schedule action. It is
+// meaningless for Process.
+func (a Action) Slot() int { return int(a) & (1<<machineShift - 1) }
+
+// Machine extracts the machine index of a schedule action. It is
+// meaningless for Process.
+func (a Action) Machine() int { return int(a) >> machineShift }
 
 // ProcessMode selects how far the Process action advances the clock.
 type ProcessMode int
@@ -76,7 +96,7 @@ const (
 // New.
 type Env struct {
 	g     *dag.Graph
-	space *cluster.Space
+	space *cluster.Multi
 	cfg   Config
 
 	now            int64
@@ -84,6 +104,7 @@ type Env struct {
 	missingParents []int32
 	start          []int64
 	finish         []int64
+	machine        []int32      // machine each started task was placed on; -1 before
 	ready          []dag.TaskID // FIFO: visible window is ready[:Window]
 	running        int
 	done           int
@@ -104,21 +125,40 @@ var (
 	ErrNotFinished   = errors.New("simenv: episode not finished")
 )
 
-// New returns a fresh episode for scheduling g on a cluster with the given
-// capacity. It fails with ErrInfeasible if any single task could never fit.
+// New returns a fresh episode for scheduling g on a single machine with the
+// given capacity. It fails with ErrInfeasible if any single task could
+// never fit. It is shorthand for NewCluster with a one-machine spec.
 func New(g *dag.Graph, capacity resource.Vector, cfg Config) (*Env, error) {
+	if !capacity.Positive() {
+		return nil, fmt.Errorf("%w: %v", cluster.ErrBadCapacity, capacity)
+	}
+	return NewCluster(g, cluster.Single(capacity), cfg)
+}
+
+// NewCluster returns a fresh episode for scheduling g on the cluster
+// described by spec. It fails with ErrInfeasible if some task fits on no
+// machine of the spec.
+func NewCluster(g *dag.Graph, spec cluster.Spec, cfg Config) (*Env, error) {
 	if cfg.Window < 0 {
 		return nil, fmt.Errorf("simenv: negative window %d", cfg.Window)
 	}
 	if cfg.Mode == 0 {
 		cfg.Mode = NextCompletion
 	}
-	space, err := cluster.NewSpace(capacity)
+	space, err := cluster.NewMulti(spec)
 	if err != nil {
 		return nil, err
 	}
-	if !g.MaxDemand().FitsWithin(capacity) {
-		return nil, fmt.Errorf("%w: max demand %v, capacity %v", ErrInfeasible, g.MaxDemand(), capacity)
+	if len(spec) == 1 {
+		if !g.MaxDemand().FitsWithin(spec[0].Capacity) {
+			return nil, fmt.Errorf("%w: max demand %v, capacity %v", ErrInfeasible, g.MaxDemand(), spec[0].Capacity)
+		}
+	} else {
+		for id := 0; id < g.NumTasks(); id++ {
+			if d := g.Task(dag.TaskID(id)).Demand; !spec.Fits(d) {
+				return nil, fmt.Errorf("%w: task %d demand %v fits no machine", ErrInfeasible, id, d)
+			}
+		}
 	}
 	if m := cfg.Metrics; m != nil {
 		space.Instrument(m.SlotReuse, m.SlotGrow)
@@ -133,12 +173,14 @@ func New(g *dag.Graph, capacity resource.Vector, cfg Config) (*Env, error) {
 		missingParents: make([]int32, n),
 		start:          make([]int64, n),
 		finish:         make([]int64, n),
+		machine:        make([]int32, n),
 	}
 	for id := 0; id < n; id++ {
 		e.status[id] = statusPending
 		e.missingParents[id] = int32(len(g.Pred(dag.TaskID(id))))
 		e.start[id] = -1
 		e.finish[id] = -1
+		e.machine[id] = -1
 	}
 	for _, id := range g.Entries() {
 		e.status[id] = statusReady
@@ -176,6 +218,7 @@ func (e *Env) CloneInto(dst *Env) *Env {
 	dst.missingParents = append(dst.missingParents[:0], e.missingParents...)
 	dst.start = append(dst.start[:0], e.start...)
 	dst.finish = append(dst.finish[:0], e.finish...)
+	dst.machine = append(dst.machine[:0], e.machine...)
 	dst.ready = append(dst.ready[:0], e.ready...)
 	dst.running = e.running
 	dst.done = e.done
@@ -186,8 +229,16 @@ func (e *Env) CloneInto(dst *Env) *Env {
 // Graph returns the job DAG being scheduled.
 func (e *Env) Graph() *dag.Graph { return e.g }
 
-// Capacity returns a copy of the cluster capacity.
-func (e *Env) Capacity() resource.Vector { return e.space.Capacity() }
+// Capacity returns a copy of the aggregate cluster capacity across
+// machines. For a one-machine cluster this is the machine's capacity.
+func (e *Env) Capacity() resource.Vector { return e.space.TotalCapacity() }
+
+// NumMachines reports how many machines the episode's cluster has.
+func (e *Env) NumMachines() int { return e.space.NumMachines() }
+
+// Cluster returns the episode's multi-machine space. Callers must treat it
+// as read-only; mutating it corrupts the episode.
+func (e *Env) Cluster() *cluster.Multi { return e.space }
 
 // Now returns the current clock value.
 func (e *Env) Now() int64 { return e.now }
@@ -258,26 +309,43 @@ func (e *Env) visibleLen() int {
 }
 
 // FitsNow reports whether the i-th visible ready task can start at the
-// current time within the remaining capacity.
+// current time on at least one machine.
 func (e *Env) FitsNow(i int) bool {
 	if i < 0 || i >= e.visibleLen() {
 		return false
 	}
 	task := e.g.Task(e.ready[i])
-	return e.space.FitsAt(e.now, task.Demand, task.Runtime)
+	for m := 0; m < e.space.NumMachines(); m++ {
+		if e.space.FitsAt(m, e.now, task.Demand, task.Runtime) {
+			return true
+		}
+	}
+	return false
+}
+
+// FitsNowOn reports whether the i-th visible ready task can start at the
+// current time on machine m.
+func (e *Env) FitsNowOn(i, m int) bool {
+	if i < 0 || i >= e.visibleLen() {
+		return false
+	}
+	task := e.g.Task(e.ready[i])
+	return e.space.FitsAt(m, e.now, task.Demand, task.Runtime)
 }
 
 // LegalActions returns the legal actions at the current state, applying the
-// search-space reductions of §III-C: only ready tasks that fit the remaining
-// capacity right now are schedulable (a non-fitting task cannot start before
-// the earliest completion anyway), and Process is legal only when the
-// cluster is actually running something. Schedule actions come first in
-// visible-window order, then Process.
+// search-space reductions of §III-C: only (task, machine) pairs that fit
+// the remaining capacity right now are schedulable (a non-fitting task
+// cannot start before the earliest completion anyway), and Process is legal
+// only when the cluster is actually running something. Schedule actions
+// come first in visible-window order — machines in index order within one
+// slot — then Process. On a one-machine cluster this is exactly the classic
+// slot-indexed action list.
 func (e *Env) LegalActions() []Action {
 	if e.Done() {
 		return nil
 	}
-	return e.LegalActionsInto(make([]Action, 0, e.visibleLen()+1))
+	return e.LegalActionsInto(make([]Action, 0, e.visibleLen()*e.space.NumMachines()+1))
 }
 
 // LegalActionsInto appends the legal actions to buf (typically buf[:0]) and
@@ -292,9 +360,13 @@ func (e *Env) LegalActionsInto(buf []Action) []Action {
 		return buf
 	}
 	w := e.visibleLen()
+	nm := e.space.NumMachines()
 	for i := 0; i < w; i++ {
-		if e.FitsNow(i) {
-			buf = append(buf, Action(i))
+		task := e.g.Task(e.ready[i])
+		for m := 0; m < nm; m++ {
+			if e.space.FitsAt(m, e.now, task.Demand, task.Runtime) {
+				buf = append(buf, At(i, m))
+			}
 		}
 	}
 	if e.running > 0 {
@@ -313,7 +385,10 @@ func (e *Env) Step(a Action) error {
 	if a == Process {
 		return e.stepProcess()
 	}
-	return e.stepSchedule(int(a))
+	if a < 0 {
+		return errScheduleIndex(int(a), e.visibleLen())
+	}
+	return e.stepSchedule(a.Slot(), a.Machine())
 }
 
 // Cold-path error constructors for the step functions, which sit on the
@@ -339,13 +414,13 @@ func errUnknownMode(mode ProcessMode) error {
 	return fmt.Errorf("simenv: unknown process mode %d", mode)
 }
 
-func (e *Env) stepSchedule(i int) error {
+func (e *Env) stepSchedule(i, m int) error {
 	if i < 0 || i >= e.visibleLen() {
 		return errScheduleIndex(i, e.visibleLen())
 	}
 	id := e.ready[i]
 	task := e.g.Task(id)
-	if err := e.space.Place(e.now, task.Demand, task.Runtime); err != nil {
+	if err := e.space.Place(m, e.now, task.Demand, task.Runtime); err != nil {
 		return errNoFit(id, err)
 	}
 	// Remove index i by shifting the tail left; copy into the same backing
@@ -353,6 +428,7 @@ func (e *Env) stepSchedule(i int) error {
 	// structural noalloc check rejects.
 	e.ready = e.ready[:i+copy(e.ready[i:], e.ready[i+1:])]
 	e.status[id] = statusRunning
+	e.machine[id] = int32(m)
 	e.start[id] = e.now
 	e.finish[id] = e.now + task.Runtime
 	e.running++
@@ -483,19 +559,35 @@ func (e *Env) Schedule(algorithm string) (*sched.Schedule, error) {
 	}
 	placements := make([]sched.Placement, e.g.NumTasks())
 	for id := range placements {
-		placements[id] = sched.Placement{Task: dag.TaskID(id), Start: e.start[id]}
+		placements[id] = sched.Placement{Task: dag.TaskID(id), Start: e.start[id], Machine: int(e.machine[id])}
+	}
+	format := 0
+	if e.space.NumMachines() > 1 {
+		format = sched.FormatMulti
 	}
 	return &sched.Schedule{
+		Format:     format,
 		Algorithm:  algorithm,
 		Placements: placements,
 		Makespan:   e.Makespan(),
 	}, nil
 }
 
-// OccupancyImage returns the normalized cluster occupancy for the next
-// horizon slots starting at the current time, laid out [dim][slot].
+// MachineOf returns the machine a started task was placed on, or -1 for
+// tasks that have not started.
+func (e *Env) MachineOf(id dag.TaskID) int { return int(e.machine[id]) }
+
+// OccupancyImage returns the normalized aggregate cluster occupancy for the
+// next horizon slots starting at the current time, laid out [dim][slot].
 func (e *Env) OccupancyImage(horizon int) [][]float64 {
-	return e.space.OccupancyImage(e.now, horizon)
+	dims := e.space.Dims()
+	flat := make([]float64, dims*horizon)
+	e.space.FillOccupancy(e.now, horizon, dims, flat)
+	img := make([][]float64, dims)
+	for d := range img {
+		img[d] = flat[d*horizon : (d+1)*horizon]
+	}
+	return img
 }
 
 // FillOccupancy writes the normalized occupancy for the next horizon slots
@@ -506,9 +598,9 @@ func (e *Env) FillOccupancy(horizon, dims int, out []float64) {
 	e.space.FillOccupancy(e.now, horizon, dims, out)
 }
 
-// CapacityDim returns one dimension of the cluster capacity without copying
-// the vector.
-func (e *Env) CapacityDim(d int) int64 { return e.space.CapacityDim(d) }
+// CapacityDim returns one dimension of the aggregate cluster capacity
+// without copying the vector.
+func (e *Env) CapacityDim(d int) int64 { return e.space.TotalCapacityDim(d) }
 
 // AvailableNow returns the free capacity at the current time.
 func (e *Env) AvailableNow() resource.Vector {

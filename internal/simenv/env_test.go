@@ -7,6 +7,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"spear/internal/cluster"
 	"spear/internal/dag"
 	"spear/internal/resource"
 	"spear/internal/sched"
@@ -143,7 +144,7 @@ func TestChainEpisode(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Schedule: %v", err)
 	}
-	if err := sched.Validate(g, resource.Of(1), s); err != nil {
+	if err := sched.Validate(g, cluster.Single(resource.Of(1)), s); err != nil {
 		t.Errorf("Validate: %v", err)
 	}
 }
@@ -358,7 +359,7 @@ func TestRunProducesValidSchedule(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}
-	if err := sched.Validate(g, capacity, s); err != nil {
+	if err := sched.Validate(g, cluster.Single(capacity), s); err != nil {
 		t.Errorf("Validate: %v", err)
 	}
 	if s.Algorithm != "greedy-first" {
@@ -533,7 +534,7 @@ func TestPropertyRandomPolicyAlwaysValid(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		if err := sched.Validate(g, capacity, s); err != nil {
+		if err := sched.Validate(g, cluster.Single(capacity), s); err != nil {
 			return false
 		}
 		lb, err := g.MakespanLowerBound(capacity)

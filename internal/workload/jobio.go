@@ -7,6 +7,7 @@ import (
 
 	"spear/internal/dag"
 	"spear/internal/resource"
+	"spear/internal/sched"
 )
 
 // JobTaskSpec is one task of a serialized job.
@@ -20,10 +21,13 @@ type JobTaskSpec struct {
 // workloads can be scheduled with cmd/spear-sim without writing Go code.
 // Edges reference tasks by index in the Tasks slice.
 type JobSpec struct {
-	Name  string        `json:"name"`
-	Dims  int           `json:"dims"`
-	Tasks []JobTaskSpec `json:"tasks"`
-	Edges [][2]int      `json:"edges"`
+	// Format versions the document; absent (0) and sched.FormatSingle both
+	// mean the original single-machine encoding. See sched.CheckFormat.
+	Format int           `json:"format,omitempty"`
+	Name   string        `json:"name"`
+	Dims   int           `json:"dims"`
+	Tasks  []JobTaskSpec `json:"tasks"`
+	Edges  [][2]int      `json:"edges"`
 }
 
 // jobSpecFromGraph converts a DAG back into its serializable form.
@@ -79,6 +83,9 @@ func LoadJob(r io.Reader) (*dag.Graph, string, error) {
 	var spec JobSpec
 	if err := json.NewDecoder(r).Decode(&spec); err != nil {
 		return nil, "", fmt.Errorf("workload: decode job: %w", err)
+	}
+	if err := sched.CheckFormat(spec.Format); err != nil {
+		return nil, "", fmt.Errorf("workload: job %q: %w", spec.Name, err)
 	}
 	if len(spec.Tasks) == 0 {
 		return nil, "", fmt.Errorf("workload: job %q has no tasks", spec.Name)

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"spear/internal/baselines"
+	"spear/internal/cluster"
 	"spear/internal/dag"
 	"spear/internal/sched"
 )
@@ -119,11 +120,11 @@ func TestTopologiesAllSchedulable(t *testing.T) {
 	capacity := cfg.Capacity()
 	for i, g := range graphs {
 		for _, s := range []sched.Scheduler{baselines.NewTetrisScheduler(), baselines.NewCPScheduler()} {
-			out, err := s.Schedule(g, capacity)
+			out, err := s.Schedule(g, cluster.Single(capacity))
 			if err != nil {
 				t.Fatalf("graph %d %s: %v", i, s.Name(), err)
 			}
-			if err := sched.Validate(g, capacity, out); err != nil {
+			if err := sched.Validate(g, cluster.Single(capacity), out); err != nil {
 				t.Errorf("graph %d %s: %v", i, s.Name(), err)
 			}
 		}

@@ -8,6 +8,7 @@ import (
 	"testing/quick"
 
 	"spear/internal/baselines"
+	"spear/internal/cluster"
 	"spear/internal/dag"
 	"spear/internal/sched"
 	"spear/internal/simenv"
@@ -143,11 +144,11 @@ func TestPropertyRandomDAGAlwaysSchedulable(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		s, err := baselines.NewCPScheduler().Schedule(g, cfg.Capacity())
+		s, err := baselines.NewCPScheduler().Schedule(g, cluster.Single(cfg.Capacity()))
 		if err != nil {
 			return false
 		}
-		return sched.Validate(g, cfg.Capacity(), s) == nil
+		return sched.Validate(g, cluster.Single(cfg.Capacity()), s) == nil
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
 		t.Error(err)
@@ -183,11 +184,11 @@ func TestMotivatingExampleHeuristicsGet3T(t *testing.T) {
 		baselines.NewCPScheduler(),
 		baselines.NewGrapheneScheduler(),
 	} {
-		out, err := s.Schedule(g, capacity)
+		out, err := s.Schedule(g, cluster.Single(capacity))
 		if err != nil {
 			t.Fatalf("%s: %v", s.Name(), err)
 		}
-		if err := sched.Validate(g, capacity, out); err != nil {
+		if err := sched.Validate(g, cluster.Single(capacity), out); err != nil {
 			t.Fatalf("%s: %v", s.Name(), err)
 		}
 		if out.Makespan != 301 {
@@ -317,11 +318,11 @@ func TestTraceGraphs(t *testing.T) {
 			}
 		}
 		// Schedulable on the trace capacity.
-		s, err := baselines.NewTetrisScheduler().Schedule(g, cfg.CapacityVector())
+		s, err := baselines.NewTetrisScheduler().Schedule(g, cluster.Single(cfg.CapacityVector()))
 		if err != nil {
 			t.Fatalf("job %d: %v", i, err)
 		}
-		if err := sched.Validate(g, cfg.CapacityVector(), s); err != nil {
+		if err := sched.Validate(g, cluster.Single(cfg.CapacityVector()), s); err != nil {
 			t.Errorf("job %d: %v", i, err)
 		}
 	}

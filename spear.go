@@ -21,8 +21,13 @@
 //	// ...
 //	scheduler, err := spear.NewSpear(net, spear.DefaultFeatures(), spear.SpearConfig{})
 //	// ...
-//	schedule, err := scheduler.Schedule(job, spear.Resources(1000, 1000))
+//	schedule, err := scheduler.Schedule(job, spear.SingleMachine(spear.Resources(1000, 1000)))
 //	fmt.Println(schedule.Makespan)
+//
+// Schedulers place jobs onto a ClusterSpec — one or more named machines
+// with per-machine capacity vectors. SingleMachine reproduces the paper's
+// single resource pool; UniformCluster spreads the same capacity over n
+// machines, and each Placement then records the machine it runs on.
 //
 // The examples/ directory contains runnable programs and cmd/ the CLI
 // tools, including cmd/spear-experiments which regenerates every table and
@@ -35,6 +40,7 @@ import (
 
 	"spear/internal/anneal"
 	"spear/internal/baselines"
+	"spear/internal/cluster"
 	"spear/internal/core"
 	"spear/internal/dag"
 	"spear/internal/drl"
@@ -62,10 +68,25 @@ type (
 	// Vector is a multi-dimensional resource amount.
 	Vector = resource.Vector
 
+	// ClusterSpec describes the machines a schedule targets: one capacity
+	// vector per named machine. Build one with SingleMachine or
+	// UniformCluster, or construct it literally for heterogeneous clusters.
+	ClusterSpec = cluster.Spec
+	// Machine is one machine of a ClusterSpec.
+	Machine = cluster.Machine
+	// RoutingPolicy picks the machine a task runs on for the list and
+	// baseline schedulers (see NewRoundRobin, NewLeastLoaded,
+	// NewWeightedScore); search-based schedulers explore machine choices
+	// directly.
+	RoutingPolicy = cluster.RoutingPolicy
+
 	// Schedule is the result of scheduling one Job.
 	Schedule = sched.Schedule
-	// Placement is one task's start time within a Schedule.
+	// Placement is one task's start time — and, on multi-machine specs,
+	// machine — within a Schedule.
 	Placement = sched.Placement
+	// MachineUtilization is one machine's share of a Utilization report.
+	MachineUtilization = sched.MachineUtilization
 	// Scheduler is any scheduling algorithm in this library.
 	Scheduler = sched.Scheduler
 	// ContextScheduler is a Scheduler whose search honors a context: on
@@ -155,6 +176,24 @@ var (
 	ErrDependencyOrder = sched.ErrDependencyOrder
 	ErrOverCapacity    = sched.ErrOverCapacity
 	ErrWrongMakespan   = sched.ErrWrongMakespan
+	ErrBadMachine      = sched.ErrBadMachine
+
+	// ClusterSpec validation errors.
+	ErrEmptySpec   = cluster.ErrEmptySpec
+	ErrMixedDims   = cluster.ErrMixedDims
+	ErrDuplicateID = cluster.ErrDuplicateID
+	ErrNoMachine   = cluster.ErrNoMachine
+)
+
+// Schedule JSON format versions accepted by LoadSchedule; see
+// Schedule.Format.
+const (
+	// FormatSingle marks a single-machine schedule document; a zero/absent
+	// format means the same (the pre-versioning encoding).
+	FormatSingle = sched.FormatSingle
+	// FormatMulti marks a multi-machine document whose placements carry
+	// machine indices.
+	FormatMulti = sched.FormatMulti
 )
 
 // NewJobBuilder returns a builder for jobs whose task demands have the
@@ -164,10 +203,33 @@ func NewJobBuilder(dims int) *JobBuilder { return dag.NewBuilder(dims) }
 // Resources builds a resource vector from per-dimension values.
 func Resources(values ...int64) Vector { return resource.Of(values...) }
 
-// Validate checks a schedule against the two correctness invariants:
-// dependency order and per-slot cluster capacity.
-func Validate(job *Job, capacity Vector, s *Schedule) error {
-	return sched.Validate(job, capacity, s)
+// SingleMachine builds the one-machine cluster spec with the given
+// capacity — the paper's single resource pool. Schedules against it are
+// byte-identical to the library's pre-multi-machine output.
+func SingleMachine(capacity Vector) ClusterSpec { return cluster.Single(capacity) }
+
+// UniformCluster builds a spec of n identical machines, each with the given
+// capacity (machines "m0" .. "m{n-1}").
+func UniformCluster(n int, capacity Vector) ClusterSpec { return cluster.Uniform(n, capacity) }
+
+// NewRoundRobin returns the routing policy that cycles through eligible
+// machines in index order.
+func NewRoundRobin() RoutingPolicy { return cluster.NewRoundRobin() }
+
+// NewLeastLoaded returns the routing policy that picks the eligible machine
+// with the lowest mean occupancy at the task's earliest start.
+func NewLeastLoaded() RoutingPolicy { return cluster.NewLeastLoaded() }
+
+// NewWeightedScore returns the routing policy that scores machines by the
+// weighted dot product of task demand and free capacity (nil weights =
+// equal weights) and picks the best.
+func NewWeightedScore(weights []float64) RoutingPolicy { return cluster.NewWeightedScore(weights) }
+
+// Validate checks a schedule against the three correctness invariants:
+// dependency order, per-slot per-machine capacity, and machine indices
+// within the spec.
+func Validate(job *Job, spec ClusterSpec, s *Schedule) error {
+	return sched.Validate(job, spec, s)
 }
 
 // DefaultFeatures returns the paper's featurization: a window of 15 ready
@@ -241,8 +303,8 @@ func NewAnnealing(iterations int, seed int64) *AnnealingScheduler {
 // ScheduleContext schedules with s honoring ctx when s supports
 // cancellation (see ContextScheduler) and falls back to a plain Schedule
 // call otherwise, after a fast-path liveness check on ctx.
-func ScheduleContext(ctx context.Context, s Scheduler, job *Job, capacity Vector) (*Schedule, error) {
-	return sched.ScheduleContext(ctx, s, job, capacity)
+func ScheduleContext(ctx context.Context, s Scheduler, job *Job, spec ClusterSpec) (*Schedule, error) {
+	return sched.ScheduleContext(ctx, s, job, spec)
 }
 
 // NewMetricsRegistry returns an empty metrics registry. Pass it to several
@@ -252,14 +314,6 @@ func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
 // NewTrainMetrics builds a training-metrics bundle registered in r (nil
 // means a private registry).
 func NewTrainMetrics(r *MetricsRegistry) *TrainMetrics { return obs.NewTrainMetrics(r) }
-
-// NewMachineHEFT builds HEFT in its original multi-processor form: tasks
-// are placed on individual machines (one capacity vector per machine) using
-// the earliest-finish-time rule. Its Schedule method requires the aggregate
-// capacity to equal the sum of machine capacities.
-func NewMachineHEFT(machines []Vector) (Scheduler, error) {
-	return listsched.NewMachineHEFT(machines)
-}
 
 // TrainModel runs the full training pipeline of the paper (§IV): generate
 // random training jobs, warm-start the policy by imitating the
@@ -362,10 +416,16 @@ func LoadJob(r io.Reader) (*Job, string, error) { return workload.LoadJob(r) }
 type Utilization = sched.Utilization
 
 // ComputeUtilization reports the per-dimension and mean resource
-// utilization of a validated schedule.
-func ComputeUtilization(job *Job, capacity Vector, s *Schedule) (Utilization, error) {
-	return sched.ComputeUtilization(job, capacity, s)
+// utilization of a validated schedule, aggregate and per machine.
+func ComputeUtilization(job *Job, spec ClusterSpec, s *Schedule) (Utilization, error) {
+	return sched.ComputeUtilization(job, spec, s)
 }
+
+// LoadSchedule reads a schedule previously marshaled as JSON, accepting
+// both the legacy single-machine encoding (no format field) and the
+// versioned single- and multi-machine encodings; unknown future formats are
+// rejected with a precise error.
+func LoadSchedule(r io.Reader) (*Schedule, error) { return sched.LoadSchedule(r) }
 
 // CriticalPath returns the longest runtime path through a job — a lower
 // bound on any schedule's makespan.

@@ -59,11 +59,11 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatalf("NewSpear: %v", err)
 	}
-	schedule, err := scheduler.Schedule(job, capacity)
+	schedule, err := scheduler.Schedule(job, spear.SingleMachine(capacity))
 	if err != nil {
 		t.Fatalf("Schedule: %v", err)
 	}
-	if err := spear.Validate(job, capacity, schedule); err != nil {
+	if err := spear.Validate(job, spear.SingleMachine(capacity), schedule); err != nil {
 		t.Errorf("Validate: %v", err)
 	}
 	if cp := spear.CriticalPath(job); schedule.Makespan < cp {
@@ -97,7 +97,7 @@ func TestAllPublicSchedulersAgreeOnChain(t *testing.T) {
 		spear.NewRandom(1),
 	}
 	for _, s := range schedulers {
-		out, err := s.Schedule(job, capacity)
+		out, err := s.Schedule(job, spear.SingleMachine(capacity))
 		if err != nil {
 			t.Fatalf("%s: %v", s.Name(), err)
 		}
@@ -182,7 +182,7 @@ func TestOptimalSolverThroughAPI(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Three independent unit tasks on capacity 2: optimal is 8.
-	out, err := spear.NewOptimal(0).Schedule(job, spear.Resources(2))
+	out, err := spear.NewOptimal(0).Schedule(job, spear.SingleMachine(spear.Resources(2)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -206,11 +206,11 @@ func TestExtendedSchedulerFamily(t *testing.T) {
 		spear.NewLevelByLevel(),
 		spear.NewTetrisSRPT(0.5),
 	} {
-		out, err := s.Schedule(job, capacity)
+		out, err := s.Schedule(job, spear.SingleMachine(capacity))
 		if err != nil {
 			t.Fatalf("%s: %v", s.Name(), err)
 		}
-		if err := spear.Validate(job, capacity, out); err != nil {
+		if err := spear.Validate(job, spear.SingleMachine(capacity), out); err != nil {
 			t.Errorf("%s: %v", s.Name(), err)
 		}
 	}
@@ -238,7 +238,7 @@ func TestJobJSONAndSVGThroughAPI(t *testing.T) {
 		t.Errorf("round trip: name=%q tasks=%d", name, back.NumTasks())
 	}
 
-	out, err := spear.NewCP().Schedule(job, spear.Resources(10))
+	out, err := spear.NewCP().Schedule(job, spear.SingleMachine(spear.Resources(10)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -266,11 +266,11 @@ func TestUntrainedNetworkIsUsable(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := s.Schedule(job, cfg.Capacity())
+	out, err := s.Schedule(job, spear.SingleMachine(cfg.Capacity()))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := spear.Validate(job, cfg.Capacity(), out); err != nil {
+	if err := spear.Validate(job, spear.SingleMachine(cfg.Capacity()), out); err != nil {
 		t.Error(err)
 	}
 }

@@ -66,11 +66,11 @@ func TestObservabilityEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := scheduler.ScheduleContext(context.Background(), job, capacity)
+	out, err := scheduler.ScheduleContext(context.Background(), job, spear.SingleMachine(capacity))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := spear.Validate(job, capacity, out); err != nil {
+	if err := spear.Validate(job, spear.SingleMachine(capacity), out); err != nil {
 		t.Fatal(err)
 	}
 
@@ -116,14 +116,14 @@ func TestPreCancelledContextThroughFacade(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	began := time.Now()
-	out, err := s.ScheduleContext(ctx, job, capacity)
+	out, err := s.ScheduleContext(ctx, job, spear.SingleMachine(capacity))
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want wrapping context.Canceled", err)
 	}
 	if out == nil {
 		t.Fatal("no incumbent schedule returned")
 	}
-	if err := spear.Validate(job, capacity, out); err != nil {
+	if err := spear.Validate(job, spear.SingleMachine(capacity), out); err != nil {
 		t.Errorf("incumbent schedule invalid: %v", err)
 	}
 	if elapsed := time.Since(began); elapsed > 2*time.Second {
@@ -144,16 +144,16 @@ func TestScheduleContextHelperFallsBack(t *testing.T) {
 	if _, ok := tetris.(spear.ContextScheduler); ok {
 		t.Fatal("Tetris unexpectedly implements ContextScheduler; pick another fallback scheduler")
 	}
-	out, err := spear.ScheduleContext(context.Background(), tetris, job, capacity)
+	out, err := spear.ScheduleContext(context.Background(), tetris, job, spear.SingleMachine(capacity))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := spear.Validate(job, capacity, out); err != nil {
+	if err := spear.Validate(job, spear.SingleMachine(capacity), out); err != nil {
 		t.Error(err)
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, err := spear.ScheduleContext(ctx, tetris, job, capacity); !errors.Is(err, context.Canceled) {
+	if _, err := spear.ScheduleContext(ctx, tetris, job, spear.SingleMachine(capacity)); !errors.Is(err, context.Canceled) {
 		t.Errorf("err = %v, want context.Canceled", err)
 	}
 }
@@ -170,7 +170,7 @@ func TestSentinelErrorsThroughFacade(t *testing.T) {
 	job, capacity := jobs[0], cfg.Capacity()
 
 	solver := spear.NewOptimal(50) // tiny budget: must run out on 30 tasks
-	out, err := solver.Schedule(job, capacity)
+	out, err := solver.Schedule(job, spear.SingleMachine(capacity))
 	if !errors.Is(err, spear.ErrBudgetExceeded) {
 		t.Fatalf("err = %v, want spear.ErrBudgetExceeded", err)
 	}
@@ -178,10 +178,10 @@ func TestSentinelErrorsThroughFacade(t *testing.T) {
 		t.Error("no incumbent schedule alongside the budget error")
 	}
 
-	if err := spear.Validate(job, capacity, nil); !errors.Is(err, spear.ErrNilSchedule) {
+	if err := spear.Validate(job, spear.SingleMachine(capacity), nil); !errors.Is(err, spear.ErrNilSchedule) {
 		t.Errorf("Validate(nil) = %v, want ErrNilSchedule", err)
 	}
-	if err := spear.Validate(job, capacity, &spear.Schedule{}); !errors.Is(err, spear.ErrMissingTask) {
+	if err := spear.Validate(job, spear.SingleMachine(capacity), &spear.Schedule{}); !errors.Is(err, spear.ErrMissingTask) {
 		t.Errorf("Validate(empty) = %v, want ErrMissingTask", err)
 	}
 }
@@ -208,7 +208,7 @@ func TestMetricsWithConcurrentSchedulers(t *testing.T) {
 				InitialBudget: 30, MinBudget: 10, Seed: int64(i),
 				RolloutsPerExpansion: 4, Parallelism: 2, Obs: reg,
 			})
-			_, err := s.Schedule(job, capacity)
+			_, err := s.Schedule(job, spear.SingleMachine(capacity))
 			done <- err
 		}(i, job)
 	}
