@@ -1,13 +1,19 @@
 // Command spear-bench runs the repository's performance trajectory suite —
 // the hot paths whose regressions matter: single-row and batched network
 // inference, batched REINFORCE backprop, and the MCTS decision loop at
-// several root-parallelism degrees — and writes the results as one JSON
-// document (BENCH_spear.json in CI) so successive commits can be compared.
+// several root- and tree-parallelism degrees plus a 4-machine cluster cell
+// — and writes the results as one JSON document (BENCH_spear.json at the
+// repo root) so successive commits can be compared.
+//
+// With -compare the run becomes a regression gate: every sims/sec row of
+// the baseline report must reach at least -tolerance times its baseline
+// rate or the command exits non-zero (how CI fails on search slowdowns).
 //
 // Usage:
 //
 //	spear-bench                      # full sizes, writes BENCH_spear.json
 //	spear-bench -quick -out bench.json
+//	spear-bench -quick -out bench.json -compare BENCH_spear.json -tolerance 0.85
 package main
 
 import (
@@ -17,6 +23,7 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
@@ -62,8 +69,10 @@ func main() {
 
 func run() error {
 	var (
-		out   = flag.String("out", "BENCH_spear.json", "path to write the JSON report")
-		quick = flag.Bool("quick", false, "shrink problem sizes for a smoke run (CI)")
+		out       = flag.String("out", "BENCH_spear.json", "path to write the JSON report")
+		quick     = flag.Bool("quick", false, "shrink problem sizes for a smoke run (CI)")
+		compareTo = flag.String("compare", "", "baseline report to gate against (empty = no gate)")
+		tolerance = flag.Float64("tolerance", 0.85, "minimum current/baseline sims-per-sec ratio accepted by -compare")
 	)
 	flag.Parse()
 
@@ -161,21 +170,16 @@ func run() error {
 		}))
 	}
 
-	// The MCTS decision loop with DRL rollouts at increasing root
-	// parallelism. SimsPerSec here is the acceptance metric: on a >=4-core
-	// machine K=4 should reach >=1.8x the K=1 rate.
-	for _, k := range []int{1, 2, 4} {
-		s := mcts.New(mcts.Config{
-			InitialBudget: budget, MinBudget: minBudget, Seed: 1,
-			Rollout: agent, Window: feat.Window,
-			RootParallelism: k,
-		})
+	// searchCell benchmarks one scheduler configuration's full decision
+	// loop and reports its rollout throughput.
+	searchCell := func(name string, spec cluster.Spec, cfg mcts.Config) {
+		s := mcts.New(cfg)
 		var rollouts int64
 		var elapsed float64
-		r := measure(fmt.Sprintf("mcts_schedule_root_k%d", k), 0, func(b *testing.B) {
+		r := measure(name, 0, func(b *testing.B) {
 			rollouts, elapsed = 0, 0
 			for i := 0; i < b.N; i++ {
-				if _, err := s.Schedule(graph, cluster.Single(capacity)); err != nil {
+				if _, err := s.Schedule(graph, spec); err != nil {
 					b.Fatal(err)
 				}
 				st := s.LastStats()
@@ -188,6 +192,44 @@ func run() error {
 		}
 		report.Results = append(report.Results, r)
 	}
+
+	// The MCTS decision loop with DRL rollouts at increasing root
+	// parallelism. SimsPerSec here is the acceptance metric: on a >=4-core
+	// machine K=4 should reach >=1.8x the K=1 rate.
+	for _, k := range []int{1, 2, 4} {
+		searchCell(fmt.Sprintf("mcts_schedule_root_k%d", k), cluster.Single(capacity), mcts.Config{
+			InitialBudget: budget, MinBudget: minBudget, Seed: 1,
+			Rollout: agent, Window: feat.Window,
+			RootParallelism: k,
+		})
+	}
+
+	// Tree parallelism: J workers sharing one arena-allocated tree. The
+	// J=4 row is the shared-tree acceptance metric (>=2x the J=1 rate on a
+	// >=4-core machine).
+	for _, j := range []int{1, 2, 4} {
+		searchCell(fmt.Sprintf("mcts_schedule_tree_j%d", j), cluster.Single(capacity), mcts.Config{
+			InitialBudget: budget, MinBudget: minBudget, Seed: 1,
+			Rollout: agent, Window: feat.Window,
+			TreeParallelism: j,
+		})
+	}
+
+	// The transposition table on the serial tree: pooling statistics across
+	// schedule orders costs one hash lookup per node creation.
+	searchCell("mcts_schedule_tt", cluster.Single(capacity), mcts.Config{
+		InitialBudget: budget, MinBudget: minBudget, Seed: 1,
+		Rollout: agent, Window: feat.Window,
+		UseTranspositions: true,
+	})
+
+	// The multi-machine hot path: the same search over a 4-machine uniform
+	// cluster, whose slot|machine action space multiplies the branching
+	// factor.
+	searchCell("mcts_schedule_multi_m4", cluster.Uniform(4, capacity), mcts.Config{
+		InitialBudget: budget, MinBudget: minBudget, Seed: 1,
+		Rollout: agent, Window: feat.Window,
+	})
 
 	f, err := os.Create(*out)
 	if err != nil {
@@ -214,6 +256,59 @@ func run() error {
 		fmt.Println()
 	}
 	fmt.Printf("report written to %s\n", *out)
+
+	if *compareTo != "" {
+		if err := compare(*compareTo, report, *tolerance); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// compare gates the current report against a baseline: every baseline row
+// with a sims/sec rate must be present and reach at least tolerance times
+// its baseline rate. A missing row fails too — silently dropping a cell
+// from the suite must not read as "no regression".
+func compare(baselinePath string, current Report, tolerance float64) error {
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("compare baseline: %w", err)
+	}
+	var base Report
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("compare baseline %s: %w", baselinePath, err)
+	}
+	cur := make(map[string]Result, len(current.Results))
+	for _, r := range current.Results {
+		cur[r.Name] = r
+	}
+	var failures []string
+	fmt.Printf("comparing against %s (tolerance %.2f):\n", baselinePath, tolerance)
+	for _, b := range base.Results {
+		if b.SimsPerSec <= 0 {
+			continue
+		}
+		c, ok := cur[b.Name]
+		if !ok {
+			fmt.Printf("  %-28s baseline %10.0f sims/s          MISSING\n", b.Name, b.SimsPerSec)
+			failures = append(failures, fmt.Sprintf("%s: missing from current run", b.Name))
+			continue
+		}
+		ratio := c.SimsPerSec / b.SimsPerSec
+		status := "ok"
+		if ratio < tolerance {
+			status = "FAIL"
+			failures = append(failures, fmt.Sprintf("%s: %.0f sims/s is %.2fx the baseline %.0f (floor %.2fx)",
+				b.Name, c.SimsPerSec, ratio, b.SimsPerSec, tolerance))
+		}
+		fmt.Printf("  %-28s baseline %10.0f sims/s  current %10.0f (%.2fx) %s\n",
+			b.Name, b.SimsPerSec, c.SimsPerSec, ratio, status)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("sims/sec regression gate: %d row(s) failed:\n  %s",
+			len(failures), strings.Join(failures, "\n  "))
+	}
+	fmt.Println("regression gate passed")
 	return nil
 }
 

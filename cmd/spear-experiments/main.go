@@ -39,6 +39,7 @@ func run() error {
 		metrics   = flag.Bool("metrics", false, "print a Prometheus-format metrics snapshot after the run")
 		jobs      = flag.Int("j", 1, "run independent experiment cells on this many workers (reports still print in paper order)")
 		rootPar   = flag.Int("root-parallel", 1, "root-parallel MCTS trees per decision in every search-based scheduler")
+		treePar   = flag.Int("tree-parallel", 1, "shared-tree workers per MCTS tree in every search-based scheduler")
 	)
 	flag.Parse()
 
@@ -52,6 +53,7 @@ func run() error {
 	suite := experiments.NewSuite(*seed)
 	suite.Full = *full
 	suite.RootParallelism = *rootPar
+	suite.TreeParallelism = *treePar
 	if *verbose {
 		suite.Log = os.Stderr
 	}

@@ -23,6 +23,7 @@ import (
 
 	"spear/internal/anneal"
 	"spear/internal/baselines"
+	"spear/internal/mcts"
 	"spear/internal/obs"
 	"spear/internal/sched"
 	"spear/internal/serve"
@@ -49,7 +50,9 @@ func run() error {
 	var (
 		seed         = flag.Int64("seed", 1, "run seed; fully determines the run")
 		horizon      = flag.Int64("horizon", 2000, "last slot at which jobs may arrive")
-		algo         = flag.String("algo", "cp", "scheduling algorithm (cp,tetris,sjf,graphene,level,random,anneal)")
+		algo         = flag.String("algo", "cp", "scheduling algorithm (cp,tetris,sjf,graphene,level,random,anneal,mcts)")
+		searchBudget = flag.Int("search-budget", 200, "per-decision iteration budget for -algo mcts")
+		treePar      = flag.Int("tree-parallel", 1, "shared-tree search workers for -algo mcts (>1 speeds planning but forfeits replay byte-identity)")
 		admission    = flag.String("admission", "always", "admission policy (always,token-bucket)")
 		bucketCap    = flag.Float64("bucket-cap", 8, "token-bucket burst capacity in jobs")
 		bucketRefill = flag.Float64("bucket-refill", 0.02, "token-bucket refill rate in jobs per slot")
@@ -86,6 +89,12 @@ func run() error {
 		// keeps old run logs byte-identical.
 		cfg.Machines = *machines
 	}
+	if *algo == "mcts" {
+		// Recorded only for the search algorithm, so baseline run logs stay
+		// byte-identical to older builds.
+		cfg.SearchBudget = *searchBudget
+		cfg.TreeParallel = *treePar
+	}
 	if cfg.Admission.Policy == serve.PolicyAlways {
 		cfg.Admission.BucketCap, cfg.Admission.RefillPerSlot = 0, 0
 	}
@@ -94,7 +103,7 @@ func run() error {
 		return err
 	}
 
-	scheduler, err := buildScheduler(*algo, *seed)
+	scheduler, err := buildScheduler(cfg)
 	if err != nil {
 		return err
 	}
@@ -139,7 +148,7 @@ func replayRun(path string, metrics bool) error {
 	if err != nil {
 		return err
 	}
-	scheduler, err := buildScheduler(log.Config.Algorithm, log.Config.Seed)
+	scheduler, err := buildScheduler(log.Config)
 	if err != nil {
 		return err
 	}
@@ -210,12 +219,14 @@ func printSummary(log *serve.RunLog) {
 	}
 }
 
-// buildScheduler constructs the named deterministic scheduler. The
-// search-based spear/mcts algorithms are excluded here on purpose: their
-// per-decision budgets interact with wall time, which would undermine the
-// replay guarantee the serving loop advertises.
-func buildScheduler(name string, seed int64) (sched.Scheduler, error) {
-	switch name {
+// buildScheduler constructs the scheduler the config names. "mcts" is
+// iteration-budgeted (never wall-clock-budgeted), so a run is a pure
+// function of the seed like the baselines — with the caveat that
+// TreeParallel > 1 interleaves search iterations nondeterministically and
+// forfeits the replay guarantee. The model-guided spear algorithm stays
+// excluded: its plans depend on network weights the log does not record.
+func buildScheduler(cfg serve.Config) (sched.Scheduler, error) {
+	switch cfg.Algorithm {
 	case "cp":
 		return baselines.NewCPScheduler(), nil
 	case "tetris":
@@ -227,10 +238,21 @@ func buildScheduler(name string, seed int64) (sched.Scheduler, error) {
 	case "level":
 		return baselines.NewLevelByLevelScheduler(), nil
 	case "random":
-		return baselines.NewRandomScheduler(seed), nil
+		return baselines.NewRandomScheduler(cfg.Seed), nil
 	case "anneal":
-		return anneal.New(anneal.Config{Iterations: 500, Seed: seed}), nil
+		return anneal.New(anneal.Config{Iterations: 500, Seed: cfg.Seed}), nil
+	case "mcts":
+		budget := cfg.SearchBudget
+		if budget <= 0 {
+			budget = 200
+		}
+		return mcts.New(mcts.Config{
+			InitialBudget:   budget,
+			MinBudget:       budget / 10,
+			Seed:            cfg.Seed,
+			TreeParallelism: cfg.TreeParallel,
+		}), nil
 	default:
-		return nil, fmt.Errorf("unknown algorithm %q", name)
+		return nil, fmt.Errorf("unknown algorithm %q", cfg.Algorithm)
 	}
 }

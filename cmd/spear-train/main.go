@@ -39,6 +39,9 @@ func run() error {
 		curvePath      = flag.String("curve", "", "write the learning curve as CSV to this path")
 		ckptEvery      = flag.Int("checkpoint-every", 0, "save the model to -out every N epochs (0 = only at the end)")
 		metrics        = flag.Bool("metrics", false, "print a Prometheus-format training metrics snapshot after the run")
+		evalJobs       = flag.Int("eval", 0, "after training, run guided search on this many held-out jobs and report mean makespan")
+		evalBudget     = flag.Int("eval-budget", 100, "search budget per decision for -eval")
+		treePar        = flag.Int("tree-parallel", 1, "shared-tree search workers per tree for -eval")
 	)
 	flag.Parse()
 
@@ -103,6 +106,11 @@ func run() error {
 		return err
 	}
 	fmt.Printf("model written to %s (window=%d horizon=%d)\n", *out, *window, *horizon)
+	if *evalJobs > 0 {
+		if err := evalModel(net, feat, *evalJobs, *tasksPerJob, *evalBudget, *treePar, *seed); err != nil {
+			return err
+		}
+	}
 	if tm != nil {
 		st := tm.Stats()
 		fmt.Printf("training: %d trajectories, %d steps, %d updates, mean grad norm %.4g, mean baseline spread %.1f\n",
@@ -111,6 +119,41 @@ func run() error {
 			return err
 		}
 	}
+	return nil
+}
+
+// evalModel runs the freshly trained model through the guided search on
+// held-out jobs (a seed offset past the training set) and prints the mean
+// makespan and search rate — a quick smoke signal that the model actually
+// helps before it is shipped to spear-sim/spear-experiments. treePar sets
+// the shared-tree worker count of each search.
+func evalModel(net *spear.Network, feat spear.Features, jobs, tasks, budget, treePar int, seed int64) error {
+	scheduler, err := spear.NewSpear(net, feat, spear.SpearConfig{
+		InitialBudget:   budget,
+		MinBudget:       budget / 10,
+		Seed:            seed,
+		TreeParallelism: treePar,
+	})
+	if err != nil {
+		return err
+	}
+	wcfg := spear.DefaultRandomJobConfig()
+	wcfg.NumTasks = tasks
+	var totalSpan, totalSims float64
+	for i := 0; i < jobs; i++ {
+		job, err := spear.RandomJob(seed+int64(1000+i), wcfg)
+		if err != nil {
+			return err
+		}
+		out, err := scheduler.Schedule(job, spear.SingleMachine(wcfg.Capacity()))
+		if err != nil {
+			return err
+		}
+		totalSpan += float64(out.Makespan)
+		totalSims += scheduler.LastStats().SimsPerSec
+	}
+	fmt.Printf("eval: %d held-out jobs, mean makespan %.1f, mean %.0f sims/sec (tree-parallel %d)\n",
+		jobs, totalSpan/float64(jobs), totalSims/float64(jobs), treePar)
 	return nil
 }
 

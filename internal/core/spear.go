@@ -42,6 +42,15 @@ type Config struct {
 	// (root parallelization), splitting each decision's budget across them
 	// and merging their root statistics to pick the action. Default 1.
 	RootParallelism int
+	// TreeParallelism runs this many workers inside each search tree (tree
+	// parallelization): they share one arena-allocated tree with atomic
+	// statistics and virtual losses. Composes with RootParallelism (K trees
+	// × J workers). Default 1, the exact serial search.
+	TreeParallelism int
+	// UseTranspositions pools search statistics across nodes that reach the
+	// same episode state via different schedule orders (transposition
+	// table keyed by the env's canonical state hash). Default off.
+	UseTranspositions bool
 	// RolloutsPerExpansion runs this many simulations from each expanded
 	// node. With the DRL rollout agent they are lock-stepped through batched
 	// network passes. Zero means the mcts default (1).
@@ -100,6 +109,8 @@ func New(net *nn.Network, feat drl.Features, cfg Config) (*Spear, error) {
 		Window:               feat.Window,
 		Seed:                 cfg.Seed,
 		RootParallelism:      cfg.RootParallelism,
+		TreeParallelism:      cfg.TreeParallelism,
+		UseTranspositions:    cfg.UseTranspositions,
 		RolloutsPerExpansion: cfg.RolloutsPerExpansion,
 		Obs:                  cfg.Obs,
 	})

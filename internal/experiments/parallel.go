@@ -72,6 +72,7 @@ func (s *Suite) shadowSuite(log io.Writer) *Suite {
 		ModelCfg:        s.ModelCfg,
 		Log:             log,
 		RootParallelism: s.RootParallelism,
+		TreeParallelism: s.TreeParallelism,
 		curve:           s.curve,
 	}
 	if s.Obs != nil {

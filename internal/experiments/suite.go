@@ -54,6 +54,10 @@ type Suite struct {
 	// independent root-parallel trees, splitting the budget across them.
 	// Zero or one keeps the classic single tree.
 	RootParallelism int
+	// TreeParallelism is likewise threaded into every MCTS-backed scheduler:
+	// each tree is searched by this many shared-tree workers (virtual loss,
+	// atomic statistics). Zero or one keeps the serial per-tree search.
+	TreeParallelism int
 
 	curve []drl.EpochStats
 
@@ -148,6 +152,7 @@ func (s *Suite) spear(initialBudget, minBudget int) (*core.Spear, error) {
 		MinBudget:       minBudget,
 		Seed:            s.Seed,
 		RootParallelism: s.RootParallelism,
+		TreeParallelism: s.TreeParallelism,
 		Obs:             s.Obs,
 	})
 }

@@ -35,3 +35,39 @@ type Unmarked struct {
 	b int64
 	c bool
 }
+
+// ArenaNode mirrors the mcts arena's packed tree node: one pointer, one
+// slice header, then eight consecutive int32 links/counters. 64 bytes with
+// zero padding under gc/amd64 — the shape the marker is meant to protect.
+//
+//spear:packed
+type ArenaNode struct {
+	env      *int64
+	untried  []int32
+	action   int32
+	parent   int32
+	first    int32
+	last     int32
+	next     int32
+	stats    int32
+	nuntried int32
+	latch    int32
+}
+
+// ArenaNodeShuffled interleaves the int32 links with the word-aligned
+// fields: two 4-byte holes (after action and after parent) grow the node
+// from 64 to 72 bytes.
+//
+//spear:packed
+type ArenaNodeShuffled struct { // want 6 "wastes 8 padding bytes (72 -> 64 under gc/amd64); reorder fields: untried, env, action, parent, first, last, next, stats, nuntried, latch"
+	action   int32
+	env      *int64
+	parent   int32
+	untried  []int32
+	first    int32
+	last     int32
+	next     int32
+	stats    int32
+	nuntried int32
+	latch    int32
+}

@@ -6,7 +6,12 @@
 // DRL agent can replace the classic random policy (which is how Spear is
 // assembled in internal/core). RootParallelism adds root parallelization:
 // K independent trees share each decision's budget and their root statistics
-// are merged to pick the committed move.
+// are merged to pick the committed move. TreeParallelism adds tree
+// parallelization inside each tree: J workers descend one shared,
+// arena-allocated tree with atomic statistics, virtual loss to de-correlate
+// their descents, and per-node expansion latches; an optional transposition
+// table keyed by the env's canonical state hash lets states reached via
+// different schedule orders pool statistics.
 package mcts
 
 import (
@@ -17,6 +22,7 @@ import (
 	"math/rand"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"spear/internal/baselines"
@@ -75,21 +81,22 @@ type Config struct {
 	// fewer network passes) unless DisableBatchedRollouts is set.
 	Rollout simenv.Policy
 	// Expand orders unexplored actions during expansion. Default: uniform
-	// random. With RootParallelism > 1 every tree worker shares this value,
-	// so it must be safe for concurrent use — stateful expanders should set
-	// NewExpander instead.
+	// random. With RootParallelism or TreeParallelism > 1 every search
+	// worker shares this value, so it must be safe for concurrent use —
+	// stateful expanders should set NewExpander instead.
 	Expand Expander
-	// NewExpander, when non-nil, builds one private Expander per tree worker
-	// and takes precedence over Expand. Required for expanders that carry
-	// per-search state (like the DRL expander's inference buffers) when
-	// RootParallelism > 1.
+	// NewExpander, when non-nil, builds one private Expander per search
+	// worker and takes precedence over Expand. Required for expanders that
+	// carry per-search state (like the DRL expander's inference buffers)
+	// when RootParallelism or TreeParallelism > 1.
 	NewExpander func() Expander
 	// Window caps the visible ready tasks (0 = unlimited). Spear sets it to
 	// the neural network's input window.
 	Window int
-	// Seed feeds the search's private random source. Tree worker w derives
-	// its own seed from Seed and w, so every root-parallel tree explores
-	// differently while the whole search stays deterministic.
+	// Seed feeds the search's private random source. Search worker (w, j)
+	// derives its own seed from Seed, the tree index w and the in-tree
+	// worker index j, so every worker explores differently while the whole
+	// search stays deterministic at TreeParallelism = 1.
 	Seed int64
 	// ReuseTree keeps the chosen child's subtree between decisions instead
 	// of rebuilding from scratch. Default true.
@@ -114,6 +121,22 @@ type Config struct {
 	// which preserves the exact single-tree search. Values above the legal
 	// branching factor mostly add redundancy; GOMAXPROCS is a sensible cap.
 	RootParallelism int
+	// TreeParallelism runs this many workers inside each search tree (tree
+	// parallelization): the workers descend one shared arena-allocated tree
+	// with atomic statistics, mark their descent paths with virtual losses
+	// (reverted on backup) so selection de-correlates, and never
+	// double-expand thanks to per-node latches. Composes with
+	// RootParallelism: K trees × J workers. Default 1, which is
+	// bit-identical to the serial single-tree search (no virtual loss is
+	// applied). With J > 1 the iteration interleaving is scheduler-
+	// dependent, so results are valid but not run-to-run deterministic.
+	TreeParallelism int
+	// UseTranspositions keys every created node's statistics block by the
+	// environment's canonical state hash, so states reached via different
+	// schedule orders share one statistics entry within a Schedule call.
+	// Changes search statistics (strictly more informed backups), so it is
+	// off by default to preserve the classic per-node search.
+	UseTranspositions bool
 	// DisableBatchedRollouts forces per-episode rollouts even when the
 	// rollout policy implements simenv.BatchPolicy — the ablation arm for
 	// batched inference. Results are identical either way; only the number
@@ -155,6 +178,9 @@ func (c Config) normalized() Config {
 	if c.RootParallelism <= 0 {
 		c.RootParallelism = 1
 	}
+	if c.TreeParallelism <= 0 {
+		c.TreeParallelism = 1
+	}
 	return c
 }
 
@@ -168,7 +194,7 @@ type Stats struct {
 	// Decisions is the number of committed scheduling decisions.
 	Decisions int
 	// Iterations is the number of search iterations run, summed across all
-	// tree workers.
+	// search workers.
 	Iterations int
 	// Expansions is the number of nodes added to the search trees.
 	Expansions int
@@ -182,9 +208,20 @@ type Stats struct {
 	MaxDepth int
 	// RootWorkers is the number of root-parallel trees used per decision.
 	RootWorkers int
+	// TreeWorkers is the number of shared-tree workers inside each tree.
+	TreeWorkers int
 	// MergeConflicts counts tree workers whose locally best action lost the
 	// merged root vote (only possible with RootWorkers > 1).
 	MergeConflicts int64
+	// VirtualLossApplied counts virtual-loss marks applied on shared-tree
+	// descent paths (only possible with TreeWorkers > 1; every mark is
+	// reverted on backup).
+	VirtualLossApplied int64
+	// TTHits and TTMisses count transposition-table lookups at node
+	// creation that found, respectively missed, an existing statistics
+	// block (only possible with UseTranspositions).
+	TTHits   int64
+	TTMisses int64
 	// Elapsed is the wall-clock time of the Schedule call.
 	Elapsed time.Duration
 	// SimsPerSec is Rollouts divided by Elapsed (floored at 1µs, so the
@@ -196,8 +233,8 @@ type Stats struct {
 
 // Scheduler runs MCTS to schedule whole jobs. It implements
 // sched.Scheduler. A Scheduler is not safe for concurrent Schedule calls:
-// besides the stats counters it owns per-worker rollout contexts and
-// simulation buffers that are reused across iterations.
+// besides the stats counters it owns per-worker node arenas, rollout
+// contexts and simulation buffers that are reused across iterations.
 type Scheduler struct {
 	name  string
 	cfg   Config
@@ -205,15 +242,16 @@ type Scheduler struct {
 
 	// reg holds the scheduler's cumulative metrics; sm and sim are the
 	// pre-allocated counter bundles updated on the search and rollout hot
-	// paths (lock-free atomics, shared with every env clone and every tree
-	// worker).
+	// paths (lock-free atomics, shared with every env clone and every
+	// search worker).
 	reg *obs.Registry
 	sm  *obs.SearchMetrics
 	sim *obs.SimMetrics
 
 	// workers holds the root-parallel tree workers. Workers persist across
-	// Schedule calls — their expanders, rollout contexts and simulation
-	// buffers are reusable — and only tree and rng are reset per call.
+	// Schedule calls — their arenas, expanders, rollout contexts and
+	// simulation buffers are reusable — and only the tree and rngs are
+	// reset per call.
 	workers []*treeWorker
 	// merged is the reusable per-legal-action buffer of mergeAndChoose.
 	merged []rootStat
@@ -250,75 +288,13 @@ func (s *Scheduler) LastStats() Stats { return s.stats }
 // cluster counters, accumulated across every Schedule call).
 func (s *Scheduler) Metrics() obs.Snapshot { return s.reg.Snapshot() }
 
-// node is one state in the search tree, reached by applying action to the
-// parent's state. Values are negative makespans, so larger is better.
-// Search allocates one per expansion, so the layout is padding-checked.
-//
-//spear:packed
-type node struct {
-	env      *simenv.Env
-	action   simenv.Action
-	parent   *node
-	children []*node
-	untried  []simenv.Action
-	visits   int64
-	sum      float64
-	max      float64
-}
-
-func newNode(env *simenv.Env, parent *node, action simenv.Action) *node {
-	return &node{
-		env:     env,
-		action:  action,
-		parent:  parent,
-		untried: env.LegalActions(),
-		max:     math.Inf(-1),
-	}
-}
-
-func (n *node) terminal() bool { return n.env.Done() }
-
-func (n *node) fullyExpanded() bool { return len(n.untried) == 0 }
-
-// mean returns the node's average value, or -Inf for an unvisited node:
-// 0/0 would be NaN, and NaN compares false against everything, which would
-// silently mis-order UCB selection and the committed-move choice.
-func (n *node) mean() float64 {
-	if n.visits == 0 {
-		return math.Inf(-1)
-	}
-	return n.sum / float64(n.visits)
-}
-
-// ucb is Eq. 5: max value plus the scaled exploration bonus, with the mean
-// as an implicit tiebreak via a tiny epsilon weight.
-func (n *node) ucb(c float64) float64 {
-	if n.visits == 0 {
-		return math.Inf(1)
-	}
-	exploit := n.max + 1e-6*n.mean()
-	explore := c * math.Sqrt(math.Log(float64(n.parent.visits+1))/float64(n.visits))
-	return exploit + explore
-}
-
-// better reports whether n is a strictly better committed move than m,
-// using max value with mean tiebreak (§IV). Zero-visit nodes carry
-// max = -Inf and mean() = -Inf, so they can never beat a visited sibling.
-// The exact comparison is deliberate: values are negated integer makespans,
-// so equal maxes are bit-equal and only then may the mean break the tie.
-func (n *node) better(m *node) bool {
-	if n.max != m.max { //spear:floateq
-		return n.max > m.max
-	}
-	return n.mean() > m.mean()
-}
-
-// rootStat is one legal action's root statistics merged across tree workers:
-// summed visits and values, max of maxes.
+// rootStat is one legal action's root statistics merged across tree
+// workers: summed visits and values, max of maxes — exact integer
+// arithmetic, like the per-node stats it merges.
 type rootStat struct {
 	visits int64
-	sum    float64
-	max    float64
+	sum    int64
+	max    int64
 	seen   bool
 }
 
@@ -326,13 +302,13 @@ func (r rootStat) mean() float64 {
 	if r.visits == 0 {
 		return math.Inf(-1)
 	}
-	return r.sum / float64(r.visits)
+	return float64(r.sum) / float64(r.visits)
 }
 
-// betterStat is the committed-move rule of node.better over merged stats,
-// with the same deliberate exact max comparison.
+// betterStat is the committed-move rule of statsSnap.better over merged
+// stats: max value first, mean tiebreak.
 func betterStat(a, b rootStat) bool {
-	if a.max != b.max { //spear:floateq
+	if a.max != b.max {
 		return a.max > b.max
 	}
 	return a.mean() > b.mean()
@@ -349,14 +325,41 @@ func workerSeed(seed int64, w int) int64 {
 	return seed + int64(uint64(w)*0x9E3779B97F4A7C15)
 }
 
-// treeWorker is one root-parallel search tree and everything it owns: the
-// tree itself, a private rng and expander, per-rollout-worker contexts and
-// simulation buffers, and the per-search-phase stat deltas that the
-// scheduler aggregates after every decision. Nothing here is shared between
-// workers except the scheduler's lock-free metric bundles.
+// simSeed derives the rng seed of shared-tree worker j inside tree w by
+// applying workerSeed twice. Worker (w, 0) keeps tree w's seed, so
+// TreeParallelism = 1 reproduces the per-tree serial search exactly.
+func simSeed(seed int64, w, j int) int64 {
+	return workerSeed(workerSeed(seed, w), j)
+}
+
+// treeWorker is one root-parallel search tree: the arena holding its nodes
+// and statistics, the transposition table (when enabled), and the J
+// shared-tree simWorkers that descend it. Nothing here is shared between
+// trees except the scheduler's lock-free metric bundles.
 type treeWorker struct {
-	s      *Scheduler
-	root   *node
+	s     *Scheduler
+	arena nodeArena
+	tt    transTable
+	root  int32
+	sims  []*simWorker
+
+	// remaining is the shared-tree iteration ticket counter of the current
+	// search phase (TreeParallelism > 1 only): workers draw tickets until
+	// the phase budget is spent, so the Eq. 4 budget is conserved exactly.
+	remaining int64
+
+	// ttHits/ttMisses accumulate transposition lookups per Schedule call
+	// (atomically — lookups happen inside concurrent expansions).
+	ttHits   int64
+	ttMisses int64
+}
+
+// simWorker is one shared-tree search worker and everything it owns: a
+// private rng and expander, per-rollout-goroutine contexts and simulation
+// buffers, and the per-search-phase stat deltas that the scheduler
+// aggregates after every decision.
+type simWorker struct {
+	tw     *treeWorker
 	rng    *rand.Rand
 	expand Expander
 
@@ -378,23 +381,28 @@ type treeWorker struct {
 	expansions int
 	rollouts   int64
 	maxDepth   int
+	vloss      int64
 	err        error
 }
 
-// worker returns tree worker w, growing the pool as needed. Must only be
-// called from the Schedule goroutine.
+// worker returns tree worker w with its TreeParallelism simWorkers, growing
+// the pool as needed. Must only be called from the Schedule goroutine.
 func (s *Scheduler) worker(w int) *treeWorker {
 	for len(s.workers) <= w {
 		tw := &treeWorker{s: s}
-		if s.cfg.NewExpander != nil {
-			tw.expand = s.cfg.NewExpander()
-		} else {
-			tw.expand = s.cfg.Expand
-		}
-		if s.cfg.RolloutsPerExpansion > 1 && !s.cfg.DisableBatchedRollouts {
-			if bp, ok := s.cfg.Rollout.(simenv.BatchPolicy); ok {
-				tw.brc = simenv.NewBatchRolloutContext(bp, s.cfg.RolloutsPerExpansion)
+		for j := 0; j < s.cfg.TreeParallelism; j++ {
+			sw := &simWorker{tw: tw}
+			if s.cfg.NewExpander != nil {
+				sw.expand = s.cfg.NewExpander()
+			} else {
+				sw.expand = s.cfg.Expand
 			}
+			if s.cfg.RolloutsPerExpansion > 1 && !s.cfg.DisableBatchedRollouts {
+				if bp, ok := s.cfg.Rollout.(simenv.BatchPolicy); ok {
+					sw.brc = simenv.NewBatchRolloutContext(bp, s.cfg.RolloutsPerExpansion)
+				}
+			}
+			tw.sims = append(tw.sims, sw)
 		}
 		s.workers = append(s.workers, tw)
 	}
@@ -402,16 +410,21 @@ func (s *Scheduler) worker(w int) *treeWorker {
 }
 
 func (tw *treeWorker) resetPhase() {
-	tw.iterations, tw.expansions, tw.rollouts, tw.maxDepth, tw.err = 0, 0, 0, 0, nil
+	for _, sw := range tw.sims {
+		sw.iterations, sw.expansions, sw.rollouts, sw.maxDepth, sw.vloss, sw.err = 0, 0, 0, 0, 0, nil
+	}
 }
 
-// collect folds a tree worker's search-phase deltas into the call stats.
+// collect folds a tree's search-phase deltas into the call stats.
 func (s *Scheduler) collect(tw *treeWorker) {
-	s.stats.Iterations += tw.iterations
-	s.stats.Expansions += tw.expansions
-	s.stats.Rollouts += tw.rollouts
-	if tw.maxDepth > s.stats.MaxDepth {
-		s.stats.MaxDepth = tw.maxDepth
+	for _, sw := range tw.sims {
+		s.stats.Iterations += sw.iterations
+		s.stats.Expansions += sw.expansions
+		s.stats.Rollouts += sw.rollouts
+		s.stats.VirtualLossApplied += sw.vloss
+		if sw.maxDepth > s.stats.MaxDepth {
+			s.stats.MaxDepth = sw.maxDepth
+		}
 	}
 }
 
@@ -432,9 +445,14 @@ func (s *Scheduler) Schedule(g *dag.Graph, spec cluster.Spec) (*sched.Schedule, 
 //spear:timing
 func (s *Scheduler) ScheduleContext(ctx context.Context, g *dag.Graph, spec cluster.Spec) (*sched.Schedule, error) {
 	began := time.Now()
-	K := s.cfg.RootParallelism
-	s.stats = Stats{RootWorkers: K}
+	K, J := s.cfg.RootParallelism, s.cfg.TreeParallelism
+	s.stats = Stats{RootWorkers: K, TreeWorkers: J}
 	defer func() {
+		for w := 0; w < K && w < len(s.workers); w++ {
+			tw := s.workers[w]
+			s.stats.TTHits += atomic.LoadInt64(&tw.ttHits)
+			s.stats.TTMisses += atomic.LoadInt64(&tw.ttMisses)
+		}
 		s.stats.Elapsed = time.Since(began)
 		secs := s.stats.Elapsed.Seconds()
 		if secs < minElapsedSeconds {
@@ -444,6 +462,7 @@ func (s *Scheduler) ScheduleContext(ctx context.Context, g *dag.Graph, spec clus
 		s.sm.SearchTime.Observe(s.stats.Elapsed)
 		s.sm.TreeDepth.Set(int64(s.stats.MaxDepth))
 		s.sm.RootWorkers.Set(int64(K))
+		s.sm.TreeWorkers.Set(int64(J))
 	}()
 
 	env, err := simenv.NewCluster(g, spec, simenv.Config{Window: s.cfg.Window, Mode: simenv.NextCompletion, Metrics: s.sim})
@@ -457,23 +476,33 @@ func (s *Scheduler) ScheduleContext(ctx context.Context, g *dag.Graph, spec clus
 	}
 
 	// Reset the tree workers for this call: worker 0 owns the base episode,
-	// the others clone it (clones share the metric bundle, not state).
+	// the others clone it (clones share the metric bundle, not state). The
+	// arenas keep their chunk storage and per-slot buffers from earlier
+	// calls, so warm calls rebuild their trees without allocating.
 	for w := 0; w < K; w++ {
 		tw := s.worker(w)
-		tw.rng = rand.New(rand.NewSource(workerSeed(s.cfg.Seed, w)))
+		tw.arena.reset()
+		if s.cfg.UseTranspositions {
+			tw.tt.reset()
+		}
+		atomic.StoreInt64(&tw.ttHits, 0)
+		atomic.StoreInt64(&tw.ttMisses, 0)
+		for j, sw := range tw.sims {
+			sw.rng = rand.New(rand.NewSource(simSeed(s.cfg.Seed, w, j)))
+		}
 		wenv := env
 		if w > 0 {
 			wenv = env.Clone()
 		}
-		tw.root = newNode(wenv, nil, 0)
+		tw.root = tw.newNode(wenv, nilNode, 0)
 	}
 	w0 := s.workers[0]
-	rng := w0.rng
+	rng := w0.sims[0].rng
 
 	depth := 0
-	for !w0.root.terminal() {
+	for !w0.arena.node(w0.root).env.Done() {
 		if ctx.Err() != nil {
-			return s.finishCancelled(ctx, w0.root, rng, began)
+			return s.finishCancelled(ctx, w0.arena.node(w0.root).env, rng, began)
 		}
 		depth++
 		s.stats.Decisions++
@@ -482,7 +511,7 @@ func (s *Scheduler) ScheduleContext(ctx context.Context, g *dag.Graph, spec clus
 			s.stats.MaxDepth = depth
 		}
 
-		legal := w0.root.env.LegalActions()
+		legal := w0.arena.node(w0.root).env.LegalActions()
 		if len(legal) == 0 {
 			return nil, fmt.Errorf("mcts: no legal actions at decision %d", depth)
 		}
@@ -506,42 +535,31 @@ func (s *Scheduler) ScheduleContext(ctx context.Context, g *dag.Graph, spec clus
 			if K == 1 {
 				// Single tree: pick among the root's children directly,
 				// preserving the classic creation-order tiebreak.
-				if len(w0.root.children) == 0 {
+				next := w0.bestRootChild()
+				if next == nilNode {
 					// Cancelled before the first expansion of this decision.
-					return s.finishCancelled(ctx, w0.root, rng, began)
+					return s.finishCancelled(ctx, w0.arena.node(w0.root).env, rng, began)
 				}
-				next := w0.root.children[0]
-				for _, ch := range w0.root.children[1:] {
-					if ch.better(next) {
-						next = ch
-					}
-				}
-				chosen = next.action
+				chosen = w0.arena.node(next).action
 			} else {
 				var ok bool
 				if chosen, ok = s.mergeAndChoose(legal); !ok {
-					return s.finishCancelled(ctx, w0.root, rng, began)
+					return s.finishCancelled(ctx, w0.arena.node(w0.root).env, rng, began)
 				}
 			}
 		}
 		// Commit the move in every tree: the chosen child becomes that
 		// tree's new root (created on the spot if this tree never tried it —
-		// bookkeeping, not an expansion).
+		// bookkeeping, not an expansion), and the rest of the old tree goes
+		// back to the arena freelist for the next decision to reuse.
 		for w := 0; w < K; w++ {
-			tw := s.workers[w]
-			next, _, err := s.childFor(tw.root, chosen)
-			if err != nil {
+			if err := s.workers[w].commit(chosen); err != nil {
 				return nil, err
 			}
-			next.parent = nil
-			if s.cfg.DisableTreeReuse {
-				next = newNode(next.env, nil, 0)
-			}
-			tw.root = next
 		}
 	}
 
-	out, err := w0.root.env.Schedule(s.name)
+	out, err := w0.arena.node(w0.root).env.Schedule(s.name)
 	if err != nil {
 		return nil, err
 	}
@@ -549,19 +567,163 @@ func (s *Scheduler) ScheduleContext(ctx context.Context, g *dag.Graph, spec clus
 	return out, nil
 }
 
-// searchPhase runs one decision's search on every tree worker, splitting the
-// Eq. 4 budget: each worker gets budget/K iterations and the first budget%K
-// workers one more, so the total spent equals the single-tree budget. With
-// one worker the search runs inline; with several each runs in its own
-// goroutine on its own tree, rng and buffers — only the lock-free metric
-// bundles are shared.
+// bestRootChild returns the root child with the best committed-move
+// statistics (max value, mean tiebreak), scanning the sibling chain in
+// creation order; nilNode when the root has no children.
+func (tw *treeWorker) bestRootChild() int32 {
+	ar := &tw.arena
+	best := atomic.LoadInt32(&ar.node(tw.root).first)
+	if best == nilNode {
+		return nilNode
+	}
+	bestStat := snapStats(ar.nstats(ar.node(best).stats))
+	for ch := atomic.LoadInt32(&ar.node(best).next); ch != nilNode; ch = atomic.LoadInt32(&ar.node(ch).next) {
+		if st := snapStats(ar.nstats(ar.node(ch).stats)); st.better(bestStat) {
+			best, bestStat = ch, st
+		}
+	}
+	return best
+}
+
+// commit makes the chosen action's child this tree's new root and recycles
+// every other node of the old tree. With DisableTreeReuse the chosen
+// child's subtree is recycled too and a fresh root is rebuilt around its
+// env (statistics dropped — though a transposition table, which keys on
+// state rather than tree position, deliberately retains its entries).
+func (tw *treeWorker) commit(chosen simenv.Action) error {
+	ar := &tw.arena
+	next, err := tw.commitChild(chosen)
+	if err != nil {
+		return err
+	}
+	oldRoot := tw.root
+	for ch := atomic.LoadInt32(&ar.node(oldRoot).first); ch != nilNode; {
+		nx := atomic.LoadInt32(&ar.node(ch).next)
+		if ch != next {
+			ar.releaseSubtree(ch)
+		}
+		ch = nx
+	}
+	ar.release(oldRoot)
+	n := ar.node(next)
+	n.parent = nilNode
+	if tw.s.cfg.DisableTreeReuse {
+		env := n.env
+		n.env = nil // keep the env alive: it becomes the fresh root's state
+		ar.releaseSubtree(next)
+		next = tw.newNode(env, nilNode, 0)
+	}
+	tw.root = next
+	return nil
+}
+
+// commitChild returns the root's child for the committed action, creating
+// it as a bookkeeping node (not an expansion) when this tree never tried
+// the action. Runs between search phases, single-threaded.
+func (tw *treeWorker) commitChild(a simenv.Action) (int32, error) {
+	ar := &tw.arena
+	root := ar.node(tw.root)
+	for ch := atomic.LoadInt32(&root.first); ch != nilNode; ch = atomic.LoadInt32(&ar.node(ch).next) {
+		if ar.node(ch).action == a {
+			return ch, nil
+		}
+	}
+	// Drop a from untried if present.
+	for i, u := range root.untried {
+		if u == a {
+			root.untried = root.untried[:i+copy(root.untried[i:], root.untried[i+1:])]
+			atomic.StoreInt32(&root.nuntried, int32(len(root.untried)))
+			break
+		}
+	}
+	return tw.newChild(tw.root, a)
+}
+
+// newNode builds a node around an existing env (the root of a tree or a
+// rebuilt root after DisableTreeReuse) in a fresh arena slot.
+func (tw *treeWorker) newNode(env *simenv.Env, parent int32, action simenv.Action) int32 {
+	ar := &tw.arena
+	idx := ar.alloc(tw.s.cfg.UseTranspositions)
+	n := ar.node(idx)
+	n.env = env
+	n.action = action
+	n.parent = parent
+	n.untried = env.LegalActionsInto(n.untried[:0])
+	atomic.StoreInt32(&n.nuntried, int32(len(n.untried)))
+	if tw.s.cfg.UseTranspositions {
+		sidx, hit := tw.tt.lookupOrCreate(env.StateHash(), ar)
+		n.stats = sidx
+		tw.countTT(hit)
+	}
+	return idx
+}
+
+// newChild creates the child of parent reached by action — cloning the
+// parent's env into the slot's recycled env, stepping it, and linking the
+// node at the tail of the parent's sibling chain (creation order, which
+// selection and the committed-move choice use as tiebreak order). Callers
+// must hold the parent's expansion latch or be the only goroutine touching
+// the tree. The action must already be removed from the parent's untried
+// list.
+func (tw *treeWorker) newChild(pIdx int32, action simenv.Action) (int32, error) {
+	ar := &tw.arena
+	idx := ar.alloc(tw.s.cfg.UseTranspositions)
+	n := ar.node(idx)
+	env := ar.node(pIdx).env.CloneInto(n.env)
+	if err := env.Step(action); err != nil {
+		// Cannot happen for actions drawn from LegalActions; keep the slot
+		// leaked rather than racing a release against concurrent allocs.
+		return nilNode, err
+	}
+	n.env = env
+	n.action = action
+	n.parent = pIdx
+	n.untried = env.LegalActionsInto(n.untried[:0])
+	atomic.StoreInt32(&n.nuntried, int32(len(n.untried)))
+	if tw.s.cfg.UseTranspositions {
+		sidx, hit := tw.tt.lookupOrCreate(env.StateHash(), ar)
+		n.stats = sidx
+		tw.countTT(hit)
+	}
+	// Publish: the alloc above republished the chunk table before idx could
+	// reach anyone, so linking the node is the only release needed.
+	p := ar.node(pIdx)
+	if last := p.last; last != nilNode {
+		atomic.StoreInt32(&ar.node(last).next, idx)
+	} else {
+		atomic.StoreInt32(&p.first, idx)
+	}
+	p.last = idx
+	return idx, nil
+}
+
+// countTT tallies one transposition lookup into the per-call counters and
+// the metric bundle.
+func (tw *treeWorker) countTT(hit bool) {
+	if hit {
+		atomic.AddInt64(&tw.ttHits, 1)
+		tw.s.sm.TTHits.Inc()
+	} else {
+		atomic.AddInt64(&tw.ttMisses, 1)
+		tw.s.sm.TTMisses.Inc()
+	}
+}
+
+// searchPhase runs one decision's search on every tree worker, splitting
+// the Eq. 4 budget: each tree gets budget/K iterations and the first
+// budget%K trees one more, so the total spent equals the single-tree
+// budget. Inside a tree, J shared-tree workers draw iteration tickets from
+// an atomic counter until the tree's share is spent. With one tree and one
+// worker the search runs inline; otherwise each worker runs in its own
+// goroutine — trees are fully independent, and workers inside a tree share
+// only the arena, the latches and the atomic statistics.
 func (s *Scheduler) searchPhase(ctx context.Context, budget, rootDepth int, c float64) error {
-	K := s.cfg.RootParallelism
-	if K == 1 {
-		w0 := s.workers[0]
-		w0.resetPhase()
-		err := w0.search(ctx, budget, rootDepth, c)
-		s.collect(w0)
+	K, J := s.cfg.RootParallelism, s.cfg.TreeParallelism
+	if K == 1 && J == 1 {
+		tw := s.workers[0]
+		tw.resetPhase()
+		err := tw.sims[0].searchSerial(ctx, budget, rootDepth, c)
+		s.collect(tw)
 		return err
 	}
 	share, extra := budget/K, budget%K
@@ -576,21 +738,219 @@ func (s *Scheduler) searchPhase(ctx context.Context, budget, rootDepth int, c fl
 		if b == 0 {
 			continue
 		}
-		wg.Add(1)
-		go func(tw *treeWorker, b int) {
-			defer wg.Done()
-			tw.err = tw.search(ctx, b, rootDepth, c)
-		}(tw, b)
+		if J == 1 {
+			sw := tw.sims[0]
+			wg.Add(1)
+			go func(sw *simWorker, b int) {
+				defer wg.Done()
+				sw.err = sw.searchSerial(ctx, b, rootDepth, c)
+			}(sw, b)
+			continue
+		}
+		atomic.StoreInt64(&tw.remaining, int64(b))
+		for j := 0; j < J; j++ {
+			sw := tw.sims[j]
+			wg.Add(1)
+			go func(sw *simWorker) {
+				defer wg.Done()
+				sw.err = sw.searchShared(ctx, rootDepth, c)
+			}(sw)
+		}
 	}
 	wg.Wait()
 	for w := 0; w < K; w++ {
 		tw := s.workers[w]
-		if tw.err != nil {
-			return tw.err
+		for _, sw := range tw.sims {
+			if sw.err != nil {
+				return sw.err
+			}
 		}
 		s.collect(tw)
 	}
 	return nil
+}
+
+// searchSerial runs exactly budget iterations — the deterministic path for
+// TreeParallelism = 1 (with RootParallelism = 1 it runs inline on the
+// Schedule goroutine, bit-identical to the classic single-tree search).
+// ctx is checked once per iteration; on cancellation the search stops
+// early and returns nil, leaving whatever tree was built for the caller to
+// harvest.
+func (sw *simWorker) searchSerial(ctx context.Context, budget, rootDepth int, c float64) error {
+	for iter := 0; iter < budget; iter++ {
+		if ctx.Err() != nil {
+			return nil
+		}
+		if err := sw.iterate(rootDepth, c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// searchShared draws iteration tickets from the tree's shared budget until
+// the phase is spent — the TreeParallelism > 1 path, where J workers run
+// this concurrently against one tree.
+func (sw *simWorker) searchShared(ctx context.Context, rootDepth int, c float64) error {
+	tw := sw.tw
+	for atomic.AddInt64(&tw.remaining, -1) >= 0 {
+		if ctx.Err() != nil {
+			return nil
+		}
+		if err := sw.iterate(rootDepth, c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// iterate runs one search iteration: selection through fully expanded
+// nodes, expansion under the node's latch, simulation and backup. With
+// TreeParallelism > 1 every node entered on the way down is marked with a
+// virtual loss (reverted by backup), and a worker that loses an expansion
+// latch race simulates the contended node as-is instead of blocking.
+func (sw *simWorker) iterate(rootDepth int, c float64) error {
+	tw := sw.tw
+	ar := &tw.arena
+	s := tw.s
+	vlossOn := s.cfg.TreeParallelism > 1
+	sw.iterations++
+	s.sm.Iterations.Inc()
+
+	nIdx := tw.root
+	n := ar.node(nIdx)
+	depth := rootDepth
+	for !n.env.Done() {
+		if atomic.LoadInt32(&n.nuntried) > 0 {
+			if !atomic.CompareAndSwapInt32(&n.latch, 0, 1) {
+				// Another worker is expanding this node right now; simulate
+				// the node as-is rather than wait or double-expand.
+				break
+			}
+			if len(n.untried) == 0 {
+				// Raced: the node became fully expanded while we approached.
+				atomic.StoreInt32(&n.latch, 0)
+				continue
+			}
+			child, err := sw.expandAt(nIdx, n)
+			atomic.StoreInt32(&n.latch, 0)
+			if err != nil {
+				return err
+			}
+			sw.expansions++
+			s.sm.Expansions.Inc()
+			nIdx, n = child, ar.node(child)
+			depth++
+			if vlossOn {
+				sw.applyVloss(n)
+			}
+			break
+		}
+		// Selection: descend to the UCB-best child.
+		first := atomic.LoadInt32(&n.first)
+		if first == nilNode {
+			break
+		}
+		next := tw.selectChild(n, first, c)
+		nIdx, n = next, ar.node(next)
+		depth++
+		if vlossOn {
+			sw.applyVloss(n)
+		}
+	}
+	if depth > sw.maxDepth {
+		sw.maxDepth = depth
+	}
+	// Simulation: roll out to termination with the configured policy
+	// (batched or leaf-parallel when RolloutsPerExpansion > 1).
+	values, err := sw.simulate(n, sw.rng)
+	if err != nil {
+		return err
+	}
+	if !n.env.Done() {
+		k := int64(len(values))
+		sw.rollouts += k
+		s.sm.Rollouts.Add(k)
+	}
+	tw.backup(nIdx, values, vlossOn)
+	return nil
+}
+
+// expandAt picks one untried action of n with the expander, removes it from
+// the untried list and creates the child. Callers hold n's expansion latch.
+func (sw *simWorker) expandAt(nIdx int32, n *anode) (int32, error) {
+	idx, err := sw.expand.Next(n.env, n.untried, sw.rng)
+	if err != nil {
+		return nilNode, fmt.Errorf("mcts: expander %s: %w", sw.expand.Name(), err)
+	}
+	if idx < 0 || idx >= len(n.untried) {
+		return nilNode, fmt.Errorf("mcts: expander %s returned index %d of %d", sw.expand.Name(), idx, len(n.untried))
+	}
+	action := n.untried[idx]
+	n.untried = n.untried[:idx+copy(n.untried[idx:], n.untried[idx+1:])]
+	atomic.StoreInt32(&n.nuntried, int32(len(n.untried)))
+	return sw.tw.newChild(nIdx, action)
+}
+
+// applyVloss marks one descent step with a virtual loss, discouraging the
+// other shared-tree workers from piling onto the same path until the
+// backup reverts the mark.
+//
+//spear:noalloc
+func (sw *simWorker) applyVloss(n *anode) {
+	st := sw.tw.arena.nstats(n.stats)
+	atomic.AddInt64(&st.vloss, 1)
+	sw.vloss++
+	sw.tw.s.sm.VirtualLoss.Inc()
+}
+
+// selectChild returns the UCB-best child of n, scanning the sibling chain
+// in creation order (strict > keeps the first-created child on ties, the
+// classic tiebreak). first is n's already-loaded first child.
+//
+//spear:noalloc
+func (tw *treeWorker) selectChild(n *anode, first int32, c float64) int32 {
+	ar := &tw.arena
+	pst := ar.nstats(n.stats)
+	parentEff := atomic.LoadInt64(&pst.visits) + atomic.LoadInt64(&pst.vloss)
+	best := first
+	bestScore := ucbScore(ar.nstats(ar.node(first).stats), c, parentEff)
+	for ch := atomic.LoadInt32(&ar.node(first).next); ch != nilNode; ch = atomic.LoadInt32(&ar.node(ch).next) {
+		if score := ucbScore(ar.nstats(ar.node(ch).stats), c, parentEff); score > bestScore {
+			best, bestScore = ch, score
+		}
+	}
+	return best
+}
+
+// backup folds the simulation values into every node from nIdx up to the
+// root: visits and sums via atomic adds (unit-scale fixed point is exact —
+// values are negated integer makespans), max via a CAS loop, and, with
+// virtual losses on, one mark reverted per node entered on the descent
+// (every path node except the root).
+//
+//spear:noalloc
+func (tw *treeWorker) backup(nIdx int32, values []float64, vlossOn bool) {
+	ar := &tw.arena
+	for cur := nIdx; cur != nilNode; {
+		n := ar.node(cur)
+		st := ar.nstats(n.stats)
+		for _, v := range values {
+			iv := int64(v)
+			atomic.AddInt64(&st.visits, 1)
+			atomic.AddInt64(&st.sum, iv)
+			for {
+				m := atomic.LoadInt64(&st.max)
+				if iv <= m || atomic.CompareAndSwapInt64(&st.max, m, iv) {
+					break
+				}
+			}
+		}
+		if vlossOn && cur != tw.root {
+			atomic.AddInt64(&st.vloss, -1)
+		}
+		cur = n.parent
+	}
 }
 
 // mergeAndChoose merges the root-child statistics of every tree worker per
@@ -605,18 +965,22 @@ func (s *Scheduler) mergeAndChoose(legal []simenv.Action) (simenv.Action, bool) 
 	}
 	merged := s.merged[:len(legal)]
 	for i := range merged {
-		merged[i] = rootStat{max: math.Inf(-1)}
+		merged[i] = rootStat{max: unvisitedMax}
 	}
 	for w := 0; w < K; w++ {
-		for _, ch := range s.workers[w].root.children {
+		tw := s.workers[w]
+		ar := &tw.arena
+		for ch := atomic.LoadInt32(&ar.node(tw.root).first); ch != nilNode; ch = atomic.LoadInt32(&ar.node(ch).next) {
+			cn := ar.node(ch)
+			st := snapStats(ar.nstats(cn.stats))
 			for i, a := range legal {
-				if a == ch.action {
+				if a == cn.action {
 					m := &merged[i]
 					m.seen = true
-					m.visits += ch.visits
-					m.sum += ch.sum
-					if ch.max > m.max {
-						m.max = ch.max
+					m.visits += st.visits
+					m.sum += st.sum
+					if st.max > m.max {
+						m.max = st.max
 					}
 					break
 				}
@@ -637,17 +1001,12 @@ func (s *Scheduler) mergeAndChoose(legal []simenv.Action) (simenv.Action, bool) 
 	}
 	chosen := legal[best]
 	for w := 0; w < K; w++ {
-		children := s.workers[w].root.children
-		if len(children) == 0 {
+		tw := s.workers[w]
+		local := tw.bestRootChild()
+		if local == nilNode {
 			continue
 		}
-		local := children[0]
-		for _, ch := range children[1:] {
-			if ch.better(local) {
-				local = ch
-			}
-		}
-		if local.action != chosen {
+		if tw.arena.node(local).action != chosen {
 			s.stats.MergeConflicts++
 			s.sm.MergeConflicts.Inc()
 		}
@@ -661,9 +1020,9 @@ func (s *Scheduler) mergeAndChoose(legal []simenv.Action) (simenv.Action, bool) 
 // returned together with an error wrapping ctx.Err().
 //
 //spear:timing — stamps the incumbent's Elapsed.
-func (s *Scheduler) finishCancelled(ctx context.Context, root *node, rng *rand.Rand, began time.Time) (*sched.Schedule, error) {
+func (s *Scheduler) finishCancelled(ctx context.Context, env *simenv.Env, rng *rand.Rand, began time.Time) (*sched.Schedule, error) {
 	s.stats.Cancelled = true
-	e := root.env.Clone()
+	e := env.Clone()
 	if !e.Done() {
 		if _, err := simenv.Rollout(e, s.cfg.Rollout, rng); err != nil {
 			return nil, fmt.Errorf("mcts: completing cancelled search: %w", err)
@@ -691,54 +1050,27 @@ func (s *Scheduler) explorationConstant(g *dag.Graph, spec cluster.Spec) (float6
 	return s.cfg.ExplorationScale * float64(est.Makespan), nil
 }
 
-// childFor returns the existing child of n for the action, creating it if
-// absent; created reports whether a new node was built. Expansion counting
-// is the caller's concern: only nodes created inside search are expansions
-// in the §III-C sense — the forced-move path of Schedule skips the search
-// entirely and must not skew Stats.Expansions.
-func (s *Scheduler) childFor(n *node, a simenv.Action) (child *node, created bool, err error) {
-	for _, ch := range n.children {
-		if ch.action == a {
-			return ch, false, nil
-		}
+// rolloutContext returns the sim worker's persistent rollout context for
+// rollout goroutine i, growing the pool as needed. Must only be called
+// from the sim worker's own goroutine (contexts are created serially,
+// before rollout goroutines are spawned).
+func (sw *simWorker) rolloutContext(i int) *simenv.RolloutContext {
+	for len(sw.rctx) <= i {
+		sw.rctx = append(sw.rctx, simenv.NewRolloutContext(sw.tw.s.cfg.Rollout))
 	}
-	env := n.env.Clone()
-	if err := env.Step(a); err != nil {
-		return nil, false, err
-	}
-	child = newNode(env, n, a)
-	n.children = append(n.children, child)
-	// Drop a from untried if present.
-	for i, u := range n.untried {
-		if u == a {
-			n.untried = append(n.untried[:i], n.untried[i+1:]...)
-			break
-		}
-	}
-	return child, true, nil
-}
-
-// rolloutContext returns the tree worker's persistent rollout context for
-// rollout goroutine i, growing the pool as needed. Must only be called from
-// the worker's search goroutine (contexts are created serially, before
-// rollout goroutines are spawned).
-func (tw *treeWorker) rolloutContext(i int) *simenv.RolloutContext {
-	for len(tw.rctx) <= i {
-		tw.rctx = append(tw.rctx, simenv.NewRolloutContext(tw.s.cfg.Rollout))
-	}
-	return tw.rctx[i]
+	return sw.rctx[i]
 }
 
 // simBuffers returns the reusable value/seed/error slices sized for k
 // simulations, zeroing the error slots.
-func (tw *treeWorker) simBuffers(k int) ([]float64, []int64, []error) {
-	if cap(tw.simValues) < k {
-		tw.simValues = make([]float64, k)
-		tw.simSeeds = make([]int64, k)
-		tw.simSpans = make([]int64, k)
-		tw.simErrs = make([]error, k)
+func (sw *simWorker) simBuffers(k int) ([]float64, []int64, []error) {
+	if cap(sw.simValues) < k {
+		sw.simValues = make([]float64, k)
+		sw.simSeeds = make([]int64, k)
+		sw.simSpans = make([]int64, k)
+		sw.simErrs = make([]error, k)
 	}
-	values, seeds, errs := tw.simValues[:k], tw.simSeeds[:k], tw.simErrs[:k]
+	values, seeds, errs := sw.simValues[:k], sw.simSeeds[:k], sw.simErrs[:k]
 	for i := range errs {
 		errs[i] = nil
 	}
@@ -747,7 +1079,7 @@ func (tw *treeWorker) simBuffers(k int) ([]float64, []int64, []error) {
 
 // simulate estimates node n's value with one or more rollouts, returning one
 // negative-makespan value per simulation. The returned slice is owned by the
-// tree worker and valid until its next simulate call. A terminal node's
+// sim worker and valid until its next simulate call. A terminal node's
 // makespan is exact, so it is reported once per configured simulation — with
 // RolloutsPerExpansion = k, a terminal leaf must carry the same backup
 // weight (k visits) as an expanded leaf, or terminal values are diluted
@@ -755,10 +1087,10 @@ func (tw *treeWorker) simBuffers(k int) ([]float64, []int64, []error) {
 // seeds from rng sequentially and apply them by index, so results are
 // deterministic and identical whether the episodes run lock-stepped through
 // the batched policy path or spread over rollout goroutines.
-func (tw *treeWorker) simulate(n *node, rng *rand.Rand) ([]float64, error) {
-	k := tw.s.cfg.RolloutsPerExpansion
-	if n.terminal() {
-		values, _, _ := tw.simBuffers(k)
+func (sw *simWorker) simulate(n *anode, rng *rand.Rand) ([]float64, error) {
+	k := sw.tw.s.cfg.RolloutsPerExpansion
+	if n.env.Done() {
+		values, _, _ := sw.simBuffers(k)
 		exact := -float64(n.env.Makespan())
 		for i := range values {
 			values[i] = exact
@@ -766,46 +1098,46 @@ func (tw *treeWorker) simulate(n *node, rng *rand.Rand) ([]float64, error) {
 		return values, nil
 	}
 	if k == 1 {
-		makespan, err := tw.rolloutContext(0).RolloutFrom(n.env, rng)
+		makespan, err := sw.rolloutContext(0).RolloutFrom(n.env, rng)
 		if err != nil {
-			return nil, fmt.Errorf("mcts: rollout %s: %w", tw.s.cfg.Rollout.Name(), err)
+			return nil, fmt.Errorf("mcts: rollout %s: %w", sw.tw.s.cfg.Rollout.Name(), err)
 		}
-		values, _, _ := tw.simBuffers(1)
+		values, _, _ := sw.simBuffers(1)
 		values[0] = -float64(makespan)
 		return values, nil
 	}
 
-	values, seeds, errs := tw.simBuffers(k)
+	values, seeds, errs := sw.simBuffers(k)
 	for i := range seeds {
 		seeds[i] = rng.Int63()
 	}
-	if tw.brc != nil {
+	if sw.brc != nil {
 		// Lock-step batched path: one goroutine advances all k episodes,
 		// evaluating the policy once per step for the whole batch.
-		spans := tw.simSpans[:k]
-		if err := tw.brc.RolloutsFrom(n.env, seeds, spans); err != nil {
-			return nil, fmt.Errorf("mcts: rollout %s: %w", tw.s.cfg.Rollout.Name(), err)
+		spans := sw.simSpans[:k]
+		if err := sw.brc.RolloutsFrom(n.env, seeds, spans); err != nil {
+			return nil, fmt.Errorf("mcts: rollout %s: %w", sw.tw.s.cfg.Rollout.Name(), err)
 		}
 		for i, ms := range spans {
 			values[i] = -float64(ms)
 		}
 		return values, nil
 	}
-	workers := tw.s.cfg.Parallelism
+	workers := sw.tw.s.cfg.Parallelism
 	if workers > k {
 		workers = k
 	}
 	// Create the contexts serially before spawning: rolloutContext grows
-	// tw.rctx and must not race with itself.
+	// sw.rctx and must not race with itself.
 	for w := 0; w < workers; w++ {
-		tw.rolloutContext(w)
+		sw.rolloutContext(w)
 	}
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			rc := tw.rctx[w]
+			rc := sw.rctx[w]
 			for i := w; i < k; i += workers {
 				makespan, err := rc.RolloutFrom(n.env, rand.New(rand.NewSource(seeds[i])))
 				if err != nil {
@@ -819,88 +1151,8 @@ func (tw *treeWorker) simulate(n *node, rng *rand.Rand) ([]float64, error) {
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("mcts: rollout %s: %w", tw.s.cfg.Rollout.Name(), err)
+			return nil, fmt.Errorf("mcts: rollout %s: %w", sw.tw.s.cfg.Rollout.Name(), err)
 		}
 	}
 	return values, nil
-}
-
-// search runs budget iterations of selection, expansion, simulation and
-// backpropagation from the worker's root. rootDepth is the number of
-// decisions already committed, so selection descents contribute to
-// Stats.MaxDepth. ctx is checked once per iteration; on cancellation search
-// stops early and returns nil, leaving whatever tree was built for the
-// caller to harvest. Stat deltas accumulate in the worker (aggregated by
-// the scheduler after the phase); the shared metric bundles are updated
-// directly — they are lock-free atomics.
-func (tw *treeWorker) search(ctx context.Context, budget, rootDepth int, c float64) error {
-	s := tw.s
-	root := tw.root
-	rng := tw.rng
-	for iter := 0; iter < budget; iter++ {
-		if ctx.Err() != nil {
-			return nil
-		}
-		tw.iterations++
-		s.sm.Iterations.Inc()
-		n := root
-		depth := rootDepth
-		// Selection: descend through fully expanded nodes.
-		for !n.terminal() && n.fullyExpanded() && len(n.children) > 0 {
-			best := n.children[0]
-			bestScore := best.ucb(c)
-			for _, ch := range n.children[1:] {
-				if score := ch.ucb(c); score > bestScore {
-					best, bestScore = ch, score
-				}
-			}
-			n = best
-			depth++
-		}
-		// Expansion: add one new child unless terminal.
-		if !n.terminal() && !n.fullyExpanded() {
-			idx, err := tw.expand.Next(n.env, n.untried, rng)
-			if err != nil {
-				return fmt.Errorf("mcts: expander %s: %w", tw.expand.Name(), err)
-			}
-			if idx < 0 || idx >= len(n.untried) {
-				return fmt.Errorf("mcts: expander %s returned index %d of %d", tw.expand.Name(), idx, len(n.untried))
-			}
-			child, created, err := s.childFor(n, n.untried[idx])
-			if err != nil {
-				return err
-			}
-			if created {
-				tw.expansions++
-				s.sm.Expansions.Inc()
-			}
-			n = child
-			depth++
-		}
-		if depth > tw.maxDepth {
-			tw.maxDepth = depth
-		}
-		// Simulation: roll out to termination with the configured policy
-		// (batched or leaf-parallel when RolloutsPerExpansion > 1).
-		values, err := tw.simulate(n, rng)
-		if err != nil {
-			return err
-		}
-		if !n.terminal() {
-			k := int64(len(values))
-			tw.rollouts += k
-			s.sm.Rollouts.Add(k)
-		}
-		// Backpropagation: update max and mean up to the root.
-		for _, value := range values {
-			for cur := n; cur != nil; cur = cur.parent {
-				cur.visits++
-				cur.sum += value
-				if value > cur.max {
-					cur.max = value
-				}
-			}
-		}
-	}
-	return nil
 }

@@ -231,8 +231,10 @@ func TestTerminalNodeBackpropagatesFullWeight(t *testing.T) {
 	}
 	const k = 4
 	s := New(Config{InitialBudget: 10, MinBudget: 2, RolloutsPerExpansion: k})
-	n := newNode(env, nil, 0)
-	values, err := s.worker(0).simulate(n, rand.New(rand.NewSource(1)))
+	tw := s.worker(0)
+	tw.arena.reset()
+	n := tw.arena.node(tw.newNode(env, nilNode, 0))
+	values, err := tw.sims[0].simulate(n, rand.New(rand.NewSource(1)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -248,40 +250,46 @@ func TestTerminalNodeBackpropagatesFullWeight(t *testing.T) {
 }
 
 func TestZeroVisitNodeOrdering(t *testing.T) {
-	// A zero-visit node has sum/visits = 0/0; mean() must report -Inf, not
-	// NaN — NaN compares false against everything, which would let an
-	// unvisited child silently win (or lose) better() and corrupt ucb's
-	// tiebreak. Construct the degenerate pair directly.
-	visited := &node{visits: 2, sum: -20, max: -8}
-	unvisited := &node{max: math.Inf(-1)}
+	// A zero-visit stats block has sum/visits = 0/0; mean() must report
+	// -Inf, not NaN — NaN compares false against everything, which would let
+	// an unvisited child silently win (or lose) better() and corrupt the
+	// committed-move tiebreak. Construct the degenerate pair directly.
+	visited := statsSnap{visits: 2, sum: -20, max: -8}
+	unvisited := statsSnap{max: unvisitedMax}
 
 	if m := unvisited.mean(); !math.IsInf(m, -1) {
 		t.Errorf("zero-visit mean = %v, want -Inf", m)
 	}
 	if unvisited.better(visited) {
-		t.Error("unvisited node beat a visited sibling")
+		t.Error("unvisited block beat a visited sibling")
 	}
 	if !visited.better(unvisited) {
-		t.Error("visited node did not beat an unvisited sibling")
+		t.Error("visited block did not beat an unvisited sibling")
 	}
 
-	// Two zero-visit nodes: neither is strictly better, and the comparison
+	// Two zero-visit blocks: neither is strictly better, and the comparison
 	// must not be NaN-poisoned into an arbitrary true.
-	other := &node{max: math.Inf(-1)}
+	other := statsSnap{max: unvisitedMax}
 	if unvisited.better(other) || other.better(unvisited) {
-		t.Error("two unvisited nodes ordered strictly")
+		t.Error("two unvisited blocks ordered strictly")
 	}
 
-	// ucb of a visited node must stay finite even when its sibling is
-	// unvisited, and an unvisited node keeps its +Inf first-visit priority.
-	parent := &node{visits: 3}
-	visited.parent = parent
-	unvisited.parent = parent
-	if u := visited.ucb(1.0); math.IsNaN(u) || math.IsInf(u, 0) {
+	// ucb of a visited block must stay finite even when its sibling is
+	// unvisited; an unvisited block keeps its +Inf first-visit priority,
+	// unless a virtual loss marks it as in flight (then -Inf, so concurrent
+	// workers de-correlate).
+	vst := nodeStats{visits: 2, sum: -20, max: -8}
+	ust := nodeStats{max: unvisitedMax}
+	const parentEff = 3
+	if u := ucbScore(&vst, 1.0, parentEff); math.IsNaN(u) || math.IsInf(u, 0) {
 		t.Errorf("visited ucb = %v, want finite", u)
 	}
-	if u := unvisited.ucb(1.0); !math.IsInf(u, 1) {
+	if u := ucbScore(&ust, 1.0, parentEff); !math.IsInf(u, 1) {
 		t.Errorf("unvisited ucb = %v, want +Inf", u)
+	}
+	ust.vloss = 1
+	if u := ucbScore(&ust, 1.0, parentEff); !math.IsInf(u, -1) {
+		t.Errorf("unvisited ucb with virtual loss = %v, want -Inf", u)
 	}
 }
 

@@ -187,7 +187,7 @@ func TestBatchedRolloutsMatchUnbatched(t *testing.T) {
 			RolloutsPerExpansion: 3, Rollout: batchRandom{},
 			DisableBatchedRollouts: disable,
 		})
-		if !disable && s.worker(0).brc == nil {
+		if !disable && s.worker(0).sims[0].brc == nil {
 			t.Fatal("batched rollout context not built for a BatchPolicy rollout")
 		}
 		out, err := s.Schedule(g, cluster.Single(capacity))

@@ -1,0 +1,49 @@
+package mcts
+
+import "sync"
+
+// transTable is the transposition table of one search tree: it maps the
+// canonical environment state hash (simenv.Env.StateHash — clock, ready
+// set, running occupancy, done set, order-independent by construction) to
+// a shared nodeStats block, so states reached via different schedule
+// orders pool their statistics. Entries persist across the decisions of
+// one Schedule call — transpositions routinely straddle decision
+// boundaries — and are cleared between calls, when the arena reclaims the
+// blocks. Point lookups under a plain mutex: node creation is the cold
+// edge of the search (a few per iteration at most), so contention is
+// negligible next to rollouts.
+type transTable struct {
+	mu sync.Mutex
+	m  map[uint64]int32
+}
+
+// reset clears the table, allocating the map on first use. clear keeps the
+// map's buckets, so steady-state Schedule calls reuse the storage.
+//
+//spear:slowpath
+func (t *transTable) reset() {
+	if t.m == nil {
+		t.m = make(map[uint64]int32, 1<<10)
+		return
+	}
+	clear(t.m)
+}
+
+// lookupOrCreate returns the stats block index for hash h and whether it
+// already existed; on a miss a fresh block is drawn from the arena and
+// registered. Safe for concurrent use. The arena never recycles stats
+// blocks mid-call, so a returned index stays valid even after every node
+// referencing it was freed.
+//
+//spear:slowpath
+func (t *transTable) lookupOrCreate(h uint64, ar *nodeArena) (int32, bool) {
+	t.mu.Lock()
+	if idx, ok := t.m[h]; ok {
+		t.mu.Unlock()
+		return idx, true
+	}
+	idx := ar.allocStats()
+	t.m[h] = idx
+	t.mu.Unlock()
+	return idx, false
+}

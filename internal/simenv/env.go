@@ -110,11 +110,74 @@ type Env struct {
 	done           int
 	processSteps   int64 // number of Process actions taken (== -reward)
 
+	// stateHash is the canonical FNV-style signature of the episode state
+	// (clock, ready set, running occupancy, done set), maintained
+	// incrementally by stepSchedule/advanceTo and copied by CloneInto. See
+	// StateHash.
+	stateHash uint64
+
 	// Scratch buffers reused by advanceTo so a Process step allocates
 	// nothing once warm. They carry no episode state and are deliberately
 	// not copied by CloneInto.
 	completedBuf []dag.TaskID
 	readyBuf     []dag.TaskID
+}
+
+// State-hash component tags. Each contribution to the canonical state hash
+// opens its FNV-1a chain with one of these, so a task's ready, running and
+// done phases can never produce colliding words.
+const (
+	sigNow uint64 = iota + 1
+	sigReady
+	sigRunning
+	sigDone
+)
+
+// FNV-1a parameters (64-bit offset basis and prime).
+const (
+	fnvOffset uint64 = 14695981039346656037
+	fnvPrime  uint64 = 1099511628211
+)
+
+// hashWords folds four words through an FNV-1a chain. Every state-hash
+// contribution is one such chain, and contributions are combined with XOR,
+// which makes the total independent of the order the components were
+// toggled in — states reached via different schedule orders hash equal.
+func hashWords(a, b, c, d uint64) uint64 {
+	h := fnvOffset
+	h = (h ^ a) * fnvPrime
+	h = (h ^ b) * fnvPrime
+	h = (h ^ c) * fnvPrime
+	h = (h ^ d) * fnvPrime
+	return h
+}
+
+// StateHash returns the canonical signature of the episode state: the
+// clock, the ready set, the per-machine occupancy of running tasks (task,
+// finish time, machine) and the done set, XOR-combined so that different
+// schedule orders reaching the same state return the same hash. It is
+// maintained incrementally on Step and copied by CloneInto, so reading it
+// is free; MCTS keys its transposition table on it. Placements of finished
+// tasks are deliberately excluded: they cannot influence the remaining
+// episode, and excluding them is what lets transpositions merge.
+func (e *Env) StateHash() uint64 { return e.stateHash }
+
+// recomputeStateHash rebuilds the signature from scratch. It seeds the
+// incremental hash at construction and anchors the incremental-vs-recompute
+// tests; episode stepping never calls it.
+func (e *Env) recomputeStateHash() uint64 {
+	h := hashWords(sigNow, uint64(e.now), 0, 0)
+	for id, st := range e.status {
+		switch st {
+		case statusReady:
+			h ^= hashWords(sigReady, uint64(id), 0, 0)
+		case statusRunning:
+			h ^= hashWords(sigRunning, uint64(id), uint64(e.finish[id]), uint64(e.machine[id]))
+		case statusDone:
+			h ^= hashWords(sigDone, uint64(id), 0, 0)
+		}
+	}
+	return h
 }
 
 // Env construction and stepping errors.
@@ -186,6 +249,7 @@ func NewCluster(g *dag.Graph, spec cluster.Spec, cfg Config) (*Env, error) {
 		e.status[id] = statusReady
 		e.ready = append(e.ready, id)
 	}
+	e.stateHash = e.recomputeStateHash()
 	return e, nil
 }
 
@@ -223,6 +287,7 @@ func (e *Env) CloneInto(dst *Env) *Env {
 	dst.running = e.running
 	dst.done = e.done
 	dst.processSteps = e.processSteps
+	dst.stateHash = e.stateHash
 	return dst
 }
 
@@ -432,6 +497,10 @@ func (e *Env) stepSchedule(i, m int) error {
 	e.start[id] = e.now
 	e.finish[id] = e.now + task.Runtime
 	e.running++
+	// Toggle the task's state-hash contribution: out of the ready set, into
+	// the running occupancy signature.
+	e.stateHash ^= hashWords(sigReady, uint64(id), 0, 0)
+	e.stateHash ^= hashWords(sigRunning, uint64(id), uint64(e.finish[id]), uint64(m))
 	if m := e.cfg.Metrics; m != nil {
 		m.TasksPlaced.Inc()
 	}
@@ -496,6 +565,7 @@ func (e *Env) EarliestRunningFinish() (int64, bool) {
 //
 //spear:slowpath
 func (e *Env) advanceTo(target int64) {
+	e.stateHash ^= hashWords(sigNow, uint64(e.now), 0, 0) ^ hashWords(sigNow, uint64(target), 0, 0)
 	e.now = target
 
 	completed := e.completedBuf[:0]
@@ -514,6 +584,8 @@ func (e *Env) advanceTo(target int64) {
 		e.status[id] = statusDone
 		e.running--
 		e.done++
+		e.stateHash ^= hashWords(sigRunning, uint64(id), uint64(e.finish[id]), uint64(e.machine[id]))
+		e.stateHash ^= hashWords(sigDone, uint64(id), 0, 0)
 		newlyReady := e.readyBuf[:0]
 		for _, child := range e.g.Succ(id) {
 			e.missingParents[child]--
@@ -529,6 +601,7 @@ func (e *Env) advanceTo(target int64) {
 		for _, child := range newlyReady {
 			e.status[child] = statusReady
 			e.ready = append(e.ready, child)
+			e.stateHash ^= hashWords(sigReady, uint64(child), 0, 0)
 		}
 		e.readyBuf = newlyReady[:0]
 	}
