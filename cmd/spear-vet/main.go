@@ -7,11 +7,14 @@
 //
 // Usage:
 //
-//	go run ./cmd/spear-vet [-json] [-check names] [packages]
+//	go run ./cmd/spear-vet [-json] [-sarif file] [-check names] [packages]
 //
 // Patterns follow the go tool's convention ("./...", "internal/mcts",
 // "internal/..."); no patterns means "./...". -check selects a
 // comma-separated subset of the checks; the default is all of them.
+// -sarif additionally writes the findings as a SARIF 2.1.0 log to the given
+// file, for GitHub code-scanning upload. Every run ends with a one-line
+// summary on stderr ("N findings across M checks, P packages").
 // Exit status: 0 when clean, 1 when findings were reported, 2 when a
 // package failed to load or type-check.
 package main
@@ -28,14 +31,15 @@ import (
 )
 
 func main() {
-	jsonOut := flag.Bool("json", false, "emit a JSON report (diagnostics, packages_loaded, per-check timings) on stdout")
+	jsonOut := flag.Bool("json", false, "emit a JSON report (diagnostics, packages_loaded, per-check timings and finding counts) on stdout")
+	sarifOut := flag.String("sarif", "", "also write the findings as a SARIF 2.1.0 log to this file")
 	checks := flag.String("check", "", "comma-separated subset of checks to run (default all: "+strings.Join(lint.AllChecks, ",")+")")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: spear-vet [-json] [-check names] [packages]\n")
+		fmt.Fprintf(os.Stderr, "usage: spear-vet [-json] [-sarif file] [-check names] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
-	os.Exit(run(".", flag.Args(), *checks, *jsonOut, os.Stdout, os.Stderr))
+	os.Exit(run(".", flag.Args(), *checks, *jsonOut, *sarifOut, os.Stdout, os.Stderr))
 }
 
 // report is the -json output shape: the findings plus run statistics, so CI
@@ -49,7 +53,7 @@ type report struct {
 // run resolves the patterns against base, analyzes the packages and reports
 // the diagnostics, returning the process exit code: 0 clean, 1 findings,
 // 2 load or type-check failure.
-func run(base string, patterns []string, checks string, jsonOut bool, stdout, stderr io.Writer) int {
+func run(base string, patterns []string, checks string, jsonOut bool, sarifPath string, stdout, stderr io.Writer) int {
 	dirs, err := lint.ExpandPatterns(base, patterns)
 	if err != nil {
 		fmt.Fprintf(stderr, "spear-vet: %v\n", err)
@@ -89,6 +93,34 @@ func run(base string, patterns []string, checks string, jsonOut bool, stdout, st
 			fmt.Fprintln(stdout, d)
 		}
 	}
+	if sarifPath != "" {
+		f, err := os.Create(sarifPath)
+		if err != nil {
+			fmt.Fprintf(stderr, "spear-vet: %v\n", err)
+			return 2
+		}
+		werr := lint.WriteSARIF(f, diags)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintf(stderr, "spear-vet: writing %s: %v\n", sarifPath, werr)
+			return 2
+		}
+	}
+	// checksRun counts real analysis passes, not the load/callgraph
+	// scaffolding rows that share the timing table.
+	checksRun := 0
+	known := make(map[string]bool, len(lint.AllChecks))
+	for _, c := range lint.AllChecks {
+		known[c] = true
+	}
+	for _, c := range stats.Checks {
+		if known[c.Check] {
+			checksRun++
+		}
+	}
+	fmt.Fprintf(stderr, "spear-vet: %d findings across %d checks, %d packages\n", len(diags), checksRun, len(dirs))
 	if len(diags) > 0 {
 		return 1
 	}

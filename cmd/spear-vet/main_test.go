@@ -3,6 +3,8 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -15,7 +17,7 @@ const moduleRoot = "../.."
 
 func TestRunCleanExitsZero(t *testing.T) {
 	var out, errOut bytes.Buffer
-	if code := run(moduleRoot, []string{"internal/obs"}, "", false, &out, &errOut); code != 0 {
+	if code := run(moduleRoot, []string{"internal/obs"}, "", false, "", &out, &errOut); code != 0 {
 		t.Fatalf("exit = %d, want 0; stdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
 	}
 	if out.Len() != 0 {
@@ -25,7 +27,7 @@ func TestRunCleanExitsZero(t *testing.T) {
 
 func TestRunFindingsExitOne(t *testing.T) {
 	var out, errOut bytes.Buffer
-	code := run(moduleRoot, []string{"internal/lint/testdata/src/floateq"}, "floateq", false, &out, &errOut)
+	code := run(moduleRoot, []string{"internal/lint/testdata/src/floateq"}, "floateq", false, "", &out, &errOut)
 	if code != 1 {
 		t.Fatalf("exit = %d, want 1; stderr:\n%s", code, errOut.String())
 	}
@@ -36,7 +38,7 @@ func TestRunFindingsExitOne(t *testing.T) {
 
 func TestRunLoadErrorExitTwo(t *testing.T) {
 	var out, errOut bytes.Buffer
-	code := run(moduleRoot, []string{"internal/lint/testdata/src/broken"}, "", false, &out, &errOut)
+	code := run(moduleRoot, []string{"internal/lint/testdata/src/broken"}, "", false, "", &out, &errOut)
 	if code != 2 {
 		t.Fatalf("exit = %d, want 2; stdout:\n%s", code, out.String())
 	}
@@ -47,7 +49,7 @@ func TestRunLoadErrorExitTwo(t *testing.T) {
 
 func TestRunUnknownCheckExitTwo(t *testing.T) {
 	var out, errOut bytes.Buffer
-	code := run(moduleRoot, []string{"internal/obs"}, "nosuchcheck", false, &out, &errOut)
+	code := run(moduleRoot, []string{"internal/obs"}, "nosuchcheck", false, "", &out, &errOut)
 	if code != 2 {
 		t.Fatalf("exit = %d, want 2; stdout:\n%s", code, out.String())
 	}
@@ -60,7 +62,7 @@ func TestRunUnknownCheckExitTwo(t *testing.T) {
 // passes: the floateq fixture is dirty under floateq but clean under metrics.
 func TestRunCheckSelector(t *testing.T) {
 	var out, errOut bytes.Buffer
-	code := run(moduleRoot, []string{"internal/lint/testdata/src/floateq"}, "metrics", false, &out, &errOut)
+	code := run(moduleRoot, []string{"internal/lint/testdata/src/floateq"}, "metrics", false, "", &out, &errOut)
 	if code != 0 {
 		t.Fatalf("exit = %d, want 0; stdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
 	}
@@ -71,7 +73,7 @@ func TestRunCheckSelector(t *testing.T) {
 
 func TestRunJSONFindings(t *testing.T) {
 	var out, errOut bytes.Buffer
-	code := run(moduleRoot, []string{"internal/lint/testdata/src/floateq"}, "floateq", true, &out, &errOut)
+	code := run(moduleRoot, []string{"internal/lint/testdata/src/floateq"}, "floateq", true, "", &out, &errOut)
 	if code != 1 {
 		t.Fatalf("exit = %d, want 1; stderr:\n%s", code, errOut.String())
 	}
@@ -110,9 +112,125 @@ func TestRunJSONFindings(t *testing.T) {
 	}
 }
 
+// TestRunJSONCheckFindingCounts pins the per-check finding counts of the
+// checks array: the dirty check carries its findings, the load row stays 0.
+func TestRunJSONCheckFindingCounts(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run(moduleRoot, []string{"internal/lint/testdata/src/floateq"}, "floateq,metrics", true, "", &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr:\n%s", code, errOut.String())
+	}
+	var rep report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("stdout is not a JSON report: %v\n%s", err, out.String())
+	}
+	counts := make(map[string]int)
+	for _, c := range rep.Checks {
+		counts[c.Check] = c.Findings
+	}
+	if counts["floateq"] != len(rep.Diagnostics) {
+		t.Errorf("floateq findings = %d, want %d (all diagnostics)", counts["floateq"], len(rep.Diagnostics))
+	}
+	if counts["metrics"] != 0 {
+		t.Errorf("metrics findings = %d, want 0", counts["metrics"])
+	}
+	if counts["load"] != 0 {
+		t.Errorf("load row findings = %d, want 0", counts["load"])
+	}
+}
+
+// TestRunSummaryLine pins the one-line stderr summary CI echoes on success.
+func TestRunSummaryLine(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run(moduleRoot, []string{"internal/obs"}, "metrics,floateq", false, "", &out, &errOut); code != 0 {
+		t.Fatalf("exit = %d, want 0; stderr:\n%s", code, errOut.String())
+	}
+	if want := "spear-vet: 0 findings across 2 checks, 1 packages\n"; errOut.String() != want {
+		t.Errorf("summary = %q, want %q", errOut.String(), want)
+	}
+}
+
+// TestRunSARIF runs a dirty fixture with -sarif and checks the log shape:
+// version, driver name, a rules table covering every check, and one
+// error-level result per diagnostic with a module-relative location.
+func TestRunSARIF(t *testing.T) {
+	var out, errOut bytes.Buffer
+	sarifPath := filepath.Join(t.TempDir(), "vet.sarif")
+	code := run(moduleRoot, []string{"internal/lint/testdata/src/floateq"}, "floateq", false, sarifPath, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr:\n%s", code, errOut.String())
+	}
+	data, err := os.ReadFile(sarifPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				Level     string `json:"level"`
+				Message   struct{ Text string }
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(data, &log); err != nil {
+		t.Fatalf("SARIF file is not JSON: %v\n%s", err, data)
+	}
+	if log.Version != "2.1.0" {
+		t.Errorf("version = %q, want 2.1.0", log.Version)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("runs = %d, want 1", len(log.Runs))
+	}
+	r := log.Runs[0]
+	if r.Tool.Driver.Name != "spear-vet" {
+		t.Errorf("driver name = %q, want spear-vet", r.Tool.Driver.Name)
+	}
+	if len(r.Tool.Driver.Rules) != len(lint.AllChecks) {
+		t.Errorf("rules = %d, want %d (one per check)", len(r.Tool.Driver.Rules), len(lint.AllChecks))
+	}
+	if len(r.Results) == 0 {
+		t.Fatal("SARIF results are empty, want findings")
+	}
+	for _, res := range r.Results {
+		if res.RuleID != "floateq" || res.Level != "error" {
+			t.Errorf("result ruleId=%q level=%q, want floateq/error", res.RuleID, res.Level)
+		}
+		if len(res.Locations) != 1 {
+			t.Fatalf("result has %d locations, want 1", len(res.Locations))
+		}
+		loc := res.Locations[0].PhysicalLocation
+		if !strings.HasPrefix(loc.ArtifactLocation.URI, "internal/lint/testdata/src/floateq/") {
+			t.Errorf("artifact uri = %q, want module-relative fixture path", loc.ArtifactLocation.URI)
+		}
+		if loc.Region.StartLine == 0 {
+			t.Errorf("result missing startLine: %+v", loc)
+		}
+	}
+}
+
 func TestRunJSONCleanIsEmptyDiagnostics(t *testing.T) {
 	var out, errOut bytes.Buffer
-	if code := run(moduleRoot, []string{"internal/obs"}, "metrics", true, &out, &errOut); code != 0 {
+	if code := run(moduleRoot, []string{"internal/obs"}, "metrics", true, "", &out, &errOut); code != 0 {
 		t.Fatalf("exit = %d, want 0; stderr:\n%s", code, errOut.String())
 	}
 	var rep struct {

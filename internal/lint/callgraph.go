@@ -55,6 +55,15 @@ type funcNode struct {
 	slowpath bool
 	timing   bool
 
+	// Concurrency-discipline facts (concurrency.go): lockedArg is the
+	// mutex field named by //spear:locked(mu) — the caller must hold
+	// receiver.mu at every call site; xclusive and initcons exempt
+	// single-writer and constructor functions from the atomic and
+	// lock-guard checks.
+	lockedArg string
+	xclusive  bool
+	initcons  bool
+
 	allocs []allocSite
 	calls  []callSite
 	rand   []posName // direct global math/rand draws (always nondeterministic)
@@ -85,12 +94,16 @@ func (r *Runner) buildCallGraph() *callGraph {
 				if !ok {
 					continue
 				}
+				lockedArg, _ := idx.funcArg(r.fset, fd, markerLocked)
 				node := &funcNode{
-					fn:       fn,
-					mp:       mp,
-					noalloc:  idx.onFunc(r.fset, fd, markerNoalloc),
-					slowpath: idx.onFunc(r.fset, fd, markerSlowpath),
-					timing:   idx.onFunc(r.fset, fd, markerTiming),
+					fn:        fn,
+					mp:        mp,
+					noalloc:   idx.onFunc(r.fset, fd, markerNoalloc),
+					slowpath:  idx.onFunc(r.fset, fd, markerSlowpath),
+					timing:    idx.onFunc(r.fset, fd, markerTiming),
+					lockedArg: lockedArg,
+					xclusive:  idx.onFunc(r.fset, fd, markerXclusive),
+					initcons:  idx.onFunc(r.fset, fd, markerInit),
 				}
 				r.scanBody(node, fd.Body, idx)
 				g.nodes[fn] = node

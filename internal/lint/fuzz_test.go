@@ -1,0 +1,83 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// genAtomicFixture turns a fuzz byte string into one synthetic package:
+// a struct mirroring the arena node (first is a //spear:atomic sibling
+// link) plus one function per input byte, each performing one access of a
+// randomized kind. It returns the source and the number of findings the
+// atomic check must report — exactly the plain accesses outside
+// //spear:init / //spear:xclusive functions.
+func genAtomicFixture(data []byte) (src string, wantFindings int) {
+	var b strings.Builder
+	b.WriteString("package fuzzfixture\n\nimport \"sync/atomic\"\n\n")
+	b.WriteString("// anode mirrors the arena node: first is a lock-free sibling link.\ntype anode struct {\n\t//spear:atomic\n\tfirst int32\n}\n\n")
+	// A baseline atomic access keeps the import used on every input and
+	// exercises the mixed-access citation whenever a plain site appears.
+	b.WriteString("func baseline(n *anode) int32 { return atomic.LoadInt32(&n.first) }\n\n")
+	if len(data) > 24 {
+		data = data[:24]
+	}
+	for i, op := range data {
+		switch op % 7 {
+		case 0:
+			fmt.Fprintf(&b, "func f%d(n *anode) int32 { return atomic.LoadInt32(&n.first) }\n\n", i)
+		case 1:
+			fmt.Fprintf(&b, "func f%d(n *anode) { atomic.AddInt32(&n.first, 1) }\n\n", i)
+		case 2:
+			fmt.Fprintf(&b, "func f%d(n *anode) int32 { return n.first }\n\n", i)
+			wantFindings++
+		case 3:
+			fmt.Fprintf(&b, "func f%d(n *anode) { n.first = 2 }\n\n", i)
+			wantFindings++
+		case 4:
+			fmt.Fprintf(&b, "func f%d(n *anode) *int32 { return &n.first }\n\n", i)
+			wantFindings++
+		case 5:
+			fmt.Fprintf(&b, "//spear:init\nfunc f%d() *anode {\n\tn := &anode{}\n\tn.first = -1\n\treturn n\n}\n\n", i)
+		case 6:
+			fmt.Fprintf(&b, "//spear:xclusive\nfunc f%d(n *anode) { n.first = 0 }\n\n", i)
+		}
+	}
+	return b.String(), wantFindings
+}
+
+// FuzzAtomicDiscipline drives the atomic-field check over randomized
+// interleavings of atomic, plain and exempt accesses to a marked arena-node
+// field and requires the finding count to match the generator's oracle: no
+// plain access slips through, no atomic or exempt access is flagged.
+func FuzzAtomicDiscipline(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{2}) // the deliberate plain read of the atomic link field
+	f.Add([]byte{0, 1, 5, 6})
+	f.Add([]byte{2, 3, 4, 0, 6, 2})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		src, want := genAtomicFixture(data)
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module fuzzfixture\n\ngo 1.22\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, "gen.go"), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		diags, err := AnalyzeDirs([]string{dir}, Config{Checks: []string{checkNameAtomic}})
+		if err != nil {
+			t.Fatalf("AnalyzeDirs over generated source: %v\nsource:\n%s", err, src)
+		}
+		for _, d := range diags {
+			if d.Check != checkNameAtomic {
+				t.Errorf("finding from check %q, want only %q: %s", d.Check, checkNameAtomic, d)
+			}
+		}
+		if len(diags) != want {
+			t.Fatalf("atomic check reported %d findings, generator expects %d\nsource:\n%s\nfindings: %v",
+				len(diags), want, src, diags)
+		}
+	})
+}

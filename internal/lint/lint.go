@@ -80,8 +80,9 @@ var defaultDeterministic = []string{
 }
 
 // Check names, in the order the passes run. The first four are the
-// intraprocedural checks of PR 4; the last four are interprocedural and use
-// the static call graph (callgraph.go).
+// intraprocedural checks of PR 4; the next four are interprocedural and use
+// the static call graph (callgraph.go); the last four are the
+// concurrency-discipline passes (concurrency.go).
 const (
 	checkNameDeterminism  = "determinism"
 	checkNameNoalloc      = "noalloc"
@@ -97,6 +98,7 @@ const (
 var AllChecks = []string{
 	checkNameDeterminism, checkNameNoalloc, checkNameMetrics, checkNameFloatEq,
 	checkNameNoallocTrans, checkNameDetTaint, checkNameLayout, checkNameDeadExport,
+	checkNameAtomic, checkNameAlign64, checkNameGuardedBy, checkNameGoHygiene,
 }
 
 // Config parameterizes a run.
@@ -110,10 +112,12 @@ type Config struct {
 	Checks []string
 }
 
-// CheckTiming is the wall-clock cost of one pass.
+// CheckTiming is the wall-clock cost of one pass and how many findings it
+// produced (always 0 for the load/callgraph/concurrency scaffolding rows).
 type CheckTiming struct {
-	Check  string  `json:"check"`
-	Millis float64 `json:"millis"`
+	Check    string  `json:"check"`
+	Millis   float64 `json:"millis"`
+	Findings int     `json:"findings"`
 }
 
 // RunStats summarizes one Analyze run: how many module packages were
@@ -363,8 +367,9 @@ func (r *Runner) Analyze(dirs []string) ([]Diagnostic, RunStats, error) {
 		began := time.Now()
 		found := pass()
 		stats.Checks = append(stats.Checks, CheckTiming{
-			Check:  check,
-			Millis: float64(time.Since(began)) / float64(time.Millisecond),
+			Check:    check,
+			Millis:   float64(time.Since(began)) / float64(time.Millisecond),
+			Findings: len(found),
 		})
 		return found
 	}
@@ -408,23 +413,24 @@ func (r *Runner) Analyze(dirs []string) ([]Diagnostic, RunStats, error) {
 	}
 
 	// Interprocedural passes share one call graph over every module package
-	// in the cache (analyzed packages and their dependencies).
-	if r.enabled[checkNameNoallocTrans] || r.enabled[checkNameDetTaint] {
-		var g *callGraph
+	// in the cache (analyzed packages and their dependencies). The guardedby
+	// pass rides on the same graph for its //spear:locked callee lookups.
+	var g *callGraph
+	if r.enabled[checkNameNoallocTrans] || r.enabled[checkNameDetTaint] || r.enabled[checkNameGuardedBy] {
 		timed("callgraph", func() []Diagnostic {
 			g = r.buildCallGraph()
 			return nil
 		})
-		if r.enabled[checkNameNoallocTrans] {
-			diags = append(diags, timed(checkNameNoallocTrans, func() []Diagnostic {
-				return r.checkNoallocTransitive(g, pkgs)
-			})...)
-		}
-		if r.enabled[checkNameDetTaint] {
-			diags = append(diags, timed(checkNameDetTaint, func() []Diagnostic {
-				return r.checkDeterminismTaint(g, pkgs)
-			})...)
-		}
+	}
+	if r.enabled[checkNameNoallocTrans] {
+		diags = append(diags, timed(checkNameNoallocTrans, func() []Diagnostic {
+			return r.checkNoallocTransitive(g, pkgs)
+		})...)
+	}
+	if r.enabled[checkNameDetTaint] {
+		diags = append(diags, timed(checkNameDetTaint, func() []Diagnostic {
+			return r.checkDeterminismTaint(g, pkgs)
+		})...)
 	}
 	if r.enabled[checkNameLayout] {
 		diags = append(diags, timed(checkNameLayout, func() []Diagnostic {
@@ -440,12 +446,45 @@ func (r *Runner) Analyze(dirs []string) ([]Diagnostic, RunStats, error) {
 		var err error
 		timed(checkNameDeadExport, func() []Diagnostic {
 			found, err = r.checkDeadExports(pkgs)
-			return nil
+			return found
 		})
 		if err != nil {
 			return nil, stats, err
 		}
 		diags = append(diags, found...)
+	}
+
+	// Concurrency-discipline passes share one field/access registry.
+	if r.concChecksEnabled() {
+		var cc *concCtx
+		timed("concurrency", func() []Diagnostic {
+			cc = r.buildConcurrency(pkgs)
+			return nil
+		})
+		if r.enabled[checkNameAtomic] {
+			diags = append(diags, timed(checkNameAtomic, func() []Diagnostic {
+				return r.checkAtomic(cc)
+			})...)
+		}
+		if r.enabled[checkNameAlign64] {
+			diags = append(diags, timed(checkNameAlign64, func() []Diagnostic {
+				return r.checkAlign64(cc)
+			})...)
+		}
+		if r.enabled[checkNameGuardedBy] {
+			diags = append(diags, timed(checkNameGuardedBy, func() []Diagnostic {
+				return r.checkGuardedBy(cc, g, pkgs)
+			})...)
+		}
+		if r.enabled[checkNameGoHygiene] {
+			diags = append(diags, timed(checkNameGoHygiene, func() []Diagnostic {
+				var found []Diagnostic
+				for _, mp := range pkgs {
+					found = append(found, r.checkGoHygiene(mp)...)
+				}
+				return found
+			})...)
+		}
 	}
 
 	stats.PackagesLoaded = r.loadCount

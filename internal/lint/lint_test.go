@@ -153,6 +153,26 @@ func TestGoldenDeadExport(t *testing.T) {
 		Config{Checks: []string{checkNameDeadExport}})
 }
 
+func TestGoldenAtomic(t *testing.T) {
+	runGolden(t, []string{"atomicfield"}, Config{Checks: []string{checkNameAtomic}})
+}
+
+func TestGoldenAlign64(t *testing.T) {
+	runGolden(t, []string{"align64"}, Config{Checks: []string{checkNameAlign64}})
+}
+
+func TestGoldenGuardedBy(t *testing.T) {
+	runGolden(t, []string{"guardedby"}, Config{Checks: []string{checkNameGuardedBy}})
+}
+
+func TestGoldenGoHygiene(t *testing.T) {
+	// The testdata package is not on the default deterministic list; opt it in.
+	runGolden(t, []string{"gohygiene"}, Config{
+		Deterministic: []string{"internal/lint/testdata/src/gohygiene"},
+		Checks:        []string{checkNameGoHygiene},
+	})
+}
+
 // TestAnalyzeDeterministic runs the full pipeline twice over the
 // finding-rich golden packages and requires byte-identical output: map
 // iteration inside the call-graph passes must never leak into diagnostic

@@ -1,0 +1,48 @@
+// Golden fixture of the align64 check: //spear:atomic int64/uint64 fields
+// must be 64-bit aligned under the gc/386 size model (gc/amd64 cannot
+// misalign them), directly or through nested struct fields.
+package align64
+
+import "sync/atomic"
+
+// counters is correctly laid out: the marked 64-bit words lead the struct.
+type counters struct {
+	//spear:atomic
+	hits int64
+	//spear:atomic
+	miss uint64
+	pad  int32
+}
+
+// misplaced puts a bool ahead of the marked word: byte offset 4 under
+// gc/386, where int64 aligns to 4.
+type misplaced struct {
+	flag bool
+	//spear:atomic
+	n int64 // want "not 64-bit aligned on 32-bit hosts"
+}
+
+// inner is aligned on its own; outer embeds it 4 bytes in under gc/386.
+type inner struct {
+	//spear:atomic
+	c int64
+}
+
+type outer struct {
+	b  bool
+	in inner // want "places nested //spear:atomic 64-bit field c"
+}
+
+// typed sync/atomic fields are exempt: the runtime aligns them itself.
+type typedOK struct {
+	flag bool
+	//spear:atomic
+	n atomic.Int64
+}
+
+var (
+	_ counters
+	_ misplaced
+	_ outer
+	_ typedOK
+)

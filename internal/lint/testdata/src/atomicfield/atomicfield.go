@@ -1,0 +1,56 @@
+// Golden fixture of the atomic-field discipline check: plain accesses to
+// marked fields, the //spear:init and //spear:xclusive exemptions, and the
+// inference direction (atomically-accessed or sync/atomic-typed fields must
+// carry the marker).
+package atomicfield
+
+import "sync/atomic"
+
+// box is the torn-read demonstration struct: hits carries the discipline
+// marker, raw is accessed atomically but unmarked (the inference
+// direction), held has a sync/atomic type and must be marked too.
+type box struct {
+	//spear:atomic
+	hits int64
+	raw  int64        // want "accessed through sync/atomic"
+	held atomic.Int64 // want "has sync/atomic type"
+}
+
+func atomicOK(b *box) int64 { return atomic.LoadInt64(&b.hits) }
+
+func plainRead(b *box) int64 {
+	return b.hits // want "plain read of //spear:atomic field box.hits"
+}
+
+func plainWrite(b *box) {
+	b.hits = 3 // want "plain write"
+}
+
+func escape(b *box) *int64 {
+	return &b.hits // want "address-of escape"
+}
+
+//spear:init
+func newBox() *box {
+	b := &box{}
+	b.hits = 1
+	return b
+}
+
+//spear:xclusive
+func resetBox(b *box) { b.hits = 0 }
+
+func rawMixed(b *box) int64 {
+	atomic.AddInt64(&b.raw, 1)
+	return b.raw
+}
+
+var (
+	_ = atomicOK
+	_ = plainRead
+	_ = plainWrite
+	_ = escape
+	_ = newBox
+	_ = resetBox
+	_ = rawMixed
+)

@@ -1,0 +1,80 @@
+// Golden fixture of the goroutine-hygiene check (deterministic packages
+// only): every go statement needs a WaitGroup or channel join in the
+// spawning function or an explicit //spear:detached waiver, and goroutine
+// closures must not capture loop variables by reference.
+package gohygiene
+
+import "sync"
+
+func fanOutJoined(n int) int {
+	var wg sync.WaitGroup
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out[i] = i * i
+		}(i)
+	}
+	wg.Wait()
+	total := 0
+	for _, v := range out {
+		total += v
+	}
+	return total
+}
+
+func work() {}
+
+func fireAndForget() {
+	go work() // want "no WaitGroup or channel join"
+}
+
+func audited() {
+	//spear:detached
+	go work()
+}
+
+func channelJoined() {
+	done := make(chan struct{})
+	go func() {
+		close(done)
+	}()
+	<-done
+}
+
+func capturesLoopVar(n int) {
+	var wg sync.WaitGroup
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out[i] = 1 // want "captures loop variable i"
+		}()
+	}
+	wg.Wait()
+}
+
+func capturesRangeVar(xs []int) {
+	var wg sync.WaitGroup
+	sum := 0
+	for _, x := range xs {
+		wg.Add(1)
+		go func() {
+			sum += x // want "captures loop variable x"
+			wg.Done()
+		}()
+	}
+	wg.Wait()
+	_ = sum
+}
+
+var (
+	_ = fanOutJoined
+	_ = fireAndForget
+	_ = audited
+	_ = channelJoined
+	_ = capturesLoopVar
+	_ = capturesRangeVar
+)

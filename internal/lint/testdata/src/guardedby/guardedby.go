@@ -1,0 +1,114 @@
+// Golden fixture of the lock-guard discipline check: //spear:guardedby(mu)
+// fields must be reached with the named sibling mutex held on every path,
+// //spear:locked functions may only be called under the lock, and a struct
+// that opts into lock discipline must cover every field with a marker.
+package guardedby
+
+import "sync"
+
+// box opts into lock discipline: n may only be touched under mu.
+type box struct {
+	mu sync.Mutex
+	n  int //spear:guardedby(mu)
+}
+
+func lockUnlock(b *box) int {
+	b.mu.Lock()
+	v := b.n
+	b.mu.Unlock()
+	return v
+}
+
+func deferred(b *box) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.n
+}
+
+func earlyReturn(b *box) int {
+	b.mu.Lock()
+	if b.n > 0 {
+		v := b.n
+		b.mu.Unlock()
+		return v
+	}
+	b.mu.Unlock()
+	return 0
+}
+
+func unguarded(b *box) int {
+	return b.n // want "without mu held on every path"
+}
+
+func afterUnlock(b *box) {
+	b.mu.Lock()
+	b.mu.Unlock()
+	b.n++ // want "without mu held on every path"
+}
+
+func oneBranchOnly(b *box, p bool) {
+	if p {
+		b.mu.Lock()
+	}
+	b.n++ // want "without mu held on every path"
+	if p {
+		b.mu.Unlock()
+	}
+}
+
+// inGoroutine: the spawned closure does not inherit the spawner's lock.
+func inGoroutine(b *box) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		b.n++ // want "without mu held on every path"
+		close(done)
+	}()
+	<-done
+}
+
+// bump requires the caller to hold b.mu.
+//
+//spear:locked(mu)
+func (b *box) bump() { b.n++ }
+
+func callsLocked(b *box) {
+	b.mu.Lock()
+	b.bump()
+	b.mu.Unlock()
+}
+
+func callsLockedUnheld(b *box) {
+	b.bump() // want "spear:locked(mu) function"
+}
+
+//spear:xclusive
+func resetBox(b *box) { b.n = 0 }
+
+// uncovered opts in via the guarded field a but leaves c unmarked.
+type uncovered struct {
+	mu sync.Mutex
+	a  int //spear:guardedby(mu)
+	c  int // want "not covered"
+}
+
+// phantom names a guard that does not exist.
+type phantom struct {
+	x int //spear:guardedby(mu) want "names no sibling mutex"
+}
+
+var (
+	_ = lockUnlock
+	_ = deferred
+	_ = earlyReturn
+	_ = unguarded
+	_ = afterUnlock
+	_ = oneBranchOnly
+	_ = inGoroutine
+	_ = callsLocked
+	_ = callsLockedUnheld
+	_ = resetBox
+	_ uncovered
+	_ phantom
+)

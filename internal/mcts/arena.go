@@ -50,12 +50,12 @@ type anode struct {
 	untried  []simenv.Action
 	action   simenv.Action
 	parent   int32
-	first    int32
+	first    int32 //spear:atomic
 	last     int32
-	next     int32
+	next     int32 //spear:atomic
 	stats    int32
-	nuntried int32
-	latch    int32
+	nuntried int32 //spear:atomic
+	latch    int32 //spear:atomic
 }
 
 // nodeStats is one node's (or, under transpositions, one state's) search
@@ -67,10 +67,10 @@ type anode struct {
 //
 //spear:packed
 type nodeStats struct {
-	visits int64
-	sum    int64
-	max    int64
-	vloss  int64
+	visits int64 //spear:atomic
+	sum    int64 //spear:atomic
+	max    int64 //spear:atomic
+	vloss  int64 //spear:atomic
 }
 
 // resetStats returns a (fresh or recycled) stats block to the unvisited
@@ -97,17 +97,19 @@ type arenaTable struct {
 // when the arena resets, so reallocating a slot reuses the warm storage.
 type nodeArena struct {
 	mu    sync.Mutex
-	table atomic.Pointer[arenaTable]
-	nlen  int32   // node slots handed out this call (freelist aside)
-	slen  int32   // stats blocks handed out this call (transposition mode)
-	free  []int32 // recycled node slots
-	stack []int32 // releaseSubtree's DFS scratch
+	table atomic.Pointer[arenaTable] //spear:atomic
+	nlen  int32                      //spear:guardedby(mu) — node slots handed out this call (freelist aside)
+	slen  int32                      //spear:guardedby(mu) — stats blocks handed out this call (transposition mode)
+	free  []int32                    //spear:guardedby(mu) — recycled node slots
+	stack []int32                    //spear:xclusive — releaseSubtree's DFS scratch, commit phase only
 }
 
 // reset prepares the arena for a fresh Schedule call: all slots and blocks
 // are considered free again, but chunk storage and the buffers attached to
 // every slot survive, so the call allocates nothing once past the
 // first-call high-water mark.
+//
+//spear:xclusive
 func (a *nodeArena) reset() {
 	if a.table.Load() == nil {
 		a.table.Store(&arenaTable{})
@@ -197,6 +199,7 @@ func (a *nodeArena) allocStats() int32 {
 // so outstanding *anode pointers stay valid.
 //
 //spear:slowpath
+//spear:locked(mu)
 func (a *nodeArena) grow() {
 	old := a.table.Load()
 	t := &arenaTable{
@@ -213,6 +216,7 @@ func (a *nodeArena) grow() {
 // hold mu.
 //
 //spear:slowpath
+//spear:locked(mu)
 func (a *nodeArena) growStats() {
 	old := a.table.Load()
 	t := &arenaTable{
@@ -226,6 +230,7 @@ func (a *nodeArena) growStats() {
 // search goroutines running); the slot keeps its env and untried storage.
 //
 //spear:slowpath
+//spear:xclusive
 func (a *nodeArena) release(idx int32) {
 	a.free = append(a.free, idx)
 }
@@ -234,6 +239,7 @@ func (a *nodeArena) release(idx int32) {
 // Commit-phase only.
 //
 //spear:slowpath
+//spear:xclusive
 func (a *nodeArena) releaseSubtree(idx int32) {
 	a.stack = append(a.stack[:0], idx)
 	for len(a.stack) > 0 {

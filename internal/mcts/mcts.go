@@ -137,6 +137,14 @@ type Config struct {
 	// Changes search statistics (strictly more informed backups), so it is
 	// off by default to preserve the classic per-node search.
 	UseTranspositions bool
+	// TTCapacity bounds the transposition table of each tree: at capacity,
+	// the next miss flushes the whole table (deterministic wholesale
+	// eviction; see transTable) and Stats.TTEvictions counts the dropped
+	// entries. 0 sizes the bound from the search budget — 64×InitialBudget
+	// entries, comfortably above what one decision's expansions can insert
+	// while still capping a long episode's growth. Negative means
+	// unbounded.
+	TTCapacity int
 	// DisableBatchedRollouts forces per-episode rollouts even when the
 	// rollout policy implements simenv.BatchPolicy — the ablation arm for
 	// batched inference. Results are identical either way; only the number
@@ -181,6 +189,9 @@ func (c Config) normalized() Config {
 	if c.TreeParallelism <= 0 {
 		c.TreeParallelism = 1
 	}
+	if c.TTCapacity == 0 {
+		c.TTCapacity = 64 * c.InitialBudget
+	}
 	return c
 }
 
@@ -222,6 +233,9 @@ type Stats struct {
 	// block (only possible with UseTranspositions).
 	TTHits   int64
 	TTMisses int64
+	// TTEvictions counts transposition-table entries dropped by capacity
+	// flushes (only possible with UseTranspositions and TTCapacity > 0).
+	TTEvictions int64
 	// Elapsed is the wall-clock time of the Schedule call.
 	Elapsed time.Duration
 	// SimsPerSec is Rollouts divided by Elapsed (floored at 1µs, so the
@@ -337,21 +351,27 @@ func simSeed(seed int64, w, j int) int64 {
 // shared-tree simWorkers that descend it. Nothing here is shared between
 // trees except the scheduler's lock-free metric bundles.
 type treeWorker struct {
+	// The raw atomic counters lead the struct so they are 64-bit aligned
+	// even on 32-bit hosts (Go only guarantees 64-bit alignment of an
+	// allocation's first word; spear-vet's align64 check enforces the
+	// ordering). remaining is the shared-tree iteration ticket counter of
+	// the current search phase (TreeParallelism > 1 only): workers draw
+	// tickets until the phase budget is spent, so the Eq. 4 budget is
+	// conserved exactly. ttHits/ttMisses accumulate transposition lookups
+	// per Schedule call (atomically — lookups happen inside concurrent
+	// expansions). The cold fields s/sims/root sit between the counters
+	// and the arena so the arena header (mutex + chunk-table pointer, read
+	// by every node access) starts a fresh cache line: ticket decrements
+	// must not invalidate the line the table pointer lives on.
+	remaining int64 //spear:atomic
+	ttHits    int64 //spear:atomic
+	ttMisses  int64 //spear:atomic
+
 	s     *Scheduler
+	sims  []*simWorker
+	root  int32
 	arena nodeArena
 	tt    transTable
-	root  int32
-	sims  []*simWorker
-
-	// remaining is the shared-tree iteration ticket counter of the current
-	// search phase (TreeParallelism > 1 only): workers draw tickets until
-	// the phase budget is spent, so the Eq. 4 budget is conserved exactly.
-	remaining int64
-
-	// ttHits/ttMisses accumulate transposition lookups per Schedule call
-	// (atomically — lookups happen inside concurrent expansions).
-	ttHits   int64
-	ttMisses int64
 }
 
 // simWorker is one shared-tree search worker and everything it owns: a
@@ -452,6 +472,10 @@ func (s *Scheduler) ScheduleContext(ctx context.Context, g *dag.Graph, spec clus
 			tw := s.workers[w]
 			s.stats.TTHits += atomic.LoadInt64(&tw.ttHits)
 			s.stats.TTMisses += atomic.LoadInt64(&tw.ttMisses)
+			if ev := atomic.LoadInt64(&tw.tt.evictions); ev > 0 {
+				s.stats.TTEvictions += ev
+				s.sm.TTEvictions.Add(ev)
+			}
 		}
 		s.stats.Elapsed = time.Since(began)
 		secs := s.stats.Elapsed.Seconds()
@@ -483,7 +507,11 @@ func (s *Scheduler) ScheduleContext(ctx context.Context, g *dag.Graph, spec clus
 		tw := s.worker(w)
 		tw.arena.reset()
 		if s.cfg.UseTranspositions {
-			tw.tt.reset()
+			ttCap := s.cfg.TTCapacity
+			if ttCap < 0 {
+				ttCap = 0 // explicit unbounded
+			}
+			tw.tt.reset(ttCap)
 		}
 		atomic.StoreInt64(&tw.ttHits, 0)
 		atomic.StoreInt64(&tw.ttMisses, 0)

@@ -264,7 +264,7 @@ func TestTranspositionSharesStats(t *testing.T) {
 	s := New(Config{UseTranspositions: true})
 	tw := s.worker(0)
 	tw.arena.reset()
-	tw.tt.reset()
+	tw.tt.reset(0)
 	tw.sims[0].rng = rand.New(rand.NewSource(1))
 
 	env, err := simenv.New(g, resource.Of(2), simenv.Config{Mode: simenv.NextCompletion})

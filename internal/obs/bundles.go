@@ -79,6 +79,9 @@ type SearchMetrics struct {
 	// block for the node's canonical state hash.
 	TTHits   *Counter
 	TTMisses *Counter
+	// TTEvictions counts transposition-table entries dropped by capacity
+	// flushes.
+	TTEvictions *Counter
 	// SearchTime accumulates the wall-clock time of Schedule calls.
 	SearchTime *Timer
 }
@@ -102,6 +105,7 @@ func NewSearchMetrics(r *Registry) *SearchMetrics {
 		VirtualLoss:    r.Counter("spear_mcts_virtual_loss_applied_total", "Virtual-loss marks applied on shared-tree descent paths"),
 		TTHits:         r.Counter("spear_mcts_tt_hits_total", "Transposition-table lookups that found an existing statistics block"),
 		TTMisses:       r.Counter("spear_mcts_tt_misses_total", "Transposition-table lookups that missed and created a statistics block"),
+		TTEvictions:    r.Counter("spear_mcts_tt_evictions_total", "Transposition-table entries dropped by capacity flushes"),
 		SearchTime:     r.Timer("spear_search_time", "Wall-clock time spent inside Schedule"),
 	}
 }

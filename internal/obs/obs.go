@@ -23,7 +23,9 @@ import (
 )
 
 // Counter is a monotonically increasing atomic counter.
-type Counter struct{ v atomic.Int64 }
+type Counter struct {
+	v atomic.Int64 //spear:atomic
+}
 
 // Inc adds one.
 func (c *Counter) Inc() { c.v.Add(1) }
@@ -36,7 +38,9 @@ func (c *Counter) Add(n int64) { c.v.Add(n) }
 func (c *Counter) Load() int64 { return c.v.Load() }
 
 // Gauge is an atomic last-value metric.
-type Gauge struct{ v atomic.Int64 }
+type Gauge struct {
+	v atomic.Int64 //spear:atomic
+}
 
 // Set replaces the value.
 func (g *Gauge) Set(n int64) { g.v.Store(n) }
@@ -55,7 +59,9 @@ func (g *Gauge) SetMax(n int64) {
 func (g *Gauge) Load() int64 { return g.v.Load() }
 
 // FloatCounter is an atomic float64 accumulator (CAS on the bit pattern).
-type FloatCounter struct{ bits atomic.Uint64 }
+type FloatCounter struct {
+	bits atomic.Uint64 //spear:atomic
+}
 
 // Add accumulates x.
 func (f *FloatCounter) Add(x float64) {
@@ -74,7 +80,9 @@ func (f *FloatCounter) Load() float64 { return math.Float64frombits(f.bits.Load(
 // FloatGauge is an atomic float64 last-value metric (store on the bit
 // pattern), for gauges whose value is fractional — e.g. a fairness index in
 // [0, 1] that an int64 Gauge would truncate.
-type FloatGauge struct{ bits atomic.Uint64 }
+type FloatGauge struct {
+	bits atomic.Uint64 //spear:atomic
+}
 
 // Set replaces the value.
 func (g *FloatGauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
@@ -83,7 +91,9 @@ func (g *FloatGauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
 func (g *FloatGauge) Load() float64 { return math.Float64frombits(g.bits.Load()) }
 
 // Timer accumulates wall-clock durations and an observation count.
-type Timer struct{ nanos, count atomic.Int64 }
+type Timer struct {
+	nanos, count atomic.Int64 //spear:atomic
+}
 
 // Observe records one duration.
 func (t *Timer) Observe(d time.Duration) {
@@ -187,8 +197,8 @@ type entry struct {
 // (and aggregate into) the same counters.
 type Registry struct {
 	mu      sync.Mutex
-	entries []*entry
-	byName  map[string]*entry
+	entries []*entry          //spear:guardedby(mu)
+	byName  map[string]*entry //spear:guardedby(mu)
 }
 
 // NewRegistry returns an empty registry.
