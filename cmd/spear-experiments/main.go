@@ -10,6 +10,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -68,7 +69,7 @@ func run() error {
 			return err
 		}
 		net, err := spear.LoadModel(f)
-		f.Close()
+		f.Close() //spear:ignoreerr(read-only close after a completed load)
 		if err != nil {
 			return err
 		}
@@ -97,8 +98,7 @@ func run() error {
 			return err
 		}
 		if err := r.CSV(suite, f); err != nil {
-			f.Close()
-			return fmt.Errorf("%s csv: %w", r.Name, err)
+			return errors.Join(fmt.Errorf("%s csv: %w", r.Name, err), f.Close())
 		}
 		return f.Close()
 	}
@@ -108,7 +108,9 @@ func run() error {
 			return
 		}
 		fmt.Println("==== metrics ====")
-		suite.Obs.Snapshot().WritePrometheus(os.Stdout)
+		if err := suite.Obs.Snapshot().WritePrometheus(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "spear-experiments: metrics:", err)
+		}
 	}
 
 	if *jobs > 1 {

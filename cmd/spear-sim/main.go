@@ -10,6 +10,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -124,7 +125,7 @@ func buildJobs(motivating bool, jobPath, capFlag string, n, tasks int, seed int6
 		if err != nil {
 			return nil, nil, err
 		}
-		defer f.Close()
+		defer f.Close() //spear:ignoreerr(read-only file; a close error loses no data)
 		job, _, err := spear.LoadJob(f)
 		if err != nil {
 			return nil, nil, err
@@ -158,8 +159,7 @@ func writeSVGFile(path string, s *spear.Schedule, job *spear.Job) error {
 		return err
 	}
 	if err := spear.WriteScheduleSVG(f, s, job, 900, 16); err != nil {
-		f.Close()
-		return err
+		return errors.Join(err, f.Close())
 	}
 	return f.Close()
 }
@@ -239,7 +239,7 @@ func loadOrTrainModel(path string, seed int64) (*spear.Network, spear.Features, 
 		if err != nil {
 			return nil, feat, err
 		}
-		defer f.Close()
+		defer f.Close() //spear:ignoreerr(read-only file; a close error loses no data)
 		net, err := spear.LoadModel(f)
 		if err != nil {
 			return nil, feat, err

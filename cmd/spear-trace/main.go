@@ -10,6 +10,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -39,7 +40,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		defer f.Close()
+		defer f.Close() //spear:ignoreerr(read-only file; a close error loses no data)
 		trace, err = spear.LoadTrace(f)
 		if err != nil {
 			return err
@@ -57,8 +58,10 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		defer f.Close()
 		if err := trace.Save(f); err != nil {
+			return errors.Join(err, f.Close())
+		}
+		if err := f.Close(); err != nil {
 			return err
 		}
 		fmt.Printf("trace with %d jobs written to %s\n", len(trace.Jobs), *out)

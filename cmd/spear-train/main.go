@@ -9,6 +9,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -93,8 +94,7 @@ func run() error {
 			return err
 		}
 		if err := spear.WriteCurveCSV(f, curve); err != nil {
-			f.Close()
-			return err
+			return errors.Join(err, f.Close())
 		}
 		if err := f.Close(); err != nil {
 			return err
@@ -165,8 +165,7 @@ func writeModel(path string, net *spear.Network) error {
 		return err
 	}
 	if err := spear.SaveModel(f, net); err != nil {
-		f.Close()
-		return err
+		return errors.Join(err, f.Close())
 	}
 	return f.Close()
 }

@@ -21,6 +21,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -34,12 +35,28 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit a JSON report (diagnostics, packages_loaded, per-check timings and finding counts) on stdout")
 	sarifOut := flag.String("sarif", "", "also write the findings as a SARIF 2.1.0 log to this file")
 	checks := flag.String("check", "", "comma-separated subset of checks to run (default all: "+strings.Join(lint.AllChecks, ",")+")")
+	list := flag.Bool("list", false, "list every check with its description and marker grammar, then exit")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: spear-vet [-json] [-sarif file] [-check names] [packages]\n")
+		fmt.Fprintf(os.Stderr, "usage: spear-vet [-json] [-sarif file] [-check names] [-list] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	if *list {
+		listChecks(os.Stdout)
+		os.Exit(0)
+	}
 	os.Exit(run(".", flag.Args(), *checks, *jsonOut, *sarifOut, os.Stdout, os.Stderr))
+}
+
+// listChecks prints the check catalog: name, one-line description, and the
+// marker grammar each check consumes.
+func listChecks(w io.Writer) {
+	for _, c := range lint.Checks() {
+		fmt.Fprintf(w, "%-20s %s\n", c.Name, c.Desc)
+		if c.Markers != "" {
+			fmt.Fprintf(w, "%-20s markers: %s\n", "", c.Markers)
+		}
+	}
 }
 
 // report is the -json output shape: the findings plus run statistics, so CI
@@ -99,10 +116,7 @@ func run(base string, patterns []string, checks string, jsonOut bool, sarifPath 
 			fmt.Fprintf(stderr, "spear-vet: %v\n", err)
 			return 2
 		}
-		werr := lint.WriteSARIF(f, diags)
-		if cerr := f.Close(); werr == nil {
-			werr = cerr
-		}
+		werr := errors.Join(lint.WriteSARIF(f, diags), f.Close())
 		if werr != nil {
 			fmt.Fprintf(stderr, "spear-vet: writing %s: %v\n", sarifPath, werr)
 			return 2

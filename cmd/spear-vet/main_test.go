@@ -47,6 +47,28 @@ func TestRunLoadErrorExitTwo(t *testing.T) {
 	}
 }
 
+// TestListChecks pins the -list catalog: one row per registered check, each
+// with a description, and the marker grammar printed for the checks that
+// consume annotations.
+func TestListChecks(t *testing.T) {
+	var out bytes.Buffer
+	listChecks(&out)
+	text := out.String()
+	for _, name := range lint.AllChecks {
+		if !strings.Contains(text, name) {
+			t.Errorf("-list output missing check %q:\n%s", name, text)
+		}
+	}
+	for _, marker := range []string{"spear:ignoreerr(reason)", "spear:nopoll(reason)", "spear:guardedby(mu)"} {
+		if !strings.Contains(text, marker) {
+			t.Errorf("-list output missing marker grammar %q:\n%s", marker, text)
+		}
+	}
+	if len(lint.Checks()) != len(lint.AllChecks) {
+		t.Errorf("Checks() has %d entries, AllChecks has %d", len(lint.Checks()), len(lint.AllChecks))
+	}
+}
+
 func TestRunUnknownCheckExitTwo(t *testing.T) {
 	var out, errOut bytes.Buffer
 	code := run(moduleRoot, []string{"internal/obs"}, "nosuchcheck", false, "", &out, &errOut)

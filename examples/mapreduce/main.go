@@ -95,7 +95,7 @@ func run() error {
 // and falls back to a quick training run.
 func loadOrTrain(seed int64) (*spear.Network, error) {
 	if f, err := os.Open("models/policy.gob"); err == nil {
-		defer f.Close()
+		defer f.Close() //spear:ignoreerr(read-only file; a close error loses no data)
 		net, err := spear.LoadModel(f)
 		if err == nil && net.InputSize() == spear.DefaultFeatures().InputSize() {
 			fmt.Println("using pre-trained models/policy.gob")

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -123,8 +124,7 @@ func run() error {
 		return err
 	}
 	if err := spear.WriteScheduleSVG(f, rows[0].schedule, job, 900, 14); err != nil {
-		f.Close()
-		return err
+		return errors.Join(err, f.Close())
 	}
 	if err := f.Close(); err != nil {
 		return err
@@ -135,8 +135,7 @@ func run() error {
 		return err
 	}
 	if err := spear.SaveJob(jf, job, "zoo"); err != nil {
-		jf.Close()
-		return err
+		return errors.Join(err, jf.Close())
 	}
 	if err := jf.Close(); err != nil {
 		return err

@@ -25,7 +25,7 @@ func (Tetris) Choose(e *simenv.Env, legal []simenv.Action, _ *rand.Rand) (simenv
 	score := func(a simenv.Action) int64 {
 		task := e.Graph().Task(visible[a.Slot()])
 		// Demands and availability are validated to share dimensions.
-		s, _ := task.Demand.Dot(avail)
+		s, _ := task.Demand.Dot(avail) //spear:ignoreerr(alignment and demand dimensions agree by construction)
 		return s
 	}
 	return pickBest(legal, func(a, b simenv.Action) bool {

@@ -39,7 +39,7 @@ func (p TetrisSRPT) Choose(e *simenv.Env, legal []simenv.Action, _ *rand.Rand) (
 
 	score := func(a simenv.Action) float64 {
 		task := g.Task(visible[a.Slot()])
-		dot, _ := task.Demand.Dot(avail)
+		dot, _ := task.Demand.Dot(avail) //spear:ignoreerr(alignment and demand dimensions agree by construction)
 		align := float64(dot) / maxAlign
 		srpt := 1 - float64(task.Runtime)/maxRT // shorter is better
 		return align + p.Weight*srpt

@@ -173,7 +173,7 @@ func (s *Space) AvailableAt(t int64) resource.Vector {
 	i := t - s.origin
 	if i >= 0 && i < int64(len(s.used)) {
 		// Occupancy never exceeds capacity, so this cannot underflow.
-		_ = avail.SubInPlace(s.used[i])
+		_ = avail.SubInPlace(s.used[i]) //spear:ignoreerr(occupancy never exceeds capacity, so the subtraction cannot underflow)
 	}
 	return avail
 }

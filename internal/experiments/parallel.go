@@ -164,8 +164,7 @@ func (s *Suite) RunParallel(names []string, opt ParallelOptions, w io.Writer) (o
 					continue
 				}
 				if err := r.CSV(c.shadow, f); err != nil {
-					f.Close()
-					c.errs[i] = fmt.Errorf("%s csv: %w", name, err)
+					c.errs[i] = errors.Join(fmt.Errorf("%s csv: %w", name, err), f.Close())
 					continue
 				}
 				if err := f.Close(); err != nil {

@@ -37,7 +37,9 @@ type callSite struct {
 	pos     token.Pos
 	callee  *types.Func // resolved callee; nil for dynamic sites
 	dynamic string      // non-empty description for unresolvable sites
-	audited bool        // site carries //spear:dyncall
+	method  string      // bare method name for dynamic interface sites, so
+	// ctxpoll can over-approximate the targets by name
+	audited bool // site carries //spear:dyncall
 }
 
 // posName is a position plus the name of what was called there.
@@ -68,6 +70,10 @@ type funcNode struct {
 	calls  []callSite
 	rand   []posName // direct global math/rand draws (always nondeterministic)
 	clock  []posName // direct time.Now / time.Since reads
+
+	// polls records a direct ctx.Err() / ctx.Done() call anywhere in the
+	// body (closures included); ctxpoll propagates it over the graph.
+	polls bool
 }
 
 // callGraph maps every declared module function to its node.
@@ -164,9 +170,13 @@ func (r *Runner) scanCall(node *funcNode, call *ast.CallExpr, idx *markerIndex) 
 	}
 	sig, _ := fn.Type().(*types.Signature)
 	if sig != nil && sig.Recv() != nil && types.IsInterface(sig.Recv().Type()) {
+		if isContextType(sig.Recv().Type()) && (fn.Name() == "Err" || fn.Name() == "Done") {
+			node.polls = true
+		}
 		node.calls = append(node.calls, callSite{
 			pos:     call.Pos(),
 			dynamic: "interface method " + types.TypeString(sig.Recv().Type(), types.RelativeTo(node.mp.pkg)) + "." + fn.Name(),
+			method:  fn.Name(),
 			audited: idx.at(r.fset, call.Pos(), markerDyncall),
 		})
 		return

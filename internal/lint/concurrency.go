@@ -564,8 +564,13 @@ func (r *Runner) checkGuardedBy(cc *concCtx, g *callGraph, pkgs []*modPkg) []Dia
 				if !ok || fd.Body == nil {
 					continue
 				}
-				gc := &guardChecker{r: r, mp: mp, cc: cc, g: g, diags: &diags}
-				gc.checkFunc(fd, idx)
+				if r.cfg.legacyGuard {
+					gc := &guardChecker{r: r, mp: mp, cc: cc, g: g, diags: &diags}
+					gc.checkFunc(fd, idx)
+				} else {
+					gc := &guardCFG{r: r, mp: mp, cc: cc, g: g, diags: &diags}
+					gc.checkFunc(fd, idx)
+				}
 			}
 		}
 	}
@@ -881,6 +886,11 @@ func (gc *guardChecker) walkClauses(body *ast.BlockStmt, held lockState) {
 // lockOp recognizes mu.Lock / mu.RLock / mu.Unlock / mu.RUnlock on a sync
 // mutex and returns the flattened lock expression.
 func (gc *guardChecker) lockOp(e ast.Expr) (target string, isLock, ok bool) {
+	return lockOp(gc.mp.info, e)
+}
+
+// lockOp is the walker-independent recognizer shared with the CFG re-host.
+func lockOp(info *types.Info, e ast.Expr) (target string, isLock, ok bool) {
 	call, isCall := e.(*ast.CallExpr)
 	if !isCall {
 		return "", false, false
@@ -889,7 +899,7 @@ func (gc *guardChecker) lockOp(e ast.Expr) (target string, isLock, ok bool) {
 	if !isSel {
 		return "", false, false
 	}
-	fn, isFn := gc.mp.info.Uses[sel.Sel].(*types.Func)
+	fn, isFn := info.Uses[sel.Sel].(*types.Func)
 	if !isFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
 		return "", false, false
 	}
@@ -1095,11 +1105,18 @@ func hasJoin(info *types.Info, body *ast.BlockStmt) bool {
 }
 
 // loopCaptureDiags reports iteration variables of the enclosing loops that
-// a goroutine closure references instead of receiving as arguments. Go 1.22
-// made per-iteration variables safe, but a captured index still races with
-// the spawning loop's progression in every earlier toolchain reading this
-// code, and passing the value keeps the dependency explicit.
+// a goroutine closure references instead of receiving as arguments. The
+// finding only applies below language version 1.22: since go1.22 loop
+// variables are per-iteration, so the capture is well-defined and flagging
+// it would be a false positive. The module's go directive (or
+// Config.LangVersion) decides.
 func (r *Runner) loopCaptureDiags(diags *[]Diagnostic, info *types.Info, g *ast.GoStmt, loops []ast.Node) {
+	if langAtLeast(r.langVer, 1, 22) {
+		// Per-iteration loop variables: the capture is well-defined, so the
+		// finding would be a false positive under the module's declared
+		// language version.
+		return
+	}
 	lit, ok := g.Call.Fun.(*ast.FuncLit)
 	if !ok || len(loops) == 0 {
 		return

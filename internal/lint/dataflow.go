@@ -1,0 +1,51 @@
+// Generic forward-dataflow solver over funcCFG. Checks supply a lattice as
+// three functions — transfer (apply a block's items to an incoming fact),
+// join (merge facts at a control-flow merge) and equal (fixpoint test) — and
+// get back the solved fact at every block entry plus a reachability mask.
+//
+// The solver is a standard worklist iteration: blocks whose input changed are
+// re-transferred until nothing changes. Loops converge because back edges
+// re-queue the header with the joined fact; the iteration bound exists only
+// as a safety net for lattices with unbounded ascent and is asserted never to
+// trip by FuzzCFGBuilder.
+package lint
+
+// solveForward runs the forward problem to fixpoint and returns the fact at
+// each block's entry (indexed like g.blocks), a reachability mask (facts of
+// unreachable blocks are the zero value of F and must be ignored), and the
+// number of block transfers performed (for fixpoint assertions in tests).
+func solveForward[F any](g *funcCFG, entry F, transfer func(b *cfgBlock, in F) F, join func(F, F) F, equal func(F, F) bool) (in []F, reached []bool, steps int) {
+	n := len(g.blocks)
+	in = make([]F, n)
+	reached = make([]bool, n)
+	in[g.entry.index] = entry
+	reached[g.entry.index] = true
+
+	work := []*cfgBlock{g.entry}
+	queued := make([]bool, n)
+	queued[g.entry.index] = true
+	limit := n*64 + 64
+	for len(work) > 0 && steps < limit {
+		b := work[0]
+		work = work[1:]
+		queued[b.index] = false
+		steps++
+		out := transfer(b, in[b.index])
+		for _, s := range b.succs {
+			next := out
+			if reached[s.index] {
+				next = join(in[s.index], out)
+				if equal(next, in[s.index]) {
+					continue
+				}
+			}
+			in[s.index] = next
+			reached[s.index] = true
+			if !queued[s.index] {
+				queued[s.index] = true
+				work = append(work, s)
+			}
+		}
+	}
+	return in, reached, steps
+}

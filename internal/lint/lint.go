@@ -31,6 +31,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 )
@@ -92,6 +93,9 @@ const (
 	checkNameDetTaint     = "determinism-taint"
 	checkNameLayout       = "layout"
 	checkNameDeadExport   = "deadexport"
+	checkNameErrflow      = "errflow"
+	checkNameCtxpoll      = "ctxpoll"
+	checkNameShape        = "shape"
 )
 
 // AllChecks lists every check in pass order.
@@ -99,6 +103,36 @@ var AllChecks = []string{
 	checkNameDeterminism, checkNameNoalloc, checkNameMetrics, checkNameFloatEq,
 	checkNameNoallocTrans, checkNameDetTaint, checkNameLayout, checkNameDeadExport,
 	checkNameAtomic, checkNameAlign64, checkNameGuardedBy, checkNameGoHygiene,
+	checkNameErrflow, checkNameCtxpoll, checkNameShape,
+}
+
+// CheckInfo describes one check for discovery (spear-vet -list).
+type CheckInfo struct {
+	Name    string // check name accepted by -check
+	Desc    string // one-line description
+	Markers string // marker grammar the check consumes, "" when none
+}
+
+// Checks returns every check in pass order with its description and marker
+// grammar, for spear-vet -list.
+func Checks() []CheckInfo {
+	return []CheckInfo{
+		{checkNameDeterminism, "deterministic packages must not read ambient randomness or the wall clock", "//spear:timing"},
+		{checkNameNoalloc, "//spear:noalloc function bodies must not contain allocation constructs", "//spear:noalloc"},
+		{checkNameMetrics, "metric registrations use literal, unique names", ""},
+		{checkNameFloatEq, "no == / != on floats outside audited comparisons", "//spear:floateq, //spear:sorted"},
+		{checkNameNoallocTrans, "//spear:noalloc extends over the static call graph", "//spear:slowpath, //spear:dyncall"},
+		{checkNameDetTaint, "determinism extends over the static call graph", "//spear:timing"},
+		{checkNameLayout, "//spear:packed structs have padding-optimal field order", "//spear:packed"},
+		{checkNameDeadExport, "exported module-internal declarations must have a reference", ""},
+		{checkNameAtomic, "//spear:atomic fields are accessed only via sync/atomic", "//spear:atomic, //spear:init, //spear:xclusive"},
+		{checkNameAlign64, "64-bit atomics sit at 8-byte offsets on 32-bit targets", "//spear:atomic"},
+		{checkNameGuardedBy, "//spear:guardedby(mu) fields are reached only with mu held (CFG dataflow)", "//spear:guardedby(mu), //spear:locked(mu), //spear:init, //spear:xclusive"},
+		{checkNameGoHygiene, "go statements in deterministic packages join; loop-var capture below go1.22", "//spear:detached"},
+		{checkNameErrflow, "error values are checked, returned or explicitly discarded (CFG dataflow)", "//spear:ignoreerr(reason)"},
+		{checkNameCtxpoll, "loops on ScheduleContext paths poll ctx.Err()/ctx.Done()", "//spear:nopoll(reason)"},
+		{checkNameShape, "nn buffer lengths agree with network dims at Into call sites (CFG dataflow)", ""},
+	}
 }
 
 // Config parameterizes a run.
@@ -110,6 +144,17 @@ type Config struct {
 	// Checks selects which checks run, by name (see AllChecks). Nil means
 	// all of them. Unknown names are rejected by NewRunner.
 	Checks []string
+
+	// LangVersion overrides the module's go directive ("1.21", "1.22") for
+	// language-version-dependent checks; "" means read it from go.mod.
+	// gohygiene's loop-variable-capture finding only applies below 1.22,
+	// where loop variables are per-loop rather than per-iteration.
+	LangVersion string
+
+	// legacyGuard selects the pre-CFG structural guardedby walker. Test-only:
+	// FuzzCFGBuilder cross-checks the two implementations on control flow
+	// where they must agree.
+	legacyGuard bool
 }
 
 // CheckTiming is the wall-clock cost of one pass and how many findings it
@@ -142,6 +187,7 @@ type Runner struct {
 	loadCount  int // module packages actually type-checked (cache misses)
 	cfg        Config
 	enabled    map[string]bool // check name -> selected by cfg.Checks
+	langVer    string          // go.mod go directive (or cfg.LangVersion), "" if absent
 
 	// metricSites accumulates literal metric registrations across every
 	// analyzed package, for the duplicate-name part of the metrics check.
@@ -160,9 +206,12 @@ type modPkg struct {
 // NewRunner returns a runner for the module containing dir (found by walking
 // up to go.mod).
 func NewRunner(dir string, cfg Config) (*Runner, error) {
-	root, modPath, err := findModule(dir)
+	root, modPath, goVer, err := findModule(dir)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.LangVersion != "" {
+		goVer = cfg.LangVersion
 	}
 	if cfg.Deterministic == nil {
 		cfg.Deterministic = defaultDeterministic
@@ -198,16 +247,17 @@ func NewRunner(dir string, cfg Config) (*Runner, error) {
 		loading:     make(map[string]bool),
 		cfg:         cfg,
 		enabled:     enabled,
+		langVer:     goVer,
 		metricSites: make(map[string][]metricSite),
 	}, nil
 }
 
 // findModule walks up from dir to the enclosing go.mod and returns the module
-// root directory and module path.
-func findModule(dir string) (root, path string, err error) {
+// root directory, module path and go directive ("" when the file has none).
+func findModule(dir string) (root, path, goVer string, err error) {
 	abs, err := filepath.Abs(dir)
 	if err != nil {
-		return "", "", err
+		return "", "", "", err
 	}
 	for cur := abs; ; cur = filepath.Dir(cur) {
 		data, err := os.ReadFile(filepath.Join(cur, "go.mod"))
@@ -215,15 +265,36 @@ func findModule(dir string) (root, path string, err error) {
 			for _, line := range strings.Split(string(data), "\n") {
 				line = strings.TrimSpace(line)
 				if rest, ok := strings.CutPrefix(line, "module "); ok {
-					return cur, strings.TrimSpace(rest), nil
+					path = strings.TrimSpace(rest)
+				} else if rest, ok := strings.CutPrefix(line, "go "); ok {
+					goVer = strings.TrimSpace(rest)
 				}
 			}
-			return "", "", fmt.Errorf("lint: %s/go.mod has no module line", cur)
+			if path == "" {
+				return "", "", "", fmt.Errorf("lint: %s/go.mod has no module line", cur)
+			}
+			return cur, path, goVer, nil
 		}
 		if filepath.Dir(cur) == cur {
-			return "", "", fmt.Errorf("lint: no go.mod above %s", abs)
+			return "", "", "", fmt.Errorf("lint: no go.mod above %s", abs)
 		}
 	}
+}
+
+// langAtLeast reports whether a go directive version ("1.22", "1.21.3")
+// reaches major.minor. An absent or malformed version compares as older —
+// the conservative direction for checks that only apply to old semantics.
+func langAtLeast(ver string, major, minor int) bool {
+	parts := strings.SplitN(ver, ".", 3)
+	if len(parts) < 2 {
+		return false
+	}
+	maj, err1 := strconv.Atoi(parts[0])
+	min, err2 := strconv.Atoi(parts[1])
+	if err1 != nil || err2 != nil {
+		return false
+	}
+	return maj > major || (maj == major && min >= minor)
 }
 
 // Import implements types.Importer: module-internal paths are loaded from the
@@ -321,7 +392,7 @@ func (r *Runner) load(path string) (*modPkg, error) {
 		Importer: r,
 		Error:    func(err error) { errs = append(errs, err.Error()) },
 	}
-	pkg, _ := conf.Check(path, r.fset, files, info)
+	pkg, _ := conf.Check(path, r.fset, files, info) //spear:ignoreerr(type errors are collected by the conf.Error callback above)
 	if len(errs) > 0 {
 		return nil, &LoadError{Path: path, Errs: errs}
 	}
@@ -416,7 +487,7 @@ func (r *Runner) Analyze(dirs []string) ([]Diagnostic, RunStats, error) {
 	// in the cache (analyzed packages and their dependencies). The guardedby
 	// pass rides on the same graph for its //spear:locked callee lookups.
 	var g *callGraph
-	if r.enabled[checkNameNoallocTrans] || r.enabled[checkNameDetTaint] || r.enabled[checkNameGuardedBy] {
+	if r.enabled[checkNameNoallocTrans] || r.enabled[checkNameDetTaint] || r.enabled[checkNameGuardedBy] || r.enabled[checkNameCtxpoll] {
 		timed("callgraph", func() []Diagnostic {
 			g = r.buildCallGraph()
 			return nil
@@ -485,6 +556,32 @@ func (r *Runner) Analyze(dirs []string) ([]Diagnostic, RunStats, error) {
 				return found
 			})...)
 		}
+	}
+
+	// CFG/dataflow passes (cfg.go, dataflow.go): per-function forward
+	// analyses, plus the call-graph-scoped context-poll audit.
+	if r.enabled[checkNameErrflow] {
+		diags = append(diags, timed(checkNameErrflow, func() []Diagnostic {
+			var found []Diagnostic
+			for _, mp := range pkgs {
+				found = append(found, r.checkErrflow(mp)...)
+			}
+			return found
+		})...)
+	}
+	if r.enabled[checkNameCtxpoll] {
+		diags = append(diags, timed(checkNameCtxpoll, func() []Diagnostic {
+			return r.checkCtxpoll(g, pkgs)
+		})...)
+	}
+	if r.enabled[checkNameShape] {
+		diags = append(diags, timed(checkNameShape, func() []Diagnostic {
+			var found []Diagnostic
+			for _, mp := range pkgs {
+				found = append(found, r.checkShape(mp)...)
+			}
+			return found
+		})...)
 	}
 
 	stats.PackagesLoaded = r.loadCount

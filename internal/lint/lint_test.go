@@ -173,6 +173,46 @@ func TestGoldenGoHygiene(t *testing.T) {
 	})
 }
 
+// TestGoldenGoHygiene121 pins the pre-1.22 capture semantics: the same
+// closure shapes that are finding-free under go 1.22 are races when the
+// language version says loop variables are per-loop.
+func TestGoldenGoHygiene121(t *testing.T) {
+	runGolden(t, []string{"gohygiene121"}, Config{
+		LangVersion:   "1.21",
+		Deterministic: []string{"internal/lint/testdata/src/gohygiene121"},
+		Checks:        []string{checkNameGoHygiene},
+	})
+}
+
+func TestGoldenErrflow(t *testing.T) {
+	runGolden(t, []string{"errflow"}, Config{Checks: []string{checkNameErrflow}})
+}
+
+func TestGoldenCtxpoll(t *testing.T) {
+	runGolden(t, []string{"ctxpoll"}, Config{Checks: []string{checkNameCtxpoll}})
+}
+
+func TestGoldenShape(t *testing.T) {
+	runGolden(t, []string{"shape"}, Config{Checks: []string{checkNameShape}})
+}
+
+// TestGoldenGuardedByLegacyHoles documents the precision gain of the CFG
+// re-host: the legacy structural walker misses both cfgregress cases (the
+// select-arm release and the goto-only access), while agreeing with the CFG
+// walker everywhere else in the guardedby fixture.
+func TestGoldenGuardedByLegacyHoles(t *testing.T) {
+	dir := filepath.Join("testdata", "src", "guardedby")
+	diags, err := AnalyzeDirs([]string{dir}, Config{Checks: []string{checkNameGuardedBy}, legacyGuard: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		if filepath.Base(d.File) == "cfgregress.go" {
+			t.Errorf("legacy walker unexpectedly found: %s", d)
+		}
+	}
+}
+
 // TestAnalyzeDeterministic runs the full pipeline twice over the
 // finding-rich golden packages and requires byte-identical output: map
 // iteration inside the call-graph passes must never leak into diagnostic
@@ -255,7 +295,7 @@ func TestLoadErrorOnTypeError(t *testing.T) {
 // default configuration, exactly like `spear-vet ./...` in CI: the checked-in
 // tree must produce zero findings.
 func TestRepositoryClean(t *testing.T) {
-	root, _, err := findModule(".")
+	root, _, _, err := findModule(".")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -278,7 +318,7 @@ func TestRepositoryClean(t *testing.T) {
 // TestExpandPatternsSkipsTestdata asserts the golden packages (which contain
 // deliberate violations) never leak into a ./... run.
 func TestExpandPatternsSkipsTestdata(t *testing.T) {
-	root, _, err := findModule(".")
+	root, _, _, err := findModule(".")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -52,6 +52,15 @@ const (
 	markerInit      = "spear:init"
 	markerXclusive  = "spear:xclusive"
 	markerDetached  = "spear:detached"
+
+	// Dataflow-check markers (errflow.go, ctxpoll.go). markerIgnoreErr
+	// ("spear:ignoreerr(reason)") on an assignment or call discards the
+	// error result deliberately; markerNopoll ("spear:nopoll(reason)") on a
+	// loop header exempts a bounded loop from the context-poll requirement.
+	// Both require a non-empty reason — the annotation is an audited claim,
+	// not a mute button.
+	markerIgnoreErr = "spear:ignoreerr"
+	markerNopoll    = "spear:nopoll"
 )
 
 // allMarkers lists every marker indexMarkers scans for.
@@ -60,6 +69,7 @@ var allMarkers = []string{
 	markerSlowpath, markerPacked, markerDyncall,
 	markerAtomic, markerGuardedBy, markerLocked,
 	markerInit, markerXclusive, markerDetached,
+	markerIgnoreErr, markerNopoll,
 }
 
 // markerIndex records, per marker, the source lines of one file that carry
@@ -161,6 +171,22 @@ func (idx *markerIndex) at(fset *token.FileSet, pos token.Pos, marker string) bo
 	}
 	line := fset.Position(pos).Line
 	return lines[line] || lines[line-1]
+}
+
+// argAt returns the marker's argument when the marker annotates the source
+// position: same line or the line directly above.
+func (idx *markerIndex) argAt(fset *token.FileSet, pos token.Pos, marker string) (string, bool) {
+	lines := idx.lines[marker]
+	if lines == nil {
+		return "", false
+	}
+	line := fset.Position(pos).Line
+	for _, l := range []int{line, line - 1} {
+		if lines[l] {
+			return idx.args[marker][l], true
+		}
+	}
+	return "", false
 }
 
 // onFunc reports whether the marker annotates the function declaration: in

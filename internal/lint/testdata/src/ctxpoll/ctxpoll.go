@@ -1,0 +1,101 @@
+// Golden fixture of the ctxpoll check: every loop of a function connected to
+// a ScheduleContext entry point (in either call direction) that references a
+// context must reach a ctx.Err()/ctx.Done() poll, directly or through a
+// transitively-polling callee, or carry //spear:nopoll(reason).
+package ctxpoll
+
+import "context"
+
+type task struct{ id int }
+
+type sched struct{ pending []task }
+
+// ScheduleContext is the entry point; the first loop polls directly and is
+// clean, the second never can observe cancellation.
+func (s *sched) ScheduleContext(ctx context.Context, ts []task) int {
+	done := 0
+	for _, t := range ts {
+		if ctx.Err() != nil {
+			return done
+		}
+		done += s.place(ctx, t)
+	}
+	s.drain(ctx)
+	done += s.condPoll(ctx)
+	for i := 0; i < 8; i++ { // want "never reaches a ctx.Err"
+		done += i
+	}
+	return done
+}
+
+// place is forward-reachable from the entry point and references the
+// context, so all of its loops are audited.
+func (s *sched) place(ctx context.Context, t task) int {
+	_ = ctx
+	best := 0
+	for i := range s.pending { // want "never reaches a ctx.Err"
+		best += i + t.id
+	}
+	//spear:nopoll(bounded warm-up over a fixed 4-slot table)
+	for i := 0; i < 4; i++ {
+		best += i
+	}
+	//spear:nopoll
+	for i := 0; i < 2; i++ { // want "nopoll requires a reason"
+		best += i
+	}
+	return best + kernel([]int{t.id})
+}
+
+// step polls the context; callers' loops inherit the poll transitively.
+func (s *sched) step(ctx context.Context) bool {
+	select {
+	case <-ctx.Done():
+		return true
+	default:
+	}
+	return len(s.pending) == 0
+}
+
+// drain loops until step reports done; step polls, so the loop is covered.
+func (s *sched) drain(ctx context.Context) {
+	for {
+		if s.step(ctx) {
+			return
+		}
+	}
+}
+
+// condPoll polls in the loop condition, which counts as reaching a poll.
+func (s *sched) condPoll(ctx context.Context) int {
+	n := 0
+	for ctx.Err() == nil {
+		n++
+		if n > len(s.pending) {
+			break
+		}
+	}
+	return n
+}
+
+// drive reaches the entry point, so it is connected backward; its retry loop
+// never polls.
+func drive(ctx context.Context, s *sched, ts []task) int {
+	total := s.ScheduleContext(ctx, ts)
+	for i := 0; i < 3; i++ { // want "never reaches a ctx.Err"
+		total += i
+	}
+	return total
+}
+
+// kernel never sees a context, so it is exempt without annotation even
+// though the entry point reaches it.
+func kernel(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+var _ = drive

@@ -1,7 +1,9 @@
 // Golden fixture of the goroutine-hygiene check (deterministic packages
 // only): every go statement needs a WaitGroup or channel join in the
-// spawning function or an explicit //spear:detached waiver, and goroutine
-// closures must not capture loop variables by reference.
+// spawning function or an explicit //spear:detached waiver. The module
+// declares go 1.22, where loop variables are per-iteration, so the capture
+// cases below are deliberately finding-free — the 1.21 behavior is pinned by
+// the gohygiene121 fixture, which runs with Config.LangVersion "1.21".
 package gohygiene
 
 import "sync"
@@ -50,7 +52,7 @@ func capturesLoopVar(n int) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			out[i] = 1 // want "captures loop variable i"
+			out[i] = 1 // per-iteration variable under go 1.22: no finding
 		}()
 	}
 	wg.Wait()
@@ -62,7 +64,7 @@ func capturesRangeVar(xs []int) {
 	for _, x := range xs {
 		wg.Add(1)
 		go func() {
-			sum += x // want "captures loop variable x"
+			sum += x // per-iteration variable under go 1.22: no finding
 			wg.Done()
 		}()
 	}

@@ -1,0 +1,70 @@
+// Golden fixture of gohygiene's loop-variable-capture finding under
+// pre-1.22 language semantics, where loop variables are per-loop and a
+// goroutine closure referencing one races with the loop's progression. The
+// test runs this package with Config.LangVersion "1.21".
+package gohygiene121
+
+import "sync"
+
+func capturesLoopVar(n int) {
+	var wg sync.WaitGroup
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out[i] = 1 // want "captures loop variable i"
+		}()
+	}
+	wg.Wait()
+}
+
+func capturesRangeVar(xs []int) {
+	var wg sync.WaitGroup
+	sum := 0
+	for _, x := range xs {
+		wg.Add(1)
+		go func() {
+			sum += x // want "captures loop variable x"
+			wg.Done()
+		}()
+	}
+	wg.Wait()
+	_ = sum
+}
+
+func capturesNestedVar(rows [][]int) {
+	var wg sync.WaitGroup
+	total := 0
+	for _, row := range rows {
+		for j := range row {
+			wg.Add(1)
+			go func() {
+				total += row[j] // want "captures loop variable row" want "captures loop variable j"
+				wg.Done()
+			}()
+		}
+	}
+	wg.Wait()
+	_ = total
+}
+
+func passesValue(n int) {
+	var wg sync.WaitGroup
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out[i] = i
+		}(i)
+	}
+	wg.Wait()
+}
+
+var (
+	_ = capturesLoopVar
+	_ = capturesRangeVar
+	_ = capturesNestedVar
+	_ = passesValue
+)

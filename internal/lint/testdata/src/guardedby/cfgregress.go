@@ -1,0 +1,77 @@
+// Regression cases for the CFG re-host of guardedby: control flow the old
+// structural walker interpreted wrongly. Each case carries a want comment
+// the pre-CFG walker would fail, so the fixture pins the holes closed.
+package guardedby
+
+import "sync"
+
+// selbox mirrors box for the select/goto cases.
+type selbox struct {
+	mu sync.Mutex
+	v  int //spear:guardedby(mu)
+}
+
+// selectArmRelease releases the lock inside one select arm and leaves the
+// loop through a labeled break. The old walker treated the break as a dead
+// end and select-without-default as able to fall through with the entry
+// state, so it believed the lock was still held after the loop. The CFG has
+// a real edge from the break to the loop's merge carrying the unlocked
+// state.
+func selectArmRelease(b *selbox, ch, other chan struct{}) {
+	b.mu.Lock()
+loop:
+	for {
+		select {
+		case <-ch:
+			b.mu.Unlock()
+			break loop
+		case <-other:
+			b.v++ // lock held on this arm: no finding
+		}
+	}
+	b.v++ // want "without mu held on every path"
+}
+
+// gotoOnly is reachable only through a goto: the old walker stopped at the
+// first terminator of a statement list and never looked at the label, so
+// the unguarded access was invisible.
+func gotoOnly(b *selbox) {
+	goto check
+check:
+	b.v++ // want "without mu held on every path"
+}
+
+// gotoCarriesLock: the state at a label is the join over its jump sources —
+// the lock is held on the goto path and the fallthrough path never reaches
+// the label (return), so the access is fine.
+func gotoCarriesLock(b *selbox, p bool) {
+	b.mu.Lock()
+	if p {
+		goto bump
+	}
+	b.mu.Unlock()
+	return
+bump:
+	b.v++
+	b.mu.Unlock()
+}
+
+// selectHeldEverywhere keeps the lock across both arms; the merge keeps it.
+func selectHeldEverywhere(b *selbox, ch, other chan struct{}) {
+	b.mu.Lock()
+	select {
+	case <-ch:
+		b.v++
+	case <-other:
+		b.v--
+	}
+	b.v++ // still held: no finding
+	b.mu.Unlock()
+}
+
+var (
+	_ = selectArmRelease
+	_ = gotoOnly
+	_ = gotoCarriesLock
+	_ = selectHeldEverywhere
+)

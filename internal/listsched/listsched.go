@@ -50,7 +50,7 @@ func New(name string, prio priority) (*Scheduler, error) {
 // NewHEFT returns the HEFT-style scheduler: upward rank (b-level) priority
 // with insertion-based earliest-start placement.
 func NewHEFT() *Scheduler {
-	s, _ := New("HEFT", func(g *dag.Graph, id dag.TaskID) float64 {
+	s, _ := New("HEFT", func(g *dag.Graph, id dag.TaskID) float64 { //spear:ignoreerr(static name and priority cannot fail validation)
 		return float64(g.BLevel(id))
 	})
 	return s
@@ -58,7 +58,7 @@ func NewHEFT() *Scheduler {
 
 // NewLPT returns longest-processing-time-first list scheduling.
 func NewLPT() *Scheduler {
-	s, _ := New("LPT", func(g *dag.Graph, id dag.TaskID) float64 {
+	s, _ := New("LPT", func(g *dag.Graph, id dag.TaskID) float64 { //spear:ignoreerr(static name and priority cannot fail validation)
 		return float64(g.Task(id).Runtime)
 	})
 	return s
@@ -68,7 +68,7 @@ func NewLPT() *Scheduler {
 // resource-time paths first (summed across dimensions). It is the
 // list-scheduling analogue of the paper's b-load feature (§III-D).
 func NewBLoad() *Scheduler {
-	s, _ := New("BLoad", func(g *dag.Graph, id dag.TaskID) float64 {
+	s, _ := New("BLoad", func(g *dag.Graph, id dag.TaskID) float64 { //spear:ignoreerr(static name and priority cannot fail validation)
 		var sum float64
 		for d := 0; d < g.Dims(); d++ {
 			sum += float64(g.BLoad(id, d))

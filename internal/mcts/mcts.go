@@ -468,7 +468,7 @@ func (s *Scheduler) ScheduleContext(ctx context.Context, g *dag.Graph, spec clus
 	K, J := s.cfg.RootParallelism, s.cfg.TreeParallelism
 	s.stats = Stats{RootWorkers: K, TreeWorkers: J}
 	defer func() {
-		for w := 0; w < K && w < len(s.workers); w++ {
+		for w := 0; w < K && w < len(s.workers); w++ { //spear:nopoll(bounded stats sweep over at most K workers)
 			tw := s.workers[w]
 			s.stats.TTHits += atomic.LoadInt64(&tw.ttHits)
 			s.stats.TTMisses += atomic.LoadInt64(&tw.ttMisses)
@@ -503,7 +503,7 @@ func (s *Scheduler) ScheduleContext(ctx context.Context, g *dag.Graph, spec clus
 	// the others clone it (clones share the metric bundle, not state). The
 	// arenas keep their chunk storage and per-slot buffers from earlier
 	// calls, so warm calls rebuild their trees without allocating.
-	for w := 0; w < K; w++ {
+	for w := 0; w < K; w++ { //spear:nopoll(bounded per-call reset of K tree workers)
 		tw := s.worker(w)
 		tw.arena.reset()
 		if s.cfg.UseTranspositions {
@@ -515,7 +515,7 @@ func (s *Scheduler) ScheduleContext(ctx context.Context, g *dag.Graph, spec clus
 		}
 		atomic.StoreInt64(&tw.ttHits, 0)
 		atomic.StoreInt64(&tw.ttMisses, 0)
-		for j, sw := range tw.sims {
+		for j, sw := range tw.sims { //spear:nopoll(bounded rng reseed over the sim workers)
 			sw.rng = rand.New(rand.NewSource(simSeed(s.cfg.Seed, w, j)))
 		}
 		wenv := env
@@ -580,7 +580,7 @@ func (s *Scheduler) ScheduleContext(ctx context.Context, g *dag.Graph, spec clus
 		// tree's new root (created on the spot if this tree never tried it —
 		// bookkeeping, not an expansion), and the rest of the old tree goes
 		// back to the arena freelist for the next decision to reuse.
-		for w := 0; w < K; w++ {
+		for w := 0; w < K; w++ { //spear:nopoll(bounded commit across K worker trees)
 			if err := s.workers[w].commit(chosen); err != nil {
 				return nil, err
 			}
@@ -786,9 +786,9 @@ func (s *Scheduler) searchPhase(ctx context.Context, budget, rootDepth int, c fl
 		}
 	}
 	wg.Wait()
-	for w := 0; w < K; w++ {
+	for w := 0; w < K; w++ { //spear:nopoll(bounded error sweep after the join)
 		tw := s.workers[w]
-		for _, sw := range tw.sims {
+		for _, sw := range tw.sims { //spear:nopoll(bounded error sweep after the join)
 			if sw.err != nil {
 				return sw.err
 			}

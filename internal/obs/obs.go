@@ -170,7 +170,7 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 // String renders the snapshot as Prometheus text.
 func (s Snapshot) String() string {
 	var b strings.Builder
-	_ = s.WritePrometheus(&b)
+	_ = s.WritePrometheus(&b) //spear:ignoreerr(writes land in a strings.Builder, which cannot fail)
 	return b.String()
 }
 
